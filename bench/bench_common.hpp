@@ -1,0 +1,41 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// Every bench binary is a self-contained harness: it builds the synthetic
+// datasets, runs the pipeline behind one figure of the paper, and prints
+// the series the figure plots, plus a short "paper vs measured" shape
+// check. Environment knobs (so the full suite stays runnable in minutes):
+//
+//   PSN_BENCH_MESSAGES  enumeration sample size per dataset (default 80)
+//   PSN_BENCH_K         explosion threshold (default 2000, as in the paper)
+//   PSN_BENCH_RUNS      forwarding simulation runs (default 3; paper: 10)
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace psn::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* raw = std::getenv(name)) {
+    const long long v = std::atoll(raw);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+inline std::size_t bench_messages() {
+  return env_size("PSN_BENCH_MESSAGES", 80);
+}
+inline std::size_t bench_k() { return env_size("PSN_BENCH_K", 2000); }
+inline std::size_t bench_runs() { return env_size("PSN_BENCH_RUNS", 3); }
+
+inline void print_header(const std::string& figure,
+                         const std::string& description) {
+  std::cout << "==========================================================\n"
+            << figure << ": " << description << '\n'
+            << "==========================================================\n";
+}
+
+}  // namespace psn::bench

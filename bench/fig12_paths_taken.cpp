@@ -1,0 +1,85 @@
+// Fig. 12 — For two sample messages: the histogram of path arrivals within
+// the explosion (time since T1 on the x axis) with, superimposed, the
+// arrival time of the path each forwarding algorithm actually used.
+// Paper shape: every algorithm's delivery lands early in the explosion,
+// within the first few bursts after T1.
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "psn/core/dataset.hpp"
+#include "psn/core/workload.hpp"
+#include "psn/forward/algorithm_registry.hpp"
+#include "psn/forward/simulator.hpp"
+#include "psn/graph/space_time_graph.hpp"
+#include "psn/paths/enumerator.hpp"
+#include "psn/stats/table.hpp"
+
+int main() {
+  using namespace psn;
+  bench::print_header(
+      "Figure 12",
+      "paths taken by forwarding algorithms within the explosion");
+
+  const auto ds = core::DatasetFactory::paper_dataset(0);
+  const graph::SpaceTimeGraph graph(ds.trace, 10.0);
+
+  paths::EnumeratorConfig ec;
+  ec.k = bench::bench_k();
+  ec.record_paths = false;
+  const paths::KPathEnumerator enumerator(graph, ec);
+
+  // Pick the first two sampled messages that explode with a nontrivial T1.
+  const auto candidates = core::uniform_message_sample(
+      ds.trace.num_nodes(), 200, ds.message_horizon, 7);
+  std::size_t shown = 0;
+  for (const auto& m : candidates) {
+    if (shown >= 2) break;
+    const auto r = enumerator.enumerate(m.source, m.destination, m.t_start);
+    std::uint64_t total = 0;
+    for (const auto& d : r.deliveries) total += d.count;
+    if (!r.reached_k || r.deliveries.size() < 3) continue;
+    ++shown;
+
+    const double t1_abs = r.deliveries.front().arrival;
+    std::cout << "\n(" << (shown == 1 ? 'a' : 'b') << ") message "
+              << m.source << " -> " << m.destination
+              << "  t1=" << m.t_start << "s  T1=" << t1_abs - m.t_start
+              << "s  total paths=" << total << "\n";
+
+    // Arrival histogram keyed by offset since T1.
+    std::map<double, std::uint64_t> bursts;
+    for (const auto& d : r.deliveries) bursts[d.arrival - t1_abs] += d.count;
+
+    // Each algorithm's achieved delivery time for this message.
+    std::map<std::string, double> achieved;
+    for (auto& alg : forward::make_paper_algorithms()) {
+      const auto sim = forward::simulate(
+          *alg, graph, ds.trace,
+          {forward::Message{0, m.source, m.destination, m.t_start}});
+      if (sim.outcomes[0].delivered)
+        achieved[alg->name()] =
+            sim.outcomes[0].delay - (t1_abs - m.t_start);
+    }
+
+    stats::TablePrinter table(
+        {"time since T1 (s)", "# paths", "algorithms delivering here"});
+    for (const auto& [offset, count] : bursts) {
+      std::string who;
+      for (const auto& [name, at] : achieved)
+        if (std::abs(at - offset) < 5.0) who += name + " ";
+      table.add_row({stats::TablePrinter::fmt(offset, 0),
+                     std::to_string(count), who});
+    }
+    table.print(std::cout);
+    std::cout << "  algorithm delivery offsets since T1:";
+    for (const auto& [name, at] : achieved)
+      std::cout << "  " << name << "=" << at << "s";
+    std::cout << "\n  (undelivered algorithms omitted)\n";
+  }
+
+  std::cout << "\nShape check (paper: algorithms deliver early in the "
+               "explosion, usually within the first bursts after T1).\n";
+  return 0;
+}

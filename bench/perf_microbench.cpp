@@ -1,0 +1,111 @@
+// google-benchmark microbenchmarks for the heavy kernels: trace
+// generation, space-time graph construction, reachability sweeps, path
+// enumeration, and the forwarding simulator.
+
+#include <benchmark/benchmark.h>
+
+#include "psn/core/dataset.hpp"
+#include "psn/core/workload.hpp"
+#include "psn/forward/algorithm_registry.hpp"
+#include "psn/forward/algorithms/epidemic.hpp"
+#include "psn/forward/simulator.hpp"
+#include "psn/graph/reachability.hpp"
+#include "psn/graph/space_time_graph.hpp"
+#include "psn/paths/enumerator.hpp"
+#include "psn/synth/pairwise_poisson.hpp"
+
+namespace {
+
+const psn::core::Dataset& dataset() {
+  static const auto ds = psn::core::DatasetFactory::paper_dataset(0);
+  return ds;
+}
+
+const psn::graph::SpaceTimeGraph& graph() {
+  static const psn::graph::SpaceTimeGraph g(dataset().trace, 10.0);
+  return g;
+}
+
+void BM_TraceGeneration(benchmark::State& state) {
+  psn::synth::PairwisePoissonConfig config;
+  config.num_nodes = static_cast<psn::trace::NodeId>(state.range(0));
+  config.t_max = 3600.0;
+  config.seed = 1;
+  for (auto _ : state) {
+    auto g = psn::synth::generate_pairwise_poisson(config);
+    benchmark::DoNotOptimize(g.trace.size());
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SpaceTimeGraphBuild(benchmark::State& state) {
+  const auto& ds = dataset();
+  const double delta = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    psn::graph::SpaceTimeGraph g(ds.trace, delta);
+    benchmark::DoNotOptimize(g.total_edges());
+  }
+}
+BENCHMARK(BM_SpaceTimeGraphBuild)->Arg(5)->Arg(10)->Arg(30);
+
+void BM_ReachabilitySweep(benchmark::State& state) {
+  const auto& g = graph();
+  psn::graph::NodeId src = 0;
+  for (auto _ : state) {
+    const auto r = psn::graph::earliest_delivery(g, src, 0.0);
+    benchmark::DoNotOptimize(r.arrival_step.size());
+    src = (src + 1) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_ReachabilitySweep);
+
+void BM_PathEnumeration(benchmark::State& state) {
+  const auto& g = graph();
+  psn::paths::EnumeratorConfig config;
+  config.k = static_cast<std::size_t>(state.range(0));
+  config.record_paths = false;
+  const psn::paths::KPathEnumerator enumerator(g, config);
+  psn::graph::NodeId src = 0;
+  for (auto _ : state) {
+    const auto r = enumerator.enumerate(src, (src + 7) % g.num_nodes(), 0.0);
+    benchmark::DoNotOptimize(r.deliveries.size());
+    src = (src + 1) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_PathEnumeration)->Arg(100)->Arg(2000);
+
+void BM_EpidemicSimulation(benchmark::State& state) {
+  const auto& ds = dataset();
+  const auto& g = graph();
+  psn::core::WorkloadConfig wc;
+  wc.message_rate = 0.05;
+  wc.horizon = ds.message_horizon;
+  wc.seed = 3;
+  const auto messages = psn::core::poisson_workload(ds.trace.num_nodes(), wc);
+  psn::forward::EpidemicForwarding epidemic;
+  for (auto _ : state) {
+    const auto r =
+        psn::forward::simulate(epidemic, g, ds.trace, messages);
+    benchmark::DoNotOptimize(r.delivered_count());
+  }
+}
+BENCHMARK(BM_EpidemicSimulation);
+
+void BM_SingleCopySimulation(benchmark::State& state) {
+  const auto& ds = dataset();
+  const auto& g = graph();
+  psn::core::WorkloadConfig wc;
+  wc.message_rate = 0.05;
+  wc.horizon = ds.message_horizon;
+  wc.seed = 3;
+  const auto messages = psn::core::poisson_workload(ds.trace.num_nodes(), wc);
+  auto algs = psn::forward::make_paper_algorithms();
+  auto& fresh = *algs[1];
+  for (auto _ : state) {
+    const auto r = psn::forward::simulate(fresh, g, ds.trace, messages);
+    benchmark::DoNotOptimize(r.delivered_count());
+  }
+}
+BENCHMARK(BM_SingleCopySimulation);
+
+}  // namespace

@@ -1,0 +1,107 @@
+#include "psn/core/dataset.hpp"
+
+#include <stdexcept>
+
+#include "psn/synth/conference.hpp"
+#include "psn/synth/homogeneous.hpp"
+#include "psn/synth/random_waypoint.hpp"
+
+namespace psn::core {
+
+namespace {
+
+Dataset from_generated(std::string name, synth::GeneratedTrace generated) {
+  Dataset ds;
+  ds.name = std::move(name);
+  ds.trace = std::move(generated.trace);
+  ds.rates = trace::classify_rates(ds.trace);
+  ds.ground_truth_rates = std::move(generated.node_rates);
+  return ds;
+}
+
+struct WindowSpec {
+  const char* name;
+  double mean_node_rate;
+  std::uint64_t seed;
+};
+
+// Seeds and densities per window. Rates are calibrated to Fig. 7: per-node
+// contact counts approximately Uniform(0, ~450) over a 3-hour window, i.e.
+// a population mean around 0.02 contacts/s/node. This slow-tail regime is
+// what produces the paper's long optimal-path durations (out-nodes wait
+// hundreds of seconds for any contact) while the high-rate core still
+// explodes quickly. The afternoon windows run slightly denser (Fig. 1).
+constexpr WindowSpec kWindows[] = {
+    {"infocom06-9-12", 0.021, 0x11},
+    {"infocom06-3-6", 0.025, 0x12},
+    {"conext06-9-12", 0.017, 0x21},
+    {"conext06-3-6", 0.020, 0x22},
+};
+
+}  // namespace
+
+Dataset DatasetFactory::paper_dataset(std::size_t index) {
+  if (index >= std::size(kWindows))
+    throw std::out_of_range("paper_dataset: index must be 0..3");
+  const WindowSpec& spec = kWindows[index];
+
+  synth::ConferenceConfig config;
+  config.mobile_nodes = 78;
+  config.stationary_nodes = 20;
+  config.t_max = 3.0 * 3600.0;
+  config.mean_node_rate = spec.mean_node_rate;
+  config.scan_interval = 120.0;
+  config.modulation = synth::default_conference_modulation(config.t_max);
+  config.seed = spec.seed;
+
+  return from_generated(spec.name, synth::generate_conference(config));
+}
+
+std::vector<Dataset> DatasetFactory::paper_datasets() {
+  std::vector<Dataset> out;
+  for (std::size_t i = 0; i < std::size(kWindows); ++i)
+    out.push_back(paper_dataset(i));
+  return out;
+}
+
+Dataset DatasetFactory::replication_dataset() {
+  synth::ConferenceConfig config;
+  config.mobile_nodes = 41;  // Infocom'05 had a smaller deployment.
+  config.stationary_nodes = 0;
+  config.t_max = 3.0 * 3600.0;
+  config.mean_node_rate = 0.016;
+  config.scan_interval = 120.0;
+  config.modulation = synth::default_conference_modulation(config.t_max);
+  config.seed = 0x05;
+  return from_generated("infocom05-repl", synth::generate_conference(config));
+}
+
+Dataset DatasetFactory::homogeneous_dataset() {
+  synth::HomogeneousConfig config;
+  config.num_nodes = 100;
+  config.t_max = 3.0 * 3600.0;
+  config.node_rate = 0.05;
+  config.seed = 0x99;
+
+  Dataset ds;
+  ds.name = "homogeneous-control";
+  ds.trace = synth::generate_homogeneous(config);
+  ds.rates = trace::classify_rates(ds.trace);
+  ds.ground_truth_rates.assign(config.num_nodes, config.node_rate);
+  return ds;
+}
+
+Dataset DatasetFactory::random_waypoint_dataset() {
+  synth::RandomWaypointConfig config;
+  config.num_nodes = 40;
+  config.t_max = 3.0 * 3600.0;
+  config.seed = 0x77;
+
+  Dataset ds;
+  ds.name = "random-waypoint";
+  ds.trace = synth::generate_random_waypoint(config);
+  ds.rates = trace::classify_rates(ds.trace);
+  return ds;
+}
+
+}  // namespace psn::core

@@ -1,0 +1,43 @@
+// ForwardingStudy: the pipeline behind Figs. 9, 10, 13 — run every
+// forwarding algorithm over Poisson workloads, repeated over several runs,
+// and aggregate S / D overall and per pair type.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psn/core/dataset.hpp"
+#include "psn/forward/algorithm_registry.hpp"
+#include "psn/forward/metrics.hpp"
+#include "psn/forward/simulator.hpp"
+
+namespace psn::core {
+
+struct ForwardingStudyConfig {
+  std::size_t runs = 10;        ///< paper: 10 simulation runs.
+  double message_rate = 0.25;   ///< paper: 1 message per 4 seconds.
+  trace::Seconds delta = 10.0;
+  std::uint64_t seed = 7;
+  bool extended_suite = false;  ///< include Direct/Random/Spray/PRoPHET.
+};
+
+/// Per-algorithm study output.
+struct AlgorithmStudy {
+  forward::Performance overall;
+  forward::PairTypePerformance by_pair_type;
+  std::vector<double> delays;  ///< pooled delivered delays (Fig. 10).
+  /// Mean transmissions per generated message — the forwarding-cost
+  /// extension (paper §7 leaves cost as an open question).
+  double cost_per_message = 0.0;
+};
+
+struct ForwardingStudyResult {
+  std::vector<AlgorithmStudy> algorithms;
+};
+
+[[nodiscard]] ForwardingStudyResult run_forwarding_study(
+    const Dataset& dataset, const ForwardingStudyConfig& config);
+
+}  // namespace psn::core

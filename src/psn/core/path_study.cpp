@@ -1,0 +1,34 @@
+#include "psn/core/path_study.hpp"
+
+#include "psn/core/workload.hpp"
+
+namespace psn::core {
+
+std::vector<double> PathStudyResult::optimal_durations() const {
+  std::vector<double> out;
+  for (const auto& rec : records)
+    if (rec.delivered) out.push_back(rec.optimal_duration);
+  return out;
+}
+
+std::vector<double> PathStudyResult::times_to_explosion() const {
+  std::vector<double> out;
+  for (const auto& rec : records)
+    if (rec.exploded) out.push_back(rec.time_to_explosion);
+  return out;
+}
+
+PathStudyResult run_path_study(const Dataset& dataset,
+                               const PathStudyConfig& config) {
+  const graph::SpaceTimeGraph graph(dataset.trace, config.delta);
+  const auto messages =
+      uniform_message_sample(dataset.trace.num_nodes(), config.messages,
+                             dataset.message_horizon, config.seed);
+
+  PathStudyResult result;
+  result.records = paths::run_explosion_study(graph, messages, config.k);
+  result.quadrants = group_by_quadrant(result.records, dataset.rates);
+  return result;
+}
+
+}  // namespace psn::core

@@ -1,0 +1,43 @@
+// Quadrant classification of messages by source/destination rate class
+// (§5.2): in-in, in-out, out-in, out-out, and grouping of explosion
+// records by quadrant (Fig. 8).
+
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "psn/paths/explosion.hpp"
+#include "psn/trace/trace_stats.hpp"
+
+namespace psn::core {
+
+enum class Quadrant : std::size_t {
+  in_in = 0,
+  in_out = 1,
+  out_in = 2,
+  out_out = 3,
+};
+
+[[nodiscard]] const char* quadrant_name(Quadrant q) noexcept;
+
+/// Classifies a (source, destination) pair under a rate classification.
+[[nodiscard]] Quadrant classify_pair(trace::NodeId source,
+                                     trace::NodeId destination,
+                                     const trace::RateClassification& rc);
+
+/// Explosion records grouped by quadrant.
+struct QuadrantRecords {
+  std::array<std::vector<paths::ExplosionRecord>, 4> by_quadrant;
+
+  [[nodiscard]] const std::vector<paths::ExplosionRecord>& of(
+      Quadrant q) const noexcept {
+    return by_quadrant[static_cast<std::size_t>(q)];
+  }
+};
+
+[[nodiscard]] QuadrantRecords group_by_quadrant(
+    const std::vector<paths::ExplosionRecord>& records,
+    const trace::RateClassification& rc);
+
+}  // namespace psn::core

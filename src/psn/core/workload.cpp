@@ -1,0 +1,53 @@
+#include "psn/core/workload.hpp"
+
+#include <stdexcept>
+
+#include "psn/util/rng.hpp"
+
+namespace psn::core {
+
+std::vector<forward::Message> poisson_workload(trace::NodeId num_nodes,
+                                               const WorkloadConfig& config) {
+  if (num_nodes < 2)
+    throw std::invalid_argument("workload needs at least 2 nodes");
+  util::Rng rng(config.seed);
+
+  std::vector<forward::Message> out;
+  double t = rng.exponential(config.message_rate);
+  std::uint32_t id = 0;
+  while (t < config.horizon) {
+    forward::Message m;
+    m.id = id++;
+    m.created = t;
+    m.source = static_cast<trace::NodeId>(rng.uniform_index(num_nodes));
+    auto dst = static_cast<trace::NodeId>(rng.uniform_index(num_nodes - 1));
+    if (dst >= m.source) ++dst;
+    m.destination = dst;
+    out.push_back(m);
+    t += rng.exponential(config.message_rate);
+  }
+  return out;
+}
+
+std::vector<paths::MessageSpec> uniform_message_sample(trace::NodeId num_nodes,
+                                                       std::size_t count,
+                                                       trace::Seconds horizon,
+                                                       std::uint64_t seed) {
+  if (num_nodes < 2)
+    throw std::invalid_argument("sample needs at least 2 nodes");
+  util::Rng rng(seed);
+  std::vector<paths::MessageSpec> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    paths::MessageSpec m;
+    m.source = static_cast<trace::NodeId>(rng.uniform_index(num_nodes));
+    auto dst = static_cast<trace::NodeId>(rng.uniform_index(num_nodes - 1));
+    if (dst >= m.source) ++dst;
+    m.destination = dst;
+    m.t_start = rng.uniform(0.0, horizon);
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace psn::core

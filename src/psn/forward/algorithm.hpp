@@ -1,0 +1,77 @@
+// The forwarding-algorithm interface.
+//
+// The trace-driven simulator (simulator.hpp) walks the space-time graph
+// step by step and consults the algorithm on every contact. Algorithms see
+// three kinds of events:
+//
+//  * prepare()          — once per run, with the whole trace: oracles
+//                         (Greedy Total, Dynamic Programming) precompute
+//                         their future knowledge here; online algorithms
+//                         ignore it.
+//  * observe_contact()  — every contact, in trace order, before any
+//                         forwarding decision at that step: online history
+//                         (FRESH, Greedy, Greedy Online, PRoPHET) is built
+//                         from these.
+//  * should_forward()   — the decision: holder is in contact with peer and
+//                         carries a message for dest; true means hand it
+//                         over (move, or copy if replicates() is true).
+//
+// Delivery itself is never delegated: the simulator enforces minimal
+// progress (a holder meeting the destination always delivers).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "psn/graph/space_time_graph.hpp"
+#include "psn/trace/contact_trace.hpp"
+
+namespace psn::forward {
+
+using graph::NodeId;
+using graph::Step;
+
+class ForwardingAlgorithm {
+ public:
+  virtual ~ForwardingAlgorithm() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True if forwarding copies the message (holder retains it); false if
+  /// the message moves.
+  [[nodiscard]] virtual bool replicates() const = 0;
+
+  /// Called once before the run. Default: no oracle knowledge needed.
+  virtual void prepare(const graph::SpaceTimeGraph& graph,
+                       const trace::ContactTrace& trace) {
+    (void)graph;
+    (void)trace;
+  }
+
+  /// Clears online state so the instance can be reused for another run.
+  virtual void reset() {}
+
+  /// Contact observation at step s. `new_contact` is true the first step a
+  /// contact interval is active, so count-based histories count contact
+  /// events rather than steps.
+  virtual void observe_contact(NodeId a, NodeId b, Step s, bool new_contact) {
+    (void)a;
+    (void)b;
+    (void)s;
+    (void)new_contact;
+  }
+
+  /// Decision: should `holder` hand a message for `dest` to `peer`?
+  /// `holder_copies` is the holder's remaining copy budget (used by
+  /// quota-based schemes; 1 for single-copy schemes).
+  [[nodiscard]] virtual bool should_forward(NodeId holder, NodeId peer,
+                                            NodeId dest, Step s,
+                                            std::uint32_t holder_copies) = 0;
+
+  /// Copy budget a message starts with at its source (quota schemes
+  /// override; 1 means pure single-copy, 0 means unbounded replication).
+  [[nodiscard]] virtual std::uint32_t initial_copies() const { return 1; }
+};
+
+}  // namespace psn::forward

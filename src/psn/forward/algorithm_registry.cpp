@@ -1,0 +1,36 @@
+#include "psn/forward/algorithm_registry.hpp"
+
+#include "psn/forward/algorithms/direct.hpp"
+#include "psn/forward/algorithms/epidemic.hpp"
+#include "psn/forward/algorithms/fresh.hpp"
+#include "psn/forward/algorithms/greedy.hpp"
+#include "psn/forward/algorithms/greedy_online.hpp"
+#include "psn/forward/algorithms/greedy_total.hpp"
+#include "psn/forward/algorithms/min_expected_delay.hpp"
+#include "psn/forward/algorithms/prophet.hpp"
+#include "psn/forward/algorithms/randomized.hpp"
+#include "psn/forward/algorithms/spray_and_wait.hpp"
+
+namespace psn::forward {
+
+std::vector<std::unique_ptr<ForwardingAlgorithm>> make_paper_algorithms() {
+  std::vector<std::unique_ptr<ForwardingAlgorithm>> out;
+  out.push_back(std::make_unique<EpidemicForwarding>());
+  out.push_back(std::make_unique<FreshForwarding>());
+  out.push_back(std::make_unique<GreedyForwarding>());
+  out.push_back(std::make_unique<GreedyTotalForwarding>());
+  out.push_back(std::make_unique<GreedyOnlineForwarding>());
+  out.push_back(std::make_unique<MinExpectedDelayForwarding>());
+  return out;
+}
+
+std::vector<std::unique_ptr<ForwardingAlgorithm>> make_extended_algorithms() {
+  auto out = make_paper_algorithms();
+  out.push_back(std::make_unique<DirectDelivery>());
+  out.push_back(std::make_unique<RandomizedForwarding>());
+  out.push_back(std::make_unique<SprayAndWaitForwarding>());
+  out.push_back(std::make_unique<ProphetForwarding>());
+  return out;
+}
+
+}  // namespace psn::forward

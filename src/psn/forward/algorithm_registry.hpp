@@ -1,0 +1,23 @@
+// Construction of the algorithm suites used by benches and examples.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "psn/forward/algorithm.hpp"
+
+namespace psn::forward {
+
+/// The six algorithms the paper evaluates (§6.1), in its order:
+/// Epidemic, FRESH, Greedy, Greedy Total, Greedy Online, Dynamic
+/// Programming.
+[[nodiscard]] std::vector<std::unique_ptr<ForwardingAlgorithm>>
+make_paper_algorithms();
+
+/// The paper suite plus the related-work extensions: Direct, Random,
+/// Spray+Wait, PRoPHET.
+[[nodiscard]] std::vector<std::unique_ptr<ForwardingAlgorithm>>
+make_extended_algorithms();
+
+}  // namespace psn::forward

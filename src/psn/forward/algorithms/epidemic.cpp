@@ -1,0 +1,6 @@
+#include "psn/forward/algorithms/epidemic.hpp"
+
+// Epidemic is header-only in behaviour; this translation unit anchors the
+// vtable.
+
+namespace psn::forward {}  // namespace psn::forward

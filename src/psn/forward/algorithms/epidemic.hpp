@@ -1,0 +1,24 @@
+// Epidemic forwarding (Vahdat & Becker): flood every message to every
+// encountered node. Finds the optimal path whenever one exists, so it upper
+// bounds both success rate and delay for every other algorithm (§4, §6.1).
+
+#pragma once
+
+#include "psn/forward/algorithm.hpp"
+
+namespace psn::forward {
+
+class EpidemicForwarding final : public ForwardingAlgorithm {
+ public:
+  [[nodiscard]] std::string name() const override { return "Epidemic"; }
+  [[nodiscard]] bool replicates() const override { return true; }
+  /// 0 = unbounded replication: enables the simulator's flooding fast path.
+  [[nodiscard]] std::uint32_t initial_copies() const override { return 0; }
+
+  [[nodiscard]] bool should_forward(NodeId, NodeId, NodeId, Step,
+                                    std::uint32_t) override {
+    return true;
+  }
+};
+
+}  // namespace psn::forward

@@ -1,0 +1,29 @@
+#include "psn/forward/algorithms/fresh.hpp"
+
+namespace psn::forward {
+
+void FreshForwarding::prepare(const graph::SpaceTimeGraph& graph,
+                              const trace::ContactTrace& /*trace*/) {
+  n_ = graph.num_nodes();
+  reset();
+}
+
+void FreshForwarding::reset() {
+  last_met_.assign(static_cast<std::size_t>(n_) * n_, -1);
+}
+
+void FreshForwarding::observe_contact(NodeId a, NodeId b, Step s,
+                                      bool /*new_contact*/) {
+  last_met_[static_cast<std::size_t>(a) * n_ + b] = s;
+  last_met_[static_cast<std::size_t>(b) * n_ + a] = s;
+}
+
+bool FreshForwarding::should_forward(NodeId holder, NodeId peer, NodeId dest,
+                                     Step /*s*/, std::uint32_t /*copies*/) {
+  const auto peer_met = last_met_[static_cast<std::size_t>(peer) * n_ + dest];
+  const auto holder_met =
+      last_met_[static_cast<std::size_t>(holder) * n_ + dest];
+  return peer_met > holder_met;
+}
+
+}  // namespace psn::forward

@@ -1,0 +1,32 @@
+// Greedy (paper §6.1): forward to a peer that has contacted the destination
+// more times since the start of the simulation than the holder has.
+// Destination-aware, complete (online) contact-count history — contrast
+// with FRESH, which uses only the most recent encounter.
+
+#pragma once
+
+#include <vector>
+
+#include "psn/forward/algorithm.hpp"
+
+namespace psn::forward {
+
+class GreedyForwarding final : public ForwardingAlgorithm {
+ public:
+  [[nodiscard]] std::string name() const override { return "Greedy"; }
+  [[nodiscard]] bool replicates() const override { return false; }
+
+  void prepare(const graph::SpaceTimeGraph& graph,
+               const trace::ContactTrace& trace) override;
+  void reset() override;
+  void observe_contact(NodeId a, NodeId b, Step s, bool new_contact) override;
+  [[nodiscard]] bool should_forward(NodeId holder, NodeId peer, NodeId dest,
+                                    Step s, std::uint32_t copies) override;
+
+ private:
+  /// met_count_[x * n + y]: contacts between x and y so far.
+  std::vector<std::uint32_t> met_count_;
+  NodeId n_ = 0;
+};
+
+}  // namespace psn::forward

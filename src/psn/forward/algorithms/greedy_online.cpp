@@ -1,0 +1,26 @@
+#include "psn/forward/algorithms/greedy_online.hpp"
+
+namespace psn::forward {
+
+void GreedyOnlineForwarding::prepare(const graph::SpaceTimeGraph& graph,
+                                     const trace::ContactTrace& /*trace*/) {
+  n_ = graph.num_nodes();
+  reset();
+}
+
+void GreedyOnlineForwarding::reset() { contacts_so_far_.assign(n_, 0); }
+
+void GreedyOnlineForwarding::observe_contact(NodeId a, NodeId b, Step /*s*/,
+                                             bool new_contact) {
+  if (!new_contact) return;
+  ++contacts_so_far_[a];
+  ++contacts_so_far_[b];
+}
+
+bool GreedyOnlineForwarding::should_forward(NodeId holder, NodeId peer,
+                                            NodeId /*dest*/, Step /*s*/,
+                                            std::uint32_t /*copies*/) {
+  return contacts_so_far_[peer] > contacts_so_far_[holder];
+}
+
+}  // namespace psn::forward

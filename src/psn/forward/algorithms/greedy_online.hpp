@@ -1,0 +1,31 @@
+// Greedy Online (paper §6.1): forward to a peer that has had more total
+// contacts since the start of the simulation than the holder. Destination
+// unaware, online (past knowledge only) — the practical counterpart of
+// Greedy Total.
+
+#pragma once
+
+#include <vector>
+
+#include "psn/forward/algorithm.hpp"
+
+namespace psn::forward {
+
+class GreedyOnlineForwarding final : public ForwardingAlgorithm {
+ public:
+  [[nodiscard]] std::string name() const override { return "Greedy Online"; }
+  [[nodiscard]] bool replicates() const override { return false; }
+
+  void prepare(const graph::SpaceTimeGraph& graph,
+               const trace::ContactTrace& trace) override;
+  void reset() override;
+  void observe_contact(NodeId a, NodeId b, Step s, bool new_contact) override;
+  [[nodiscard]] bool should_forward(NodeId holder, NodeId peer, NodeId dest,
+                                    Step s, std::uint32_t copies) override;
+
+ private:
+  std::vector<std::uint32_t> contacts_so_far_;
+  NodeId n_ = 0;
+};
+
+}  // namespace psn::forward

@@ -1,0 +1,16 @@
+#include "psn/forward/algorithms/greedy_total.hpp"
+
+namespace psn::forward {
+
+void GreedyTotalForwarding::prepare(const graph::SpaceTimeGraph& /*graph*/,
+                                    const trace::ContactTrace& trace) {
+  total_contacts_ = trace.contact_counts();
+}
+
+bool GreedyTotalForwarding::should_forward(NodeId holder, NodeId peer,
+                                           NodeId /*dest*/, Step /*s*/,
+                                           std::uint32_t /*copies*/) {
+  return total_contacts_[peer] > total_contacts_[holder];
+}
+
+}  // namespace psn::forward

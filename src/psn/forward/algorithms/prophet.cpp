@@ -1,0 +1,55 @@
+#include "psn/forward/algorithms/prophet.hpp"
+
+#include <cmath>
+
+namespace psn::forward {
+
+void ProphetForwarding::prepare(const graph::SpaceTimeGraph& graph,
+                                const trace::ContactTrace& /*trace*/) {
+  n_ = graph.num_nodes();
+  reset();
+}
+
+void ProphetForwarding::reset() {
+  p_.assign(static_cast<std::size_t>(n_) * n_, 0.0);
+  last_aged_.assign(n_, 0);
+}
+
+void ProphetForwarding::age(NodeId x, Step now) {
+  const Step last = last_aged_[x];
+  if (now <= last) return;
+  const auto units = (now - last) / params_.aging_unit;
+  if (units == 0) return;
+  const double factor = std::pow(params_.gamma, static_cast<double>(units));
+  double* row = p_.data() + static_cast<std::size_t>(x) * n_;
+  for (NodeId y = 0; y < n_; ++y) row[y] *= factor;
+  last_aged_[x] = last + units * params_.aging_unit;
+}
+
+void ProphetForwarding::observe_contact(NodeId a, NodeId b, Step s,
+                                        bool new_contact) {
+  if (!new_contact) return;
+  age(a, s);
+  age(b, s);
+  double* row_a = p_.data() + static_cast<std::size_t>(a) * n_;
+  double* row_b = p_.data() + static_cast<std::size_t>(b) * n_;
+  row_a[b] += (1.0 - row_a[b]) * params_.p_init;
+  row_b[a] += (1.0 - row_b[a]) * params_.p_init;
+  // Transitivity through the encountered peer.
+  for (NodeId c = 0; c < n_; ++c) {
+    if (c == a || c == b) continue;
+    row_a[c] = std::max(row_a[c], row_a[b] * row_b[c] * params_.beta);
+    row_b[c] = std::max(row_b[c], row_b[a] * row_a[c] * params_.beta);
+  }
+}
+
+bool ProphetForwarding::should_forward(NodeId holder, NodeId peer,
+                                       NodeId dest, Step s,
+                                       std::uint32_t /*copies*/) {
+  age(holder, s);
+  age(peer, s);
+  return p_[static_cast<std::size_t>(peer) * n_ + dest] >
+         p_[static_cast<std::size_t>(holder) * n_ + dest];
+}
+
+}  // namespace psn::forward

@@ -1,0 +1,51 @@
+// PRoPHET (Lindgren, Doria & Schelen, cited as [12]): probabilistic routing
+// using delivery predictabilities. Each node maintains P(x, y) in [0, 1]:
+//  * on an encounter: P(a,b) <- P(a,b) + (1 - P(a,b)) * P_init;
+//  * aging: P <- P * gamma^(elapsed steps);
+//  * transitivity: P(a,c) <- max(P(a,c), P(a,b) * P(b,c) * beta).
+// A message is copied to a peer whose predictability for the destination
+// exceeds the holder's.
+
+#pragma once
+
+#include <vector>
+
+#include "psn/forward/algorithm.hpp"
+
+namespace psn::forward {
+
+struct ProphetParams {
+  double p_init = 0.75;
+  double beta = 0.25;
+  double gamma = 0.98;       ///< per aging unit.
+  Step aging_unit = 6;       ///< steps per aging application (~1 min at 10 s).
+};
+
+class ProphetForwarding final : public ForwardingAlgorithm {
+ public:
+  explicit ProphetForwarding(ProphetParams params = {}) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "PRoPHET"; }
+  [[nodiscard]] bool replicates() const override { return true; }
+
+  void prepare(const graph::SpaceTimeGraph& graph,
+               const trace::ContactTrace& trace) override;
+  void reset() override;
+  void observe_contact(NodeId a, NodeId b, Step s, bool new_contact) override;
+  [[nodiscard]] bool should_forward(NodeId holder, NodeId peer, NodeId dest,
+                                    Step s, std::uint32_t copies) override;
+
+  [[nodiscard]] double predictability(NodeId from, NodeId to) const noexcept {
+    return p_[static_cast<std::size_t>(from) * n_ + to];
+  }
+
+ private:
+  void age(NodeId x, Step now);
+
+  ProphetParams params_;
+  std::vector<double> p_;
+  std::vector<Step> last_aged_;
+  NodeId n_ = 0;
+};
+
+}  // namespace psn::forward

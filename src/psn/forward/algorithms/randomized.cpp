@@ -1,0 +1,5 @@
+#include "psn/forward/algorithms/randomized.hpp"
+
+// Anchor for the vtable.
+
+namespace psn::forward {}  // namespace psn::forward

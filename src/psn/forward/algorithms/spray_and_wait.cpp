@@ -1,0 +1,5 @@
+#include "psn/forward/algorithms/spray_and_wait.hpp"
+
+// Anchor for the vtable.
+
+namespace psn::forward {}  // namespace psn::forward

@@ -1,0 +1,49 @@
+// Messages and per-message simulation outcomes.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "psn/graph/space_time_graph.hpp"
+
+namespace psn::forward {
+
+using graph::NodeId;
+using graph::Seconds;
+using graph::Step;
+
+/// A unicast message (sigma, delta, t1) as in §4.
+struct Message {
+  std::uint32_t id = 0;
+  NodeId source = 0;
+  NodeId destination = 0;
+  Seconds created = 0.0;
+};
+
+/// What happened to one message under one forwarding algorithm.
+struct MessageOutcome {
+  bool delivered = false;
+  Seconds delay = 0.0;      ///< delivery time - creation time; if delivered.
+  std::uint16_t hops = 0;   ///< hop count of the delivering copy.
+};
+
+/// A batch result: outcome[i] corresponds to messages[i].
+struct SimulationResult {
+  std::vector<MessageOutcome> outcomes;
+  /// Total message transmissions (relays, copies, and final deliveries)
+  /// performed during the run — the forwarding *cost* the paper's §7
+  /// leaves open; our cost-extension benches report it per algorithm.
+  std::uint64_t transmissions = 0;
+
+  [[nodiscard]] std::size_t delivered_count() const noexcept;
+  [[nodiscard]] double success_rate() const noexcept;
+  /// Mean delay over delivered messages (the paper's D); 0 if none.
+  [[nodiscard]] double average_delay() const noexcept;
+  /// Delays of delivered messages, for distribution plots (Fig. 10).
+  [[nodiscard]] std::vector<double> delivered_delays() const;
+  /// Transmissions per generated message; the cost metric.
+  [[nodiscard]] double transmissions_per_message() const noexcept;
+};
+
+}  // namespace psn::forward

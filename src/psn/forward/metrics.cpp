@@ -1,0 +1,95 @@
+#include "psn/forward/metrics.hpp"
+
+#include <stdexcept>
+
+namespace psn::forward {
+
+Performance aggregate_performance(const std::string& algorithm,
+                                  std::span<const Run> runs) {
+  Performance perf;
+  perf.algorithm = algorithm;
+  double delay_sum = 0.0;
+  for (const Run& run : runs) {
+    perf.messages += run.result.outcomes.size();
+    for (const auto& o : run.result.outcomes) {
+      if (o.delivered) {
+        ++perf.delivered;
+        delay_sum += o.delay;
+      }
+    }
+  }
+  if (perf.messages > 0)
+    perf.success_rate = static_cast<double>(perf.delivered) /
+                        static_cast<double>(perf.messages);
+  if (perf.delivered > 0)
+    perf.average_delay = delay_sum / static_cast<double>(perf.delivered);
+  return perf;
+}
+
+std::vector<double> pooled_delays(std::span<const Run> runs) {
+  std::vector<double> out;
+  for (const Run& run : runs)
+    for (const auto& o : run.result.outcomes)
+      if (o.delivered) out.push_back(o.delay);
+  return out;
+}
+
+const char* pair_type_label(std::size_t index) noexcept {
+  switch (index) {
+    case 0:
+      return "in-in";
+    case 1:
+      return "in-out";
+    case 2:
+      return "out-in";
+    case 3:
+      return "out-out";
+    default:
+      return "?";
+  }
+}
+
+std::size_t pair_type_of(const Message& message,
+                         const trace::RateClassification& rc) {
+  const bool src_in = rc.is_in(message.source);
+  const bool dst_in = rc.is_in(message.destination);
+  if (src_in && dst_in) return 0;
+  if (src_in && !dst_in) return 1;
+  if (!src_in && dst_in) return 2;
+  return 3;
+}
+
+PairTypePerformance split_by_pair_type(const std::string& algorithm,
+                                       std::span<const Run> runs,
+                                       const trace::RateClassification& rc) {
+  PairTypePerformance out;
+  double delay_sum[4] = {0, 0, 0, 0};
+  for (std::size_t t = 0; t < 4; ++t) out.per_type[t].algorithm = algorithm;
+
+  for (const Run& run : runs) {
+    if (run.messages.size() != run.result.outcomes.size())
+      throw std::invalid_argument(
+          "split_by_pair_type: run messages/outcomes size mismatch");
+    for (std::size_t i = 0; i < run.messages.size(); ++i) {
+      const std::size_t t = pair_type_of(run.messages[i], rc);
+      auto& perf = out.per_type[t];
+      ++perf.messages;
+      const auto& o = run.result.outcomes[i];
+      if (o.delivered) {
+        ++perf.delivered;
+        delay_sum[t] += o.delay;
+      }
+    }
+  }
+  for (std::size_t t = 0; t < 4; ++t) {
+    auto& perf = out.per_type[t];
+    if (perf.messages > 0)
+      perf.success_rate = static_cast<double>(perf.delivered) /
+                          static_cast<double>(perf.messages);
+    if (perf.delivered > 0)
+      perf.average_delay = delay_sum[t] / static_cast<double>(perf.delivered);
+  }
+  return out;
+}
+
+}  // namespace psn::forward

@@ -1,0 +1,55 @@
+// Forwarding performance metrics: success rate S, average delay D (§4),
+// per-run aggregation (the paper averages over 10 runs), and the pair-type
+// breakdown of Fig. 13.
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "psn/forward/message.hpp"
+#include "psn/trace/trace_stats.hpp"
+
+namespace psn::forward {
+
+/// One simulation run: the workload and what happened to it.
+struct Run {
+  std::vector<Message> messages;
+  SimulationResult result;
+};
+
+/// Aggregated S and D over one or more runs (messages pooled, matching the
+/// paper's averaging over 10 simulation runs).
+struct Performance {
+  std::string algorithm;
+  double success_rate = 0.0;
+  double average_delay = 0.0;
+  std::size_t messages = 0;
+  std::size_t delivered = 0;
+};
+
+[[nodiscard]] Performance aggregate_performance(const std::string& algorithm,
+                                                std::span<const Run> runs);
+
+/// Delays of all delivered messages pooled across runs (Fig. 10's CDFs).
+[[nodiscard]] std::vector<double> pooled_delays(std::span<const Run> runs);
+
+/// Fig. 13: metrics broken down by source/destination rate class.
+/// Indexed: 0 = in-in, 1 = in-out, 2 = out-in, 3 = out-out.
+struct PairTypePerformance {
+  Performance per_type[4];
+};
+
+[[nodiscard]] const char* pair_type_label(std::size_t index) noexcept;
+
+/// Pair-type index of a message under a rate classification.
+[[nodiscard]] std::size_t pair_type_of(const Message& message,
+                                       const trace::RateClassification& rc);
+
+/// Splits pooled run results by pair type.
+[[nodiscard]] PairTypePerformance split_by_pair_type(
+    const std::string& algorithm, std::span<const Run> runs,
+    const trace::RateClassification& rc);
+
+}  // namespace psn::forward

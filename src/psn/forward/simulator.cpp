@@ -1,0 +1,230 @@
+#include "psn/forward/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "psn/graph/components.hpp"
+#include "psn/util/bitset128.hpp"
+#include "psn/util/rng.hpp"
+
+namespace psn::forward {
+
+namespace {
+
+struct MsgState {
+  util::Bitset128 holders;
+  std::vector<std::uint16_t> hops;    ///< per holding node.
+  std::vector<std::uint32_t> copies;  ///< per holding node (quota schemes).
+  bool active = false;
+  bool delivered = false;
+};
+
+}  // namespace
+
+SimulationResult simulate(ForwardingAlgorithm& algorithm,
+                          const graph::SpaceTimeGraph& graph,
+                          const trace::ContactTrace& trace,
+                          const std::vector<Message>& messages,
+                          const SimulatorConfig& config) {
+  const NodeId n = graph.num_nodes();
+  for (const Message& m : messages) {
+    if (m.source >= n || m.destination >= n)
+      throw std::invalid_argument("simulate: message endpoint out of range");
+    if (m.source == m.destination)
+      throw std::invalid_argument("simulate: source equals destination");
+  }
+
+  algorithm.reset();
+  algorithm.prepare(graph, trace);
+
+  util::Rng rng(config.seed);
+
+  // Messages sorted by creation time for activation.
+  std::vector<std::uint32_t> order(messages.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t lhs, std::uint32_t rhs) {
+              return messages[lhs].created < messages[rhs].created;
+            });
+  std::size_t next_activation = 0;
+
+  SimulationResult result;
+  result.outcomes.assign(messages.size(), {});
+  std::vector<MsgState> state(messages.size());
+
+  // The flooding fast path tracks only holder sets; the generic path also
+  // keeps per-node message lists.
+  const bool flooding = algorithm.replicates() &&
+                        algorithm.initial_copies() == 0;
+  std::vector<std::vector<std::uint32_t>> at_node(n);
+  std::vector<std::uint32_t> active_msgs;  // ids of active, undelivered.
+
+  const std::uint32_t quota = algorithm.initial_copies();
+  const bool quota_scheme = quota > 1;
+
+  const auto deliver = [&](std::uint32_t id, graph::Step s,
+                           std::uint16_t hops) {
+    auto& st = state[id];
+    st.delivered = true;
+    auto& outcome = result.outcomes[id];
+    outcome.delivered = true;
+    outcome.delay = graph.step_end(s) - messages[id].created;
+    outcome.hops = hops;
+    ++result.transmissions;  // the final hop to the destination.
+  };
+
+  std::vector<graph::StepEdge> edges;
+  for (graph::Step s = 0; s < graph.num_steps(); ++s) {
+    // Activate messages created during this step.
+    while (next_activation < order.size()) {
+      const std::uint32_t id = order[next_activation];
+      if (graph.step_of(messages[id].created) > s) break;
+      auto& st = state[id];
+      st.active = true;
+      st.holders = util::Bitset128::single(messages[id].source);
+      st.hops.assign(n, 0);
+      if (quota_scheme) {
+        st.copies.assign(n, 0);
+        st.copies[messages[id].source] = quota;
+      }
+      if (!flooding) at_node[messages[id].source].push_back(id);
+      active_msgs.push_back(id);
+      ++next_activation;
+    }
+
+    const auto step_edges = graph.edges(s);
+    if (step_edges.empty()) continue;
+
+    // History observation, in deterministic trace order.
+    for (const graph::StepEdge& e : step_edges) {
+      const bool new_contact = s == 0 || !graph.in_contact(s - 1, e.a, e.b);
+      algorithm.observe_contact(e.a, e.b, s, new_contact);
+    }
+
+    if (flooding) {
+      // Epidemic closure: every member of a contact component ends the step
+      // holding everything any member held; delivery happens if the
+      // destination is in the component.
+      const auto labels = graph::components_at(graph, s);
+      // Component masks for components that actually have edges.
+      std::vector<util::Bitset128> masks;
+      {
+        std::vector<int> mask_of(n, -1);
+        for (const graph::StepEdge& e : step_edges) {
+          const NodeId label = labels[e.a];
+          if (mask_of[label] < 0) {
+            mask_of[label] = static_cast<int>(masks.size());
+            masks.emplace_back();
+          }
+        }
+        for (NodeId v = 0; v < n; ++v) {
+          const int idx = mask_of[labels[v]];
+          if (idx >= 0) masks[static_cast<std::size_t>(idx)].set(v);
+        }
+      }
+      for (const std::uint32_t id : active_msgs) {
+        auto& st = state[id];
+        if (st.delivered) continue;
+        const NodeId dest = messages[id].destination;
+        for (const auto& mask : masks) {
+          if ((st.holders & mask).empty()) continue;
+          if (mask.test(dest)) {
+            // Copies made inside the component before reaching the
+            // destination are part of the flood's cost too.
+            result.transmissions +=
+                mask.count() - (st.holders & mask).count() - 1;
+            deliver(id, s, 0);
+            break;
+          }
+          const unsigned before = st.holders.count();
+          st.holders = st.holders | mask;
+          result.transmissions += st.holders.count() - before;
+        }
+      }
+    } else {
+      // Generic path: relay across edges to a fixpoint so forwarding
+      // chains can cross several contacts within one step.
+      edges.assign(step_edges.begin(), step_edges.end());
+      rng.shuffle(edges);
+
+      const auto relay = [&](NodeId x, NodeId y) -> bool {
+        bool changed = false;
+        auto& list = at_node[x];
+        for (std::size_t i = 0; i < list.size();) {
+          const std::uint32_t id = list[i];
+          auto& st = state[id];
+          // Lazily drop stale entries (delivered or moved away).
+          if (st.delivered || !st.holders.test(x)) {
+            list[i] = list.back();
+            list.pop_back();
+            continue;
+          }
+          const NodeId dest = messages[id].destination;
+          if (y == dest) {
+            deliver(id, s, static_cast<std::uint16_t>(st.hops[x] + 1));
+            changed = true;
+            list[i] = list.back();
+            list.pop_back();
+            continue;
+          }
+          if (!st.holders.test(y) &&
+              algorithm.should_forward(x, y, dest, s,
+                                       quota_scheme ? st.copies[x] : 1)) {
+            if (quota_scheme) {
+              // Binary spray: hand over half the remaining budget; the
+              // holder keeps a copy while it has budget.
+              if (st.copies[x] > 1) {
+                const std::uint32_t give = st.copies[x] / 2;
+                st.copies[x] -= give;
+                st.copies[y] = give;
+                st.holders.set(y);
+                st.hops[y] = static_cast<std::uint16_t>(st.hops[x] + 1);
+                at_node[y].push_back(id);
+                ++result.transmissions;
+                changed = true;
+              }
+            } else if (algorithm.replicates()) {
+              st.holders.set(y);
+              st.hops[y] = static_cast<std::uint16_t>(st.hops[x] + 1);
+              at_node[y].push_back(id);
+              ++result.transmissions;
+              changed = true;
+            } else {
+              st.holders.reset(x);
+              st.holders.set(y);
+              st.hops[y] = static_cast<std::uint16_t>(st.hops[x] + 1);
+              at_node[y].push_back(id);
+              ++result.transmissions;
+              changed = true;
+              list[i] = list.back();
+              list.pop_back();
+              continue;
+            }
+          }
+          ++i;
+        }
+        return changed;
+      };
+
+      for (std::uint32_t pass = 0; pass < config.max_relay_passes; ++pass) {
+        bool changed = false;
+        for (const graph::StepEdge& e : edges) {
+          if (relay(e.a, e.b)) changed = true;
+          if (relay(e.b, e.a)) changed = true;
+        }
+        if (!changed) break;
+      }
+    }
+
+    // Compact the active list occasionally.
+    if ((s & 63) == 0) {
+      std::erase_if(active_msgs, [&](std::uint32_t id) {
+        return state[id].delivered;
+      });
+    }
+  }
+
+  return result;
+}
+
+}  // namespace psn::forward

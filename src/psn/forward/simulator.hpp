@@ -1,0 +1,41 @@
+// Trace-driven forwarding simulator (paper §6.1).
+//
+// The simulator replays a space-time graph step by step. Within one step
+// it relays to a fixpoint: a forwarding chain can cross several contact
+// edges in one step (the zero-weight closure of §4.1), which is what makes
+// Epidemic achieve exactly the optimal delivery time T(sigma, delta, t1).
+//
+// Modeling choices mirror the paper: infinite buffers (copies are held to
+// the end of the run), zero transmission time, symmetric contacts, and
+// minimal progress (delivery to an encountered destination is automatic
+// and not delegated to the algorithm).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "psn/forward/algorithm.hpp"
+#include "psn/forward/message.hpp"
+
+namespace psn::forward {
+
+struct SimulatorConfig {
+  /// Maximum relay passes within one step (a safety bound on the fixpoint
+  /// loop; chains longer than this are truncated).
+  std::uint32_t max_relay_passes = 128;
+  /// Seed for the per-step shuffle of edge processing order, which breaks
+  /// ties among simultaneous forwarding opportunities.
+  std::uint64_t seed = 1;
+};
+
+/// Runs `algorithm` over the graph for the given messages.
+/// `trace` is handed to the algorithm's prepare() for oracle knowledge.
+/// The algorithm's reset() is called before the run.
+[[nodiscard]] SimulationResult simulate(ForwardingAlgorithm& algorithm,
+                                        const graph::SpaceTimeGraph& graph,
+                                        const trace::ContactTrace& trace,
+                                        const std::vector<Message>& messages,
+                                        const SimulatorConfig& config = {});
+
+}  // namespace psn::forward

@@ -1,0 +1,53 @@
+#include "psn/graph/components.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace psn::graph {
+
+UnionFind::UnionFind(NodeId n) : parent_(n), rank_(n, 0) {
+  for (NodeId i = 0; i < n; ++i) parent_[i] = i;
+}
+
+NodeId UnionFind::find(NodeId x) noexcept {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(NodeId x, NodeId y) noexcept {
+  NodeId rx = find(x);
+  NodeId ry = find(y);
+  if (rx == ry) return false;
+  if (rank_[rx] < rank_[ry]) std::swap(rx, ry);
+  parent_[ry] = rx;
+  if (rank_[rx] == rank_[ry]) ++rank_[rx];
+  return true;
+}
+
+std::vector<NodeId> components_at(const SpaceTimeGraph& graph, Step s) {
+  UnionFind uf(graph.num_nodes());
+  for (const StepEdge& e : graph.edges(s)) uf.unite(e.a, e.b);
+  // Canonicalize: label = smallest node id in the component.
+  std::vector<NodeId> labels(graph.num_nodes());
+  std::vector<NodeId> smallest(graph.num_nodes(), graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const NodeId root = uf.find(v);
+    smallest[root] = std::min(smallest[root], v);
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v)
+    labels[v] = smallest[uf.find(v)];
+  return labels;
+}
+
+std::vector<std::pair<NodeId, NodeId>> component_sizes_at(
+    const SpaceTimeGraph& graph, Step s) {
+  const auto labels = components_at(graph, s);
+  std::map<NodeId, NodeId> sizes;
+  for (const NodeId label : labels) ++sizes[label];
+  return {sizes.begin(), sizes.end()};
+}
+
+}  // namespace psn::graph

@@ -1,0 +1,40 @@
+// Per-step connected components of the contact graph.
+//
+// Within one step, contact edges have weight zero, so a message can reach
+// every node in its connected component "for free". The reachability sweep
+// and the forwarding simulator's within-step relaying both reduce to
+// component computations.
+
+#pragma once
+
+#include <vector>
+
+#include "psn/graph/space_time_graph.hpp"
+
+namespace psn::graph {
+
+/// Union-find over node ids; small, index-based, path-halving.
+class UnionFind {
+ public:
+  explicit UnionFind(NodeId n);
+
+  [[nodiscard]] NodeId find(NodeId x) noexcept;
+  /// Returns true if the two sets were distinct (and are now merged).
+  bool unite(NodeId x, NodeId y) noexcept;
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::uint8_t> rank_;
+};
+
+/// Component labels of every node during step s of the graph. Isolated
+/// nodes get singleton labels; labels are canonical (smallest member id).
+[[nodiscard]] std::vector<NodeId> components_at(const SpaceTimeGraph& graph,
+                                                Step s);
+
+/// Sizes of the components at step s, keyed by canonical label, returned as
+/// (label, size) pairs sorted by label.
+[[nodiscard]] std::vector<std::pair<NodeId, NodeId>> component_sizes_at(
+    const SpaceTimeGraph& graph, Step s);
+
+}  // namespace psn::graph

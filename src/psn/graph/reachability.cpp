@@ -1,0 +1,49 @@
+#include "psn/graph/reachability.hpp"
+
+#include "psn/graph/components.hpp"
+
+namespace psn::graph {
+
+ReachabilityResult earliest_delivery(const SpaceTimeGraph& graph,
+                                     NodeId source, Seconds t_start) {
+  ReachabilityResult out;
+  out.arrival_step.assign(graph.num_nodes(), std::nullopt);
+
+  const Step start = graph.step_of(t_start);
+  out.arrival_step[source] = start;
+
+  std::vector<bool> reached(graph.num_nodes(), false);
+  reached[source] = true;
+  NodeId reached_count = 1;
+
+  for (Step s = start; s < graph.num_steps(); ++s) {
+    if (reached_count == graph.num_nodes()) break;
+    if (graph.edges(s).empty()) continue;
+    const auto labels = components_at(graph, s);
+
+    // A component is "hot" if it contains a reached node; then every member
+    // becomes reached this step (zero-weight closure).
+    std::vector<bool> hot(graph.num_nodes(), false);
+    for (NodeId v = 0; v < graph.num_nodes(); ++v)
+      if (reached[v]) hot[labels[v]] = true;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      if (!reached[v] && hot[labels[v]]) {
+        reached[v] = true;
+        out.arrival_step[v] = s;
+        ++reached_count;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<Seconds> optimal_duration(const SpaceTimeGraph& graph,
+                                        NodeId source, NodeId dest,
+                                        Seconds t_start) {
+  const auto result = earliest_delivery(graph, source, t_start);
+  const auto& arrival = result.arrival_step[dest];
+  if (!arrival.has_value()) return std::nullopt;
+  return graph.step_end(*arrival) - t_start;
+}
+
+}  // namespace psn::graph

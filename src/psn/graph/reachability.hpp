@@ -1,0 +1,41 @@
+// Temporal reachability: earliest ("foremost") delivery sweep.
+//
+// Floods a message from (source, start step) forward in time: at each step,
+// every node sharing a component with an already-reached node becomes
+// reached. This is exactly what epidemic forwarding achieves, so the
+// per-node arrival steps equal the optimal path durations T(sigma, ., t1)
+// of §4 — computed in O(steps * edges) without path enumeration. Used for
+// fast T1 queries and as an independent cross-check of the enumerator.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "psn/graph/space_time_graph.hpp"
+
+namespace psn::graph {
+
+/// Result of a reachability sweep.
+struct ReachabilityResult {
+  /// arrival_step[v]: the step whose end is v's earliest possible delivery
+  /// time, or no value if v is never reached before the trace ends.
+  std::vector<std::optional<Step>> arrival_step;
+
+  [[nodiscard]] bool reached(NodeId v) const noexcept {
+    return arrival_step[v].has_value();
+  }
+};
+
+/// Sweeps from (source, the step containing t_start). The source itself is
+/// marked reached at the starting step.
+[[nodiscard]] ReachabilityResult earliest_delivery(
+    const SpaceTimeGraph& graph, NodeId source, Seconds t_start);
+
+/// Optimal path duration T(source, dest, t_start): time from t_start to the
+/// end of dest's arrival step, or no value if unreachable. Matches
+/// T_Epidemic of §4.
+[[nodiscard]] std::optional<Seconds> optimal_duration(
+    const SpaceTimeGraph& graph, NodeId source, NodeId dest, Seconds t_start);
+
+}  // namespace psn::graph

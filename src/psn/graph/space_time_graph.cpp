@@ -1,0 +1,101 @@
+#include "psn/graph/space_time_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace psn::graph {
+
+SpaceTimeGraph::SpaceTimeGraph(const trace::ContactTrace& trace,
+                               Seconds delta)
+    : num_nodes_(trace.num_nodes()), delta_(delta) {
+  if (delta <= 0.0)
+    throw std::invalid_argument("SpaceTimeGraph: delta must be positive");
+  if (num_nodes_ > kMaxNodes)
+    throw std::invalid_argument(
+        "SpaceTimeGraph: more than 128 nodes is not supported (path "
+        "membership sets are 128-bit)");
+
+  const auto steps = static_cast<Step>(
+      std::max(1.0, std::ceil(trace.t_max() / delta_)));
+  step_edges_.assign(steps, {});
+
+  // Spread every contact over the steps it overlaps.
+  for (const trace::Contact& c : trace.contacts()) {
+    auto first = static_cast<Step>(std::floor(c.start / delta_));
+    // A zero-length contact still occupies the step containing its start.
+    const Seconds effective_end = std::max(c.end, c.start);
+    auto last = static_cast<Step>(std::floor(effective_end / delta_));
+    // A contact that ends exactly on a step boundary is not active in the
+    // following step.
+    if (effective_end > c.start &&
+        std::floor(effective_end / delta_) * delta_ == effective_end)
+      last = last == 0 ? 0 : last - 1;
+    first = std::min<Step>(first, steps - 1);
+    last = std::min<Step>(last, steps - 1);
+    for (Step s = first; s <= last; ++s)
+      step_edges_[s].push_back({c.a, c.b});
+  }
+
+  // Deduplicate edges per step (several contacts between the same pair can
+  // overlap one step) and build CSR adjacency.
+  offsets_.assign(steps, {});
+  neighbors_.assign(steps, {});
+  for (Step s = 0; s < steps; ++s) {
+    auto& edges = step_edges_[s];
+    std::sort(edges.begin(), edges.end(),
+              [](const StepEdge& lhs, const StepEdge& rhs) {
+                return lhs.a != rhs.a ? lhs.a < rhs.a : lhs.b < rhs.b;
+              });
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const StepEdge& lhs, const StepEdge& rhs) {
+                              return lhs.a == rhs.a && lhs.b == rhs.b;
+                            }),
+                edges.end());
+
+    auto& offsets = offsets_[s];
+    auto& neigh = neighbors_[s];
+    std::vector<std::uint32_t> degree(num_nodes_, 0);
+    for (const StepEdge& e : edges) {
+      ++degree[e.a];
+      ++degree[e.b];
+    }
+    offsets.assign(num_nodes_ + 1, 0);
+    for (NodeId v = 0; v < num_nodes_; ++v)
+      offsets[v + 1] = offsets[v] + degree[v];
+    neigh.assign(offsets[num_nodes_], 0);
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const StepEdge& e : edges) {
+      neigh[cursor[e.a]++] = e.b;
+      neigh[cursor[e.b]++] = e.a;
+    }
+    for (NodeId v = 0; v < num_nodes_; ++v)
+      std::sort(neigh.begin() + offsets[v], neigh.begin() + offsets[v + 1]);
+  }
+}
+
+Step SpaceTimeGraph::step_of(Seconds t) const noexcept {
+  if (t <= 0.0) return 0;
+  const auto s = static_cast<Step>(std::floor(t / delta_));
+  return std::min<Step>(s, num_steps() - 1);
+}
+
+std::span<const NodeId> SpaceTimeGraph::neighbors(Step s,
+                                                  NodeId node) const noexcept {
+  const auto& offsets = offsets_[s];
+  const auto& neigh = neighbors_[s];
+  return {neigh.data() + offsets[node], neigh.data() + offsets[node + 1]};
+}
+
+bool SpaceTimeGraph::in_contact(Step s, NodeId a, NodeId b) const noexcept {
+  const auto nb = neighbors(s, a);
+  return std::binary_search(nb.begin(), nb.end(), b);
+}
+
+std::size_t SpaceTimeGraph::total_edges() const noexcept {
+  std::size_t total = 0;
+  for (const auto& edges : step_edges_) total += edges.size();
+  return total;
+}
+
+}  // namespace psn::graph

@@ -1,0 +1,91 @@
+// Space-time graph (paper §4.1, after Merugu et al. [13]).
+//
+// Time is discretized into steps of width delta (paper: 10 s). Vertices are
+// (node, step) pairs. Two edge kinds:
+//  * weight-0 contact edges between (x_i, T) and (x_j, T) iff x_i and x_j
+//    were in contact at any time during step T;
+//  * weight-1 temporal edges from (x_i, T) to (x_i, T + delta).
+//
+// A message can therefore traverse several contact edges "instantaneously"
+// within one step (zero-weight closure) and waits cost one step each.
+//
+// SpaceTimeGraph precomputes, per step, the active contact edges and the
+// per-node adjacency lists that the enumerator, the reachability sweep and
+// the forwarding simulator all share.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "psn/trace/contact_trace.hpp"
+
+namespace psn::graph {
+
+using trace::NodeId;
+using trace::Seconds;
+
+/// Discrete step index.
+using Step = std::uint32_t;
+
+/// An undirected contact edge active during one step.
+struct StepEdge {
+  NodeId a = 0;
+  NodeId b = 0;
+};
+
+/// Maximum node population supported (path membership sets are 128-bit).
+inline constexpr NodeId kMaxNodes = 128;
+
+class SpaceTimeGraph {
+ public:
+  /// Discretizes the trace with the given step width (default 10 s as in
+  /// the paper). Throws if the trace has more than kMaxNodes nodes.
+  explicit SpaceTimeGraph(const trace::ContactTrace& trace,
+                          Seconds delta = 10.0);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] Seconds delta() const noexcept { return delta_; }
+  [[nodiscard]] Step num_steps() const noexcept {
+    return static_cast<Step>(step_edges_.size());
+  }
+
+  /// The step whose interval [step*delta, (step+1)*delta) contains t,
+  /// clamped into range.
+  [[nodiscard]] Step step_of(Seconds t) const noexcept;
+
+  /// End of step s; we report path arrival times at step ends since the
+  /// enabling contact may occur anywhere inside the step (error <= delta,
+  /// as the paper notes).
+  [[nodiscard]] Seconds step_end(Step s) const noexcept {
+    return (static_cast<Seconds>(s) + 1.0) * delta_;
+  }
+
+  /// Contact edges active during step s.
+  [[nodiscard]] std::span<const StepEdge> edges(Step s) const noexcept {
+    return step_edges_[s];
+  }
+
+  /// Neighbors of `node` during step s (nodes it shares a contact edge
+  /// with). Sorted ascending.
+  [[nodiscard]] std::span<const NodeId> neighbors(Step s,
+                                                  NodeId node) const noexcept;
+
+  /// True if a and b share a contact edge during step s.
+  [[nodiscard]] bool in_contact(Step s, NodeId a, NodeId b) const noexcept;
+
+  /// Total number of (step, edge) pairs; a size measure for benchmarks.
+  [[nodiscard]] std::size_t total_edges() const noexcept;
+
+ private:
+  NodeId num_nodes_ = 0;
+  Seconds delta_ = 10.0;
+  std::vector<std::vector<StepEdge>> step_edges_;
+  /// adjacency_[s] is a CSR view: offsets_[s][v]..offsets_[s][v+1] indexes
+  /// into neighbors_[s].
+  std::vector<std::vector<std::uint32_t>> offsets_;
+  std::vector<std::vector<NodeId>> neighbors_;
+};
+
+}  // namespace psn::graph

@@ -1,0 +1,131 @@
+#include "psn/model/heterogeneous_mc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "psn/util/rng.hpp"
+
+namespace psn::model {
+
+const char* pair_type_name(PairType t) noexcept {
+  switch (t) {
+    case PairType::in_in:
+      return "in-in";
+    case PairType::in_out:
+      return "in-out";
+    case PairType::out_in:
+      return "out-in";
+    case PairType::out_out:
+      return "out-out";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Samples an index proportionally to `weights` given their prefix sums.
+std::size_t sample_weighted(const std::vector<double>& prefix,
+                            util::Rng& rng) {
+  const double u = rng.uniform() * prefix.back();
+  const auto it = std::upper_bound(prefix.begin(), prefix.end(), u);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - prefix.begin(),
+                               static_cast<std::ptrdiff_t>(prefix.size()) - 1));
+}
+
+}  // namespace
+
+std::vector<McMessageResult> run_heterogeneous_mc(
+    const HeterogeneousMcConfig& config) {
+  if (config.population < 2)
+    throw std::invalid_argument("heterogeneous MC needs population >= 2");
+
+  util::Rng rng(config.seed);
+  const std::size_t n = config.population;
+
+  // Per-node activity rates, Uniform(0, max_rate) as in Fig. 7.
+  std::vector<double> rate(n);
+  for (auto& r : rate) r = rng.uniform(0.0, config.max_rate);
+
+  std::vector<double> prefix(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += rate[i];
+    prefix[i] = acc;
+  }
+  const double rate_sum = acc;
+
+  // in/out split at the median rate (§5.2).
+  std::vector<double> sorted = rate;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = n % 2 == 1
+                            ? sorted[n / 2]
+                            : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  const auto is_in = [&](std::size_t v) { return rate[v] > median; };
+
+  // Aggregate opportunity rate: each node i initiates at rate[i].
+  const double total_rate = rate_sum;
+
+  constexpr double count_cap = 1e15;  // doubles stay exact well past 2000.
+
+  std::vector<McMessageResult> results;
+  results.reserve(config.messages);
+
+  for (std::size_t msg = 0; msg < config.messages; ++msg) {
+    const auto src = static_cast<std::size_t>(rng.uniform_index(n));
+    auto dst = static_cast<std::size_t>(rng.uniform_index(n - 1));
+    if (dst >= src) ++dst;
+
+    McMessageResult res;
+    res.type = is_in(src) ? (is_in(dst) ? PairType::in_in : PairType::in_out)
+                          : (is_in(dst) ? PairType::out_in
+                                        : PairType::out_out);
+
+    std::vector<double> s(n, 0.0);
+    s[src] = 1.0;
+    double arrivals = 0.0;
+
+    double t = 0.0;
+    while (t < config.t_end) {
+      t += rng.exponential(total_rate);
+      if (t >= config.t_end) break;
+      // Initiator fires proportionally to its rate; the peer is drawn
+      // proportionally to rate as well (mass-action pairing, the analogue
+      // of the pairwise w_i * w_j trace generator).
+      const std::size_t i = sample_weighted(prefix, rng);
+      std::size_t j = sample_weighted(prefix, rng);
+      if (i == j) continue;  // self-draw: no contact.
+
+      if (i == dst || j == dst) {
+        // Delivery: the peer hands everything it holds to the destination
+        // and retains nothing (minimal progress + first preference).
+        const std::size_t peer = i == dst ? j : i;
+        if (s[peer] > 0.0) {
+          arrivals += s[peer];
+          s[peer] = 0.0;
+          if (!res.delivered) {
+            res.delivered = true;
+            res.t1 = t;
+          }
+          if (arrivals >= static_cast<double>(config.k)) {
+            res.exploded = true;
+            res.te = t - res.t1;
+            break;
+          }
+        }
+        continue;
+      }
+
+      // Symmetric exchange: both ends learn the other's paths.
+      const double si = s[i];
+      const double sj = s[j];
+      s[i] = std::min(si + sj, count_cap);
+      s[j] = std::min(sj + si, count_cap);
+    }
+    results.push_back(res);
+  }
+  return results;
+}
+
+}  // namespace psn::model

@@ -1,0 +1,54 @@
+// Monte-Carlo exploration of the inhomogeneous model (§5.2).
+//
+// The paper argues (without a closed form) that when per-node contact rates
+// lambda_i differ, a message held by a node with rate lambda_i triggers a
+// "subset path explosion" at rate lambda_i among nodes at least that fast,
+// and that the source/destination rates therefore control T1 and TE:
+//
+//   in-in   -> T1 small, TE small      in-out  -> T1 small, TE large
+//   out-in  -> T1 large, TE small      out-out -> T1 large, TE large
+//
+// This module simulates the jump process with heterogeneous rates (node i
+// initiates contacts at rate lambda_i toward peers chosen proportionally to
+// their rates, the mass-action analogue of the trace generators) and
+// reports per-quadrant T1 / TE statistics so benches can check the
+// hypothesis ordering against both the model and the trace experiments.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace psn::model {
+
+struct HeterogeneousMcConfig {
+  std::size_t population = 100;
+  /// Per-node rates are drawn Uniform(0, max_rate), matching Fig. 7.
+  double max_rate = 0.1;
+  double t_end = 7200.0;
+  /// Explosion threshold: number of path arrivals at the destination that
+  /// defines T_k (paper: 2000).
+  std::uint64_t k = 2000;
+  std::size_t messages = 200;  ///< messages simulated per run.
+  std::uint64_t seed = 1;
+};
+
+/// Quadrants of §5.2 by source/destination rate class.
+enum class PairType { in_in, in_out, out_in, out_out };
+
+[[nodiscard]] const char* pair_type_name(PairType t) noexcept;
+
+/// Result for one simulated message.
+struct McMessageResult {
+  PairType type = PairType::in_in;
+  bool delivered = false;
+  bool exploded = false;
+  double t1 = 0.0;  ///< first-arrival time.
+  double te = 0.0;  ///< T_k - T_1 when exploded.
+};
+
+/// Simulates `messages` random messages; deterministic in `config.seed`.
+[[nodiscard]] std::vector<McMessageResult> run_heterogeneous_mc(
+    const HeterogeneousMcConfig& config);
+
+}  // namespace psn::model

@@ -1,0 +1,138 @@
+#include "psn/model/homogeneous_model.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "psn/model/ode.hpp"
+
+namespace psn::model {
+
+namespace {
+
+/// phi_x(0) under the standard initial condition: u_0 = 1 - 1/N, u_1 = 1/N.
+double phi0(double x, std::size_t population) {
+  const double inv_n = 1.0 / static_cast<double>(population);
+  return (1.0 - inv_n) + inv_n * x;
+}
+
+}  // namespace
+
+double HomogeneousModel::phi(double x, double t) const {
+  const double p0 = phi0(x, population);
+  const double elt = std::exp(lambda * t);
+  if (p0 > 0.0 && p0 < 1.0) return p0 / (p0 + (1.0 - p0) * elt);  // Eq. (2)
+  if (p0 > 1.0) {
+    const double denom = p0 - (p0 - 1.0) * elt;
+    if (denom <= 0.0)
+      throw std::domain_error("phi blew up: t beyond TC(x)");
+    return p0 / denom;  // Eq. (3)
+  }
+  return 1.0;  // x = 1: phi is identically 1 (mass conservation).
+}
+
+double HomogeneousModel::mean_paths(double t) const {
+  const double mean0 = 1.0 / static_cast<double>(population);
+  return mean0 * std::exp(lambda * t);  // Eq. (4)
+}
+
+double HomogeneousModel::variance_paths(double t) const {
+  // S(0) ~ Bernoulli(1/N): E[S(0)] = 1/N, V[S(0)] = (1/N)(1 - 1/N).
+  const double mean0 = 1.0 / static_cast<double>(population);
+  const double var0 = mean0 * (1.0 - mean0);
+  const double elt = std::exp(lambda * t);
+  return var0 * elt + mean0 * (elt * elt - elt);
+}
+
+double HomogeneousModel::blowup_time(double x) const {
+  const double p0 = phi0(x, population);
+  if (p0 <= 1.0)
+    throw std::domain_error("blowup_time requires phi_x(0) > 1 (x > 1)");
+  return std::log(p0 / (p0 - 1.0)) / lambda;
+}
+
+double HomogeneousModel::density_closed_form(std::size_t k, double t) const {
+  const double inv_n = 1.0 / static_cast<double>(population);
+  const double a = 1.0 - inv_n;
+  const double b = inv_n;
+  const double elt = std::exp(lambda * t);
+  const double c = a + (1.0 - a) * elt;
+  const double d = b * (1.0 - elt);
+  if (k == 0) return a / c;
+  const double ratio = -d / c;  // in [0, 1) for t >= 0.
+  return (b - a * d / c) / c * std::pow(ratio, static_cast<double>(k - 1));
+}
+
+double HomogeneousModel::expected_first_path_time() const {
+  return std::log(static_cast<double>(population)) / lambda;
+}
+
+std::vector<OdeTrajectoryPoint> integrate_density_ode(
+    const HomogeneousModel& model, std::size_t truncate_k, double t_end,
+    double dt, std::size_t samples) {
+  if (truncate_k < 1) throw std::invalid_argument("truncate_k must be >= 1");
+  const std::size_t dim = truncate_k + 2;  // u_0..u_K plus sink.
+  const std::size_t sink = truncate_k + 1;
+  const double lambda = model.lambda;
+
+  // du_k/dt = lambda (sum_{i=0..k} u_i u_{k-i} - u_k). Mass flowing to
+  // states beyond K accumulates in the sink so total mass stays 1: for a
+  // transition (i, j) -> i+j with i+j > K, the rate lambda u_i u_j moves
+  // density from state j into the sink. Contacts from sink-state nodes
+  // (i = sink) also push any state j > 0 into the sink.
+  const OdeRhs rhs = [truncate_k, sink, lambda](
+                         double /*t*/, const std::vector<double>& u,
+                         std::vector<double>& du) {
+    std::fill(du.begin(), du.end(), 0.0);
+    // Transitions (i > 0, j >= 0): j -> i + j at rate lambda u_i u_j.
+    for (std::size_t i = 1; i <= truncate_k; ++i) {
+      if (u[i] == 0.0) continue;
+      for (std::size_t j = 0; j <= truncate_k; ++j) {
+        const double rate = lambda * u[i] * u[j];
+        if (rate == 0.0) continue;
+        const std::size_t target = i + j <= truncate_k ? i + j : sink;
+        du[j] -= rate;
+        du[target] += rate;
+      }
+    }
+    // Sink-state carriers (S > K) infect every finite state j into the sink.
+    if (u[sink] > 0.0) {
+      for (std::size_t j = 0; j <= truncate_k; ++j) {
+        const double rate = lambda * u[sink] * u[j];
+        du[j] -= rate;
+        du[sink] += rate;
+      }
+    }
+  };
+
+  std::vector<double> u0(dim, 0.0);
+  const double inv_n = 1.0 / static_cast<double>(model.population);
+  u0[0] = 1.0 - inv_n;
+  u0[1] = inv_n;
+
+  std::vector<OdeTrajectoryPoint> trajectory;
+  const double sample_every =
+      samples > 1 ? t_end / static_cast<double>(samples - 1) : t_end;
+  double next_sample = 0.0;
+
+  const auto observe = [&](double t, const std::vector<double>& u) {
+    if (t + 1e-12 < next_sample) return;
+    OdeTrajectoryPoint p;
+    p.t = t;
+    p.u = u;
+    p.mean = 0.0;
+    for (std::size_t k = 1; k <= truncate_k; ++k)
+      p.mean += static_cast<double>(k) * u[k];
+    trajectory.push_back(std::move(p));
+    next_sample += sample_every;
+  };
+
+  (void)rk4_integrate_observed(rhs, std::move(u0), 0.0, t_end, dt, observe);
+  return trajectory;
+}
+
+double total_mass(const std::vector<double>& u) {
+  return std::accumulate(u.begin(), u.end(), 0.0);
+}
+
+}  // namespace psn::model

@@ -1,0 +1,76 @@
+// The paper's homogeneous analytic model (§5.1).
+//
+// Nodes contact uniformly-chosen peers at rate lambda. S_n(t) = number of
+// paths from the source that have reached node n by time t; on a contact
+// (n -> m) the state transition is S_m += S_n. The density process
+// u_k(t) = (1/N) #{ nodes with S = k } converges (Kurtz) to the ODE system
+//
+//   du_k/dt = lambda ( sum_{i=0..k} u_i u_{k-i}  -  u_k ),
+//
+// whose generating function phi_x(t) = sum_k x^k u_k(t) solves
+// dphi/dt = lambda (phi^2 - phi), giving closed forms (Eqs. 2 and 3):
+//
+//   0 < phi_x(0) < 1:  phi_x(t) = phi_x(0) / (phi_x(0) + (1-phi_x(0)) e^{lt})
+//   phi_x(0) > 1:      phi_x(t) = phi_x(0) / (phi_x(0) - (phi_x(0)-1) e^{lt})
+//
+// with mean E[S(t)] = E[S(0)] e^{lambda t} (Eq. 4) and variance
+// V[S(t)] = V[S(0)] e^{lt} + E[S(0)] (e^{2lt} - e^{lt}).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace psn::model {
+
+/// Parameters and initial condition of the homogeneous model.
+struct HomogeneousModel {
+  double lambda = 0.05;  ///< per-node contact rate (contacts/second).
+  std::size_t population = 100;  ///< N, used for H = ln N / lambda.
+
+  /// Closed-form generating function phi_x(t), with the standard initial
+  /// condition u_0(0) = 1 - 1/N, u_1(0) = 1/N (one source holding the only
+  /// path). Valid for x >= 0, x != 1 cases handled per the paper.
+  [[nodiscard]] double phi(double x, double t) const;
+
+  /// E[S(t)] = E[S(0)] e^{lambda t} with E[S(0)] = 1/N.
+  [[nodiscard]] double mean_paths(double t) const;
+
+  /// V[S(t)] per §5.1.3 with S(0) Bernoulli(1/N).
+  [[nodiscard]] double variance_paths(double t) const;
+
+  /// Blow-up time TC(x) of phi_x for x > 1 (the light-tail loss time).
+  [[nodiscard]] double blowup_time(double x) const;
+
+  /// Closed-form density u_k(t): the coefficient of x^k in phi_x(t).
+  /// With the standard initial condition phi_x(0) = a + b x is affine
+  /// (a = 1 - 1/N, b = 1/N), so phi_x(t) is a ratio of affine functions of
+  /// x and its power series has geometric coefficients:
+  ///   phi = (a + b x) / (C + D x),  C = a + (1-a) e^{lt}, D = b (1-e^{lt})
+  ///   u_0 = a / C,   u_k = (b - a D / C) (-D/C)^{k-1} / C   for k >= 1.
+  /// This is the analytic counterpart of integrate_density_ode and is
+  /// cross-validated against it in tests.
+  [[nodiscard]] double density_closed_form(std::size_t k, double t) const;
+
+  /// Expected time for the first path: H = ln N / lambda (§5.2).
+  [[nodiscard]] double expected_first_path_time() const;
+};
+
+/// A trajectory sample of the truncated ODE system.
+struct OdeTrajectoryPoint {
+  double t = 0.0;
+  std::vector<double> u;  ///< u[0..K], plus u[K+1] = sink mass.
+  double mean = 0.0;      ///< sum k * u_k over the tracked range.
+};
+
+/// Integrates the K-truncated ODE system with a sink state for k > K.
+/// The initial condition is u_0(0) = 1 - 1/N, u_1(0) = 1/N.
+/// `samples` trajectory points are recorded at evenly spaced times.
+[[nodiscard]] std::vector<OdeTrajectoryPoint> integrate_density_ode(
+    const HomogeneousModel& model, std::size_t truncate_k, double t_end,
+    double dt, std::size_t samples);
+
+/// Conservation check: sum of u including the sink; should stay 1.
+[[nodiscard]] double total_mass(const std::vector<double>& u);
+
+}  // namespace psn::model

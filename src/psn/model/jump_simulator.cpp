@@ -1,0 +1,83 @@
+#include "psn/model/jump_simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "psn/util/rng.hpp"
+
+namespace psn::model {
+
+std::vector<JumpSample> run_jump_simulation(const JumpSimConfig& config) {
+  if (config.population < 2)
+    throw std::invalid_argument("jump sim needs population >= 2");
+
+  util::Rng rng(config.seed);
+  const std::size_t n = config.population;
+
+  std::vector<std::uint64_t> s(n, 0);
+  s[0] = 1;  // the source holds the single initial path.
+
+  // Aggregate contact process: opportunities arrive at rate N * lambda;
+  // each picks an ordered pair (initiator, uniform other peer).
+  const double total_rate = static_cast<double>(n) * config.lambda;
+
+  std::vector<JumpSample> out;
+  const double sample_every =
+      config.samples > 1 ? config.t_end / static_cast<double>(config.samples - 1)
+                         : config.t_end;
+  double next_sample = 0.0;
+
+  const auto take_sample = [&](double t) {
+    JumpSample sample;
+    sample.t = t;
+    double sum = 0.0;
+    for (const auto v : s) sum += static_cast<double>(v);
+    sample.mean_paths = sum / static_cast<double>(n);
+    double var = 0.0;
+    for (const auto v : s) {
+      const double d = static_cast<double>(v) - sample.mean_paths;
+      var += d * d;
+    }
+    sample.variance_paths = var / static_cast<double>(n);
+    sample.low_density.assign(11, 0.0);
+    for (const auto v : s)
+      if (v <= 10) sample.low_density[static_cast<std::size_t>(v)] += 1.0;
+    for (auto& d : sample.low_density) d /= static_cast<double>(n);
+    out.push_back(std::move(sample));
+  };
+
+  double t = 0.0;
+  while (t < config.t_end) {
+    const double dt = rng.exponential(total_rate);
+    const double t_next = t + dt;
+    while (next_sample <= std::min(t_next, config.t_end)) {
+      take_sample(next_sample);
+      next_sample += sample_every;
+      if (out.size() >= config.samples) break;
+    }
+    if (t_next >= config.t_end) break;
+    t = t_next;
+
+    // Pick initiator and a distinct uniform peer.
+    const auto initiator = static_cast<std::size_t>(rng.uniform_index(n));
+    auto peer = static_cast<std::size_t>(rng.uniform_index(n - 1));
+    if (peer >= initiator) ++peer;
+
+    // Transition: S_peer += S_initiator (paths flow with the contact),
+    // saturating at count_cap.
+    const std::uint64_t gain = s[initiator];
+    if (gain > 0) {
+      if (s[peer] > config.count_cap - gain)
+        s[peer] = config.count_cap;
+      else
+        s[peer] += gain;
+    }
+  }
+  while (out.size() < config.samples) {
+    take_sample(next_sample);
+    next_sample += sample_every;
+  }
+  return out;
+}
+
+}  // namespace psn::model

@@ -1,0 +1,58 @@
+#include "psn/model/ode.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psn::model {
+
+namespace {
+
+void rk4_step(const OdeRhs& f, double t, double h, std::vector<double>& y,
+              std::vector<double>& k1, std::vector<double>& k2,
+              std::vector<double>& k3, std::vector<double>& k4,
+              std::vector<double>& tmp) {
+  const std::size_t n = y.size();
+  f(t, y, k1);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * h * k1[i];
+  f(t + 0.5 * h, tmp, k2);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * h * k2[i];
+  f(t + 0.5 * h, tmp, k3);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + h * k3[i];
+  f(t + h, tmp, k4);
+  for (std::size_t i = 0; i < n; ++i)
+    y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+}
+
+}  // namespace
+
+std::vector<double> rk4_integrate_observed(
+    const OdeRhs& f, std::vector<double> y0, double t0, double t1, double dt,
+    const std::function<void(double, const std::vector<double>&)>& observe) {
+  if (dt <= 0.0) throw std::invalid_argument("rk4: dt must be positive");
+  if (t1 < t0) throw std::invalid_argument("rk4: t1 must be >= t0");
+
+  std::vector<double> y = std::move(y0);
+  const std::size_t n = y.size();
+  std::vector<double> k1(n);
+  std::vector<double> k2(n);
+  std::vector<double> k3(n);
+  std::vector<double> k4(n);
+  std::vector<double> tmp(n);
+
+  double t = t0;
+  if (observe) observe(t, y);
+  while (t < t1) {
+    const double h = std::min(dt, t1 - t);
+    rk4_step(f, t, h, y, k1, k2, k3, k4, tmp);
+    t += h;
+    if (observe) observe(t, y);
+  }
+  return y;
+}
+
+std::vector<double> rk4_integrate(const OdeRhs& f, std::vector<double> y0,
+                                  double t0, double t1, double dt) {
+  return rk4_integrate_observed(f, std::move(y0), t0, t1, dt, nullptr);
+}
+
+}  // namespace psn::model

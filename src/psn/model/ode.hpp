@@ -1,0 +1,33 @@
+// A small fixed-step Runge-Kutta 4 integrator for systems of ODEs.
+//
+// The paper's homogeneous model reduces the path-count dynamics to the
+// infinite ODE system du_k/dt = lambda (sum_{i<=k} u_i u_{k-i} - u_k)
+// (Proposition 3); we integrate a K-truncated version of it with a sink
+// state, for which RK4 at modest step sizes is plenty accurate.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace psn::model {
+
+/// dy/dt = f(t, y); f writes the derivative into its third argument (same
+/// size as y), avoiding per-step allocation.
+using OdeRhs = std::function<void(double t, const std::vector<double>& y,
+                                  std::vector<double>& dydt)>;
+
+/// Integrates y' = f(t, y) from t0 to t1 with fixed step dt (the final step
+/// is shortened to land exactly on t1). Returns y(t1).
+[[nodiscard]] std::vector<double> rk4_integrate(const OdeRhs& f,
+                                                std::vector<double> y0,
+                                                double t0, double t1,
+                                                double dt);
+
+/// As rk4_integrate, but also invokes `observe(t, y)` after every step
+/// (and once at t0) so callers can record trajectories.
+[[nodiscard]] std::vector<double> rk4_integrate_observed(
+    const OdeRhs& f, std::vector<double> y0, double t0, double t1, double dt,
+    const std::function<void(double, const std::vector<double>&)>& observe);
+
+}  // namespace psn::model

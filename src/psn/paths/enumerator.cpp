@@ -1,0 +1,381 @@
+#include "psn/paths/enumerator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace psn::paths {
+
+namespace {
+
+// Implementation notes.
+//
+// Loop-free paths visit each node at most once, so a path's hop count is
+// exactly |membership set| - 1 — the membership set alone determines
+// everything the enumerator must decide later (which extensions are
+// loop-free, how many hops, who holds the path). Two stored paths with the
+// same membership set are therefore interchangeable and are pooled: each
+// node maps membership set -> multiplicity, where the multiplicity counts
+// pooled paths (distinct visit orders and distinct time-variants — the
+// same relay repeated on a persistent contact yields formally distinct
+// paths differing only in timestamps; the paper's Fig. 3 algorithm
+// generates and counts them all, and the multiplicities reproduce those
+// counts without materializing each variant).
+//
+// A representative Path object (for Figs. 12/14/15, which need actual node
+// sequences) is kept only when config.record_paths is set; otherwise
+// entries are just a bitset key plus counters, and the whole sweep does no
+// per-path allocation.
+
+struct Entry {
+  Path repr;  ///< representative path; valid() only when recording.
+  std::uint64_t mult = 0;
+  /// Multiplicity already propagated to neighbors during the current step
+  /// (for stored entries) or the current closure round (for new entries).
+  std::uint64_t propagated = 0;
+};
+
+using EntryMap =
+    std::unordered_map<util::Bitset128, Entry, util::Bitset128Hash>;
+
+/// Hops of a pooled entry: |members| - 1 (loop-free invariant).
+std::uint16_t entry_hops(const util::Bitset128& members) noexcept {
+  return static_cast<std::uint16_t>(members.count() - 1);
+}
+
+struct NodeState {
+  EntryMap stored;
+  std::uint64_t stored_mult = 0;  ///< sum of stored multiplicities.
+  std::uint16_t worst_hops = 0;   ///< max hops among stored+fresh entries.
+  EntryMap fresh;                 ///< arrivals during the current step.
+  std::uint64_t fresh_mult = 0;   ///< sum of fresh multiplicities.
+  /// New membership sets this node may still admit during the current
+  /// step. Only k paths survive the end-of-step trim, so admitting far
+  /// more than k per step is pure waste; without this bound the
+  /// zero-weight closure of a dense step can create combinatorially many
+  /// candidate sets.
+  std::uint32_t admission_budget = 0;
+  bool queued = false;  ///< in the closure worklist.
+};
+
+}  // namespace
+
+KPathEnumerator::KPathEnumerator(const graph::SpaceTimeGraph& graph,
+                                 EnumeratorConfig config)
+    : graph_(&graph), config_(config) {
+  if (config_.k == 0)
+    throw std::invalid_argument("KPathEnumerator: k must be positive");
+}
+
+std::optional<Seconds> EnumerationResult::duration_of(std::size_t n) const {
+  if (n == 0) return std::nullopt;
+  std::uint64_t cumulative = 0;
+  for (const Delivery& d : deliveries) {
+    cumulative += d.count;
+    if (cumulative >= n) return d.arrival - t_start;
+  }
+  return std::nullopt;
+}
+
+std::optional<Seconds> EnumerationResult::time_to_explosion(
+    std::size_t k) const {
+  const auto t1 = duration_of(1);
+  const auto tk = duration_of(k);
+  if (!t1 || !tk) return std::nullopt;
+  return *tk - *t1;
+}
+
+EnumerationResult KPathEnumerator::enumerate(NodeId source,
+                                             NodeId destination,
+                                             Seconds t_start) const {
+  const auto& g = *graph_;
+  if (source >= g.num_nodes() || destination >= g.num_nodes())
+    throw std::invalid_argument("enumerate: node id out of range");
+  if (source == destination)
+    throw std::invalid_argument("enumerate: source equals destination");
+
+  EnumerationResult result;
+  result.source = source;
+  result.destination = destination;
+  result.t_start = t_start;
+
+  const Step start = g.step_of(t_start);
+  const std::size_t k = config_.k;
+  const bool recording = config_.record_paths;
+
+  std::vector<NodeState> state(g.num_nodes());
+  {
+    Entry origin;
+    origin.repr = Path::origin(source, start);  // cheap; kept always.
+    origin.mult = 1;
+    state[source].stored.emplace(util::Bitset128::single(source),
+                                 std::move(origin));
+    state[source].stored_mult = 1;
+  }
+
+  std::uint64_t cumulative = 0;
+  std::vector<Delivery> step_deliveries;
+  const auto per_step_admissions = static_cast<std::uint32_t>(
+      std::min<std::size_t>(2 * k, 1u << 20));
+
+  for (Step s = start; s < g.num_steps(); ++s) {
+    if (g.edges(s).empty()) continue;
+    step_deliveries.clear();
+    for (auto& ns : state) ns.admission_budget = per_step_admissions;
+
+    // Nodes in direct contact with the destination this step.
+    std::vector<bool> meets_dst(g.num_nodes(), false);
+    util::Bitset128 dst_mask;
+    for (const NodeId v : g.neighbors(s, destination)) {
+      meets_dst[v] = true;
+      dst_mask.set(v);
+    }
+
+    // Beyond this many recorded deliveries in one step, further paths are
+    // counted but not materialized: only the k shortest ever reach the
+    // caller, and a dense step can exceed k by orders of magnitude.
+    const std::size_t record_cap = 4 * k;
+
+    // Records a delivery whose full path is `prefix` + destination. The
+    // prefix path pointer may be null when not recording.
+    const auto record_delivery = [&](std::uint16_t prefix_hops,
+                                     const Path* prefix,
+                                     std::uint64_t mult) {
+      Delivery d;
+      d.step = s;
+      d.arrival = g.step_end(s);
+      d.hops = static_cast<std::uint16_t>(prefix_hops + 1);
+      d.count = mult;
+      if (recording && prefix != nullptr && prefix->valid() &&
+          step_deliveries.size() < record_cap)
+        d.path = prefix->extend(destination, s);
+      step_deliveries.push_back(std::move(d));
+    };
+
+    std::deque<NodeId> work;
+    const auto enqueue = [&](NodeId v) {
+      if (!state[v].queued) {
+        state[v].queued = true;
+        work.push_back(v);
+      }
+    };
+
+    // Offers `mult` paths with membership `members` (held by a neighbor of
+    // v; representative `repr`, may be null when not recording) to node v:
+    // delivery if v meets the destination, storage in v's fresh set
+    // otherwise.
+    const auto offer = [&](const util::Bitset128& members, const Path* repr,
+                           std::uint64_t mult, NodeId v) {
+      if (members.test(v)) return;  // loop avoidance
+      const std::uint16_t prefix_hops = entry_hops(members);
+      if (v == destination) {
+        record_delivery(prefix_hops, repr, mult);
+        return;
+      }
+      if (meets_dst[v]) {
+        // v would hand the message straight to the destination (minimal
+        // progress) and must not retain it (first preference), so this
+        // arrival becomes a delivery through v.
+        if (recording && repr != nullptr && repr->valid() &&
+            step_deliveries.size() < record_cap) {
+          const Path through = repr->extend(v, s);
+          record_delivery(static_cast<std::uint16_t>(prefix_hops + 1),
+                          &through, mult);
+        } else {
+          record_delivery(static_cast<std::uint16_t>(prefix_hops + 1),
+                          nullptr, mult);
+        }
+        return;
+      }
+      // First preference, network-wide: if the prefix passes through any
+      // node that meets the destination this step, every delivery of a
+      // continuation at a later step is invalid (that node should have
+      // handed the message over now), so the extension must not be stored.
+      // Same-step deliveries of such prefixes are produced by the branches
+      // above.
+      if (!(members & dst_mask).empty()) return;
+      auto& ns = state[v];
+      // Saturation pre-check before touching the hash map: once a node
+      // holds k paths (stored + fresh), only equal-or-shorter candidates
+      // can matter (increments of existing sets or displacements).
+      const auto hops = static_cast<std::uint16_t>(prefix_hops + 1);
+      const bool full = ns.stored_mult + ns.fresh_mult >= k;
+      if (full && hops > ns.worst_hops) return;
+      util::Bitset128 extended = members;
+      extended.set(v);
+      const auto it = ns.fresh.find(extended);
+      if (it != ns.fresh.end()) {
+        it->second.mult += mult;
+        ns.fresh_mult += mult;
+        enqueue(v);
+        return;
+      }
+      // New set at v: admit if v is not saturated or the candidate beats
+      // v's current worst retained hop count (the k-shortest rule; excess
+      // is trimmed at the end-of-step merge), subject to the per-step
+      // admission budget.
+      if (full && hops >= ns.worst_hops) return;
+      if (ns.admission_budget == 0) return;
+      --ns.admission_budget;
+      Entry e;
+      if (recording && repr != nullptr && repr->valid())
+        e.repr = repr->extend(v, s);
+      e.mult = mult;
+      ns.fresh.emplace(extended, std::move(e));
+      ns.fresh_mult += mult;
+      ns.worst_hops = std::max(ns.worst_hops, hops);
+      enqueue(v);
+    };
+
+    // Phase 1: stored paths propagate across this step's contact edges.
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      auto& nu = state[u];
+      if (nu.stored.empty()) continue;
+      const auto neighbors = g.neighbors(s, u);
+      if (neighbors.empty()) continue;
+      if (meets_dst[u]) {
+        // Minimal progress: u hands everything it holds to the destination
+        // and (first preference) retains nothing; no lateral copies.
+        for (const auto& [set, entry] : nu.stored)
+          record_delivery(entry_hops(set), &entry.repr, entry.mult);
+        nu.stored.clear();
+        nu.stored_mult = 0;
+        nu.worst_hops = 0;
+        continue;
+      }
+      for (auto& [set, entry] : nu.stored) {
+        for (const NodeId v : neighbors)
+          offer(set, &entry.repr, entry.mult, v);
+        entry.propagated = entry.mult;
+      }
+    }
+
+    // Phase 2: zero-weight closure — fresh arrivals keep propagating
+    // within the same step until no node gains new multiplicity. The
+    // dequeue budget bounds pathological cascades in very dense steps (a
+    // message relayed through dozens of hops inside one 10 s step is a
+    // discretization artifact, not behaviour worth unbounded work).
+    std::uint64_t dequeue_budget =
+        64ULL * static_cast<std::uint64_t>(g.num_nodes());
+    while (!work.empty() && dequeue_budget-- > 0) {
+      const NodeId u = work.front();
+      work.pop_front();
+      auto& nu = state[u];
+      nu.queued = false;
+      const auto neighbors = g.neighbors(s, u);
+      // offer() only mutates neighbors' fresh maps (v != u always), so
+      // iterating u's own map here is safe; if a longer loop-free route
+      // later feeds multiplicity back into u, u is re-queued and the
+      // `propagated` bookkeeping resumes exactly where it left off.
+      for (auto& [set, entry] : nu.fresh) {
+        if (entry.mult == entry.propagated) continue;
+        const std::uint64_t delta = entry.mult - entry.propagated;
+        entry.propagated = entry.mult;
+        for (const NodeId v : neighbors)
+          offer(set, &entry.repr, delta, v);
+      }
+    }
+    // If the budget ran out, clear the queued flags of abandoned nodes so
+    // the next step's worklist starts clean.
+    for (const NodeId u : work) state[u].queued = false;
+    work.clear();
+
+    // Phase 3: purge first-preference-violating entries, merge fresh
+    // arrivals into storage, and enforce the k bound.
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      auto& nu = state[u];
+      bool dirty = false;
+      // Purge: stored paths passing through a node that met the
+      // destination this step can never yield a valid delivery again.
+      if (!dst_mask.empty() && !nu.stored.empty()) {
+        for (auto it = nu.stored.begin(); it != nu.stored.end();) {
+          if (!(it->first & dst_mask).empty()) {
+            nu.stored_mult -= it->second.mult;
+            it = nu.stored.erase(it);
+            dirty = true;
+          } else {
+            ++it;
+          }
+        }
+      }
+      if (!nu.fresh.empty()) {
+        dirty = true;
+        for (auto& [set, entry] : nu.fresh) {
+          entry.propagated = 0;
+          const auto it = nu.stored.find(set);
+          if (it == nu.stored.end()) {
+            nu.stored_mult += entry.mult;
+            nu.stored.emplace(set, std::move(entry));
+          } else {
+            it->second.mult += entry.mult;
+            nu.stored_mult += entry.mult;
+          }
+        }
+        nu.fresh.clear();
+        nu.fresh_mult = 0;
+      }
+      if (nu.stored_mult > k) {
+        // Keep the k shortest: shed multiplicity from the longest entries.
+        std::vector<EntryMap::iterator> by_hops;
+        by_hops.reserve(nu.stored.size());
+        for (auto it = nu.stored.begin(); it != nu.stored.end(); ++it)
+          by_hops.push_back(it);
+        std::sort(by_hops.begin(), by_hops.end(),
+                  [](const auto& lhs, const auto& rhs) {
+                    return entry_hops(lhs->first) > entry_hops(rhs->first);
+                  });
+        std::uint64_t excess = nu.stored_mult - k;
+        for (auto& it : by_hops) {
+          if (excess == 0) break;
+          const std::uint64_t cut = std::min(excess, it->second.mult);
+          it->second.mult -= cut;
+          excess -= cut;
+          if (it->second.mult == 0) nu.stored.erase(it);
+        }
+        nu.stored_mult = k;
+      }
+      if (dirty) {
+        nu.worst_hops = 0;
+        for (const auto& [set, entry] : nu.stored)
+          nu.worst_hops = std::max(nu.worst_hops, entry_hops(set));
+      }
+    }
+
+    if (!step_deliveries.empty()) {
+      std::sort(step_deliveries.begin(), step_deliveries.end(),
+                [](const Delivery& lhs, const Delivery& rhs) {
+                  return lhs.hops < rhs.hops;
+                });
+      // Record per-path granularity up to the k-th delivery; a dense step
+      // can produce vastly more arrivals in the same instant, which are
+      // pooled into one aggregate record (they share the arrival time, so
+      // T_n for n <= k is unaffected and totals stay exact).
+      std::size_t i = 0;
+      for (; i < step_deliveries.size() && cumulative < k; ++i) {
+        cumulative += step_deliveries[i].count;
+        result.deliveries.push_back(std::move(step_deliveries[i]));
+      }
+      if (i < step_deliveries.size()) {
+        Delivery rest;
+        rest.step = s;
+        rest.arrival = g.step_end(s);
+        rest.hops = step_deliveries[i].hops;
+        rest.count = 0;
+        for (; i < step_deliveries.size(); ++i)
+          rest.count += step_deliveries[i].count;
+        cumulative += rest.count;
+        result.deliveries.push_back(std::move(rest));
+      }
+      if (cumulative >= k) {
+        result.reached_k = true;
+        break;
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace psn::paths

@@ -1,0 +1,101 @@
+// k-shortest valid path enumeration (paper Fig. 3).
+//
+// For a message (sigma, delta_node, t1) the enumerator sweeps the space-time
+// graph step by step, maintaining at every node the (up to) k shortest
+// (fewest-hop) valid paths from the source. At each step every stored path
+// is extended through the step's zero-weight contact closure; extensions
+// reaching the destination are emitted as deliveries in arrival order.
+//
+// Validity rules enforced (paper §4.1):
+//  * loop avoidance — a path never revisits a node (O(1) via Bitset128);
+//  * minimal progress — whenever a node holding paths is in direct contact
+//    with the destination, every path it holds is delivered;
+//  * first preference — a delivered path is dropped from its holder, so no
+//    later continuation can reach the destination after the holder already
+//    met it.
+//
+// Truncation: as in the paper, each node stores at most k paths by hop
+// count; a candidate whose hop count does not beat the node's current k-th
+// shortest is rejected (and not extended further within the step).
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "psn/paths/path.hpp"
+
+namespace psn::paths {
+
+struct EnumeratorConfig {
+  /// Per-node storage bound AND the delivery target: enumeration stops at
+  /// the end of the first step where cumulative deliveries reach k.
+  /// Paper: k = 2000.
+  std::size_t k = 2000;
+  /// If false, delivered Path objects are dropped after recording time and
+  /// hop count, saving memory for large sweeps.
+  bool record_paths = true;
+};
+
+/// One path arrival at the destination.
+///
+/// Paths that differ only in waiting times (identical node sequence, the
+/// same transfer repeated while a contact persists) are pooled: `count`
+/// says how many such time-variants arrived together, and `path` is one
+/// representative. The paper's T_n indices count every variant.
+struct Delivery {
+  Seconds arrival = 0.0;  ///< absolute arrival time (end of arrival step).
+  Step step = 0;
+  std::uint16_t hops = 0;
+  std::uint64_t count = 1;  ///< number of pooled time-variants.
+  Path path;  ///< representative path; valid() only if record_paths was set.
+};
+
+/// The enumeration outcome for one message.
+struct EnumerationResult {
+  NodeId source = 0;
+  NodeId destination = 0;
+  Seconds t_start = 0.0;
+  /// Deliveries in arrival order (step ascending; within a step, hops
+  /// ascending). Size <= max(k, deliveries in the final step).
+  std::vector<Delivery> deliveries;
+  /// True if enumeration stopped because k deliveries were reached (rather
+  /// than because the trace window ended).
+  bool reached_k = false;
+
+  [[nodiscard]] bool delivered() const noexcept {
+    return !deliveries.empty();
+  }
+
+  /// Duration of the n-th path (1-based): T_n - t_start of §4.2, or no
+  /// value if fewer than n paths arrived.
+  [[nodiscard]] std::optional<Seconds> duration_of(std::size_t n) const;
+
+  /// Optimal path duration T1 - t_start; no value if undelivered.
+  [[nodiscard]] std::optional<Seconds> optimal_duration() const {
+    return duration_of(1);
+  }
+
+  /// Time to explosion TE = T_k - T_1 (paper: k = 2000); no value unless k
+  /// deliveries arrived.
+  [[nodiscard]] std::optional<Seconds> time_to_explosion(std::size_t k) const;
+};
+
+/// The enumerator. Stateless across calls; safe to reuse for many messages
+/// on the same graph.
+class KPathEnumerator {
+ public:
+  explicit KPathEnumerator(const graph::SpaceTimeGraph& graph,
+                           EnumeratorConfig config = {});
+
+  /// Enumerates valid paths for the message (source, destination, t_start).
+  [[nodiscard]] EnumerationResult enumerate(NodeId source, NodeId destination,
+                                            Seconds t_start) const;
+
+ private:
+  const graph::SpaceTimeGraph* graph_;
+  EnumeratorConfig config_;
+};
+
+}  // namespace psn::paths

@@ -1,0 +1,55 @@
+#include "psn/paths/explosion.hpp"
+
+namespace psn::paths {
+
+ExplosionRecord make_explosion_record(const EnumerationResult& result,
+                                      std::size_t k) {
+  ExplosionRecord rec;
+  rec.source = result.source;
+  rec.destination = result.destination;
+  rec.t_start = result.t_start;
+  rec.delivered = result.delivered();
+
+  if (!rec.delivered) return rec;
+
+  const Seconds t1_abs = result.deliveries.front().arrival;
+  rec.optimal_duration = t1_abs - result.t_start;
+
+  std::uint64_t cumulative = 0;
+  for (const Delivery& d : result.deliveries) {
+    cumulative += d.count;
+    if (rec.growth.empty() || rec.growth.back().offset != d.arrival - t1_abs) {
+      rec.growth.push_back({d.arrival - t1_abs, cumulative});
+    } else {
+      rec.growth.back().cumulative = cumulative;
+    }
+  }
+  rec.total_paths = cumulative;
+
+  const auto te = result.time_to_explosion(k);
+  if (te.has_value() && cumulative >= k) {
+    rec.exploded = true;
+    rec.time_to_explosion = *te;
+  }
+  return rec;
+}
+
+std::vector<ExplosionRecord> run_explosion_study(
+    const graph::SpaceTimeGraph& graph, const std::vector<MessageSpec>& msgs,
+    std::size_t k) {
+  EnumeratorConfig config;
+  config.k = k;
+  config.record_paths = false;
+  const KPathEnumerator enumerator(graph, config);
+
+  std::vector<ExplosionRecord> records;
+  records.reserve(msgs.size());
+  for (const MessageSpec& m : msgs) {
+    const auto result =
+        enumerator.enumerate(m.source, m.destination, m.t_start);
+    records.push_back(make_explosion_record(result, k));
+  }
+  return records;
+}
+
+}  // namespace psn::paths

@@ -1,0 +1,59 @@
+// Hop profiles of near-optimal paths (paper §6.2.2, Figs. 14 and 15).
+//
+// If successful forwarding works by climbing the contact-rate gradient,
+// the nodes along near-optimal paths should increase in contact rate hop by
+// hop. HopProfile aggregates, over the near-optimal paths of many messages,
+// (a) the mean contact rate of the node occupying each hop position with a
+// 99% confidence interval (Fig. 14), and (b) box statistics of the ratio
+// lambda_{h+1} / lambda_h across consecutive hops (Fig. 15).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "psn/paths/enumerator.hpp"
+#include "psn/stats/box_stats.hpp"
+#include "psn/stats/summary.hpp"
+
+namespace psn::paths {
+
+/// Aggregated per-hop statistics.
+struct HopRateProfile {
+  /// mean[h] / ci99[h]: contact rate of the node at hop h (0 = source),
+  /// averaged over all near-optimal paths that have a hop h.
+  std::vector<double> mean;
+  std::vector<double> ci99;
+  std::vector<std::size_t> samples;
+};
+
+/// Per-transition rate-ratio distributions; ratio[h] covers the transition
+/// from hop h to hop h+1 (Fig. 15's "1/0", "2/1", ... boxes). The final
+/// element covers the last relay before the destination ("Dst/Lst").
+struct HopRatioProfile {
+  std::vector<stats::BoxStats> ratio;
+  std::vector<std::size_t> samples;
+};
+
+/// Collects per-hop node contact rates over the recorded paths of an
+/// enumeration result set. `node_rates` are per-node contact rates from the
+/// trace (contacts/second); `max_hops` bounds the profile length.
+class HopProfileCollector {
+ public:
+  HopProfileCollector(std::vector<double> node_rates, std::size_t max_hops);
+
+  /// Adds every recorded delivery path of `result`, weighted by its pooled
+  /// variant count.
+  void add(const EnumerationResult& result);
+
+  [[nodiscard]] HopRateProfile rate_profile() const;
+  [[nodiscard]] HopRatioProfile ratio_profile() const;
+
+ private:
+  std::vector<double> node_rates_;
+  std::size_t max_hops_;
+  std::vector<stats::Accumulator> rate_acc_;
+  std::vector<std::vector<double>> ratio_samples_;
+};
+
+}  // namespace psn::paths

@@ -1,0 +1,54 @@
+#include "psn/stats/box_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace psn::stats {
+
+namespace {
+
+/// Linear-interpolated quantile of a sorted sample (type-7, the common
+/// spreadsheet/NumPy default).
+double sorted_quantile(const std::vector<double>& s, double q) {
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] + (s[hi] - s[lo]) * frac;
+}
+
+}  // namespace
+
+BoxStats box_stats(std::vector<double> sample) {
+  if (sample.empty()) throw std::invalid_argument("box_stats: empty sample");
+  std::sort(sample.begin(), sample.end());
+  BoxStats out;
+  out.n = sample.size();
+  out.q1 = sorted_quantile(sample, 0.25);
+  out.median = sorted_quantile(sample, 0.50);
+  out.q3 = sorted_quantile(sample, 0.75);
+  const double iqr = out.q3 - out.q1;
+  const double lo_fence = out.q1 - 1.5 * iqr;
+  const double hi_fence = out.q3 + 1.5 * iqr;
+  out.whisker_lo = sample.front();
+  out.whisker_hi = sample.back();
+  for (const double x : sample) {
+    if (x >= lo_fence) {
+      out.whisker_lo = x;
+      break;
+    }
+  }
+  for (auto it = sample.rbegin(); it != sample.rend(); ++it) {
+    if (*it <= hi_fence) {
+      out.whisker_hi = *it;
+      break;
+    }
+  }
+  double s = 0.0;
+  for (const double x : sample) s += x;
+  out.mean = s / static_cast<double>(sample.size());
+  return out;
+}
+
+}  // namespace psn::stats

@@ -1,0 +1,24 @@
+// Box-and-whisker summaries (Fig. 15 plots per-hop distributions of rate
+// ratios as box plots: quartiles, median, whiskers).
+
+#pragma once
+
+#include <vector>
+
+namespace psn::stats {
+
+/// Five-number box-plot summary of a sample, plus the mean.
+struct BoxStats {
+  double q1 = 0.0;          ///< 25th percentile.
+  double median = 0.0;      ///< 50th percentile.
+  double q3 = 0.0;          ///< 75th percentile.
+  double whisker_lo = 0.0;  ///< Smallest sample >= q1 - 1.5 * IQR.
+  double whisker_hi = 0.0;  ///< Largest sample <= q3 + 1.5 * IQR.
+  double mean = 0.0;
+  std::size_t n = 0;
+};
+
+/// Computes the summary. Precondition: non-empty sample.
+[[nodiscard]] BoxStats box_stats(std::vector<double> sample);
+
+}  // namespace psn::stats

@@ -1,0 +1,33 @@
+// Fixed-width text tables.
+//
+// Every bench binary prints the rows/series behind one of the paper's
+// figures; TablePrinter keeps that output aligned and diff-friendly.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace psn::stats {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  [[nodiscard]] static std::string fmt(double v, int precision = 2);
+
+  /// Renders the table (header, rule, rows) to the stream.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace psn::stats

@@ -1,0 +1,39 @@
+#include "psn/synth/homogeneous.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "psn/util/rng.hpp"
+
+namespace psn::synth {
+
+trace::ContactTrace generate_homogeneous(const HomogeneousConfig& config) {
+  if (config.num_nodes < 2)
+    throw std::invalid_argument("generator needs at least 2 nodes");
+
+  util::Rng rng(config.seed);
+  const auto n = config.num_nodes;
+
+  // Pairwise view of §5.1.1's per-node opportunity process: with every
+  // unordered pair meeting at rate node_rate / (n - 1), each node sees an
+  // aggregate contact rate of exactly node_rate (a contact counts for both
+  // endpoints), and peers are uniform by symmetry.
+  const double lambda_pair = config.node_rate / static_cast<double>(n - 1);
+
+  std::vector<trace::Contact> contacts;
+  for (trace::NodeId i = 0; i < n; ++i) {
+    for (trace::NodeId j = i + 1; j < n; ++j) {
+      double t = rng.exponential(lambda_pair);
+      while (t < config.t_max) {
+        const double duration =
+            rng.exponential(1.0 / config.mean_contact_duration);
+        contacts.push_back(trace::Contact::make(
+            i, j, t, std::min(t + duration, config.t_max)));
+        t += rng.exponential(lambda_pair);
+      }
+    }
+  }
+  return trace::ContactTrace(std::move(contacts), n, config.t_max);
+}
+
+}  // namespace psn::synth

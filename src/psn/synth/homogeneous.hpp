@@ -1,0 +1,29 @@
+// Homogeneous contact generator: every node contacts uniformly-chosen peers
+// at the same aggregate rate lambda — the exact setting of the paper's
+// analytic model (§5.1: Poisson contacts + homogeneity). Used to validate
+// the ODE predictions (exponential path growth, E[S(t)] = e^{lambda t})
+// against trace-driven enumeration.
+
+#pragma once
+
+#include <cstdint>
+
+#include "psn/trace/contact_trace.hpp"
+
+namespace psn::synth {
+
+struct HomogeneousConfig {
+  trace::NodeId num_nodes = 100;
+  trace::Seconds t_max = 3.0 * 3600.0;
+  /// Aggregate contact-opportunity rate per node (lambda of §5.1).
+  double node_rate = 0.05;
+  /// Contact duration; short relative to 1/rate so contacts are "events".
+  double mean_contact_duration = 5.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a homogeneous trace; deterministic in `config.seed`.
+[[nodiscard]] trace::ContactTrace generate_homogeneous(
+    const HomogeneousConfig& config);
+
+}  // namespace psn::synth

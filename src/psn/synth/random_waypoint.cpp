@@ -1,0 +1,104 @@
+#include "psn/synth/random_waypoint.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "psn/util/rng.hpp"
+
+namespace psn::synth {
+
+namespace {
+
+struct MobileState {
+  double x = 0.0;
+  double y = 0.0;
+  double target_x = 0.0;
+  double target_y = 0.0;
+  double speed = 0.0;
+  double pause_until = 0.0;
+};
+
+}  // namespace
+
+trace::ContactTrace generate_random_waypoint(
+    const RandomWaypointConfig& config) {
+  if (config.num_nodes < 2)
+    throw std::invalid_argument("RWP needs at least 2 nodes");
+  if (config.sample_interval <= 0.0)
+    throw std::invalid_argument("RWP sample_interval must be positive");
+
+  util::Rng rng(config.seed);
+  const auto n = config.num_nodes;
+  const double side = config.area_side;
+
+  std::vector<MobileState> nodes(n);
+  for (auto& s : nodes) {
+    s.x = rng.uniform(0.0, side);
+    s.y = rng.uniform(0.0, side);
+    s.target_x = rng.uniform(0.0, side);
+    s.target_y = rng.uniform(0.0, side);
+    s.speed = rng.uniform(config.v_min, config.v_max);
+    s.pause_until = 0.0;
+  }
+
+  // contact_open[i][j] (i < j) holds the contact start time, or a negative
+  // sentinel when the pair is not currently in contact.
+  constexpr double not_in_contact = -1.0;
+  std::vector<std::vector<double>> contact_open(
+      n, std::vector<double>(n, not_in_contact));
+  std::vector<trace::Contact> contacts;
+
+  const double range2 = config.radio_range * config.radio_range;
+  const double dt = config.sample_interval;
+
+  for (double t = 0.0; t < config.t_max; t += dt) {
+    // Advance movement.
+    for (auto& s : nodes) {
+      if (t < s.pause_until) continue;
+      const double dx = s.target_x - s.x;
+      const double dy = s.target_y - s.y;
+      const double dist = std::hypot(dx, dy);
+      const double step = s.speed * dt;
+      if (dist <= step) {
+        // Arrived: pause, then pick a fresh waypoint and speed.
+        s.x = s.target_x;
+        s.y = s.target_y;
+        s.pause_until = t + rng.exponential(1.0 / config.pause_mean);
+        s.target_x = rng.uniform(0.0, side);
+        s.target_y = rng.uniform(0.0, side);
+        s.speed = rng.uniform(config.v_min, config.v_max);
+      } else {
+        s.x += dx / dist * step;
+        s.y += dy / dist * step;
+      }
+    }
+
+    // Update pairwise contact intervals.
+    for (trace::NodeId i = 0; i < n; ++i) {
+      for (trace::NodeId j = i + 1; j < n; ++j) {
+        const double dx = nodes[i].x - nodes[j].x;
+        const double dy = nodes[i].y - nodes[j].y;
+        const bool within = dx * dx + dy * dy <= range2;
+        double& open = contact_open[i][j];
+        if (within && open == not_in_contact) {
+          open = t;
+        } else if (!within && open != not_in_contact) {
+          contacts.push_back(trace::Contact::make(i, j, open, t));
+          open = not_in_contact;
+        }
+      }
+    }
+  }
+
+  // Close any contacts still open at the end of the window.
+  for (trace::NodeId i = 0; i < n; ++i)
+    for (trace::NodeId j = i + 1; j < n; ++j)
+      if (contact_open[i][j] != not_in_contact)
+        contacts.push_back(
+            trace::Contact::make(i, j, contact_open[i][j], config.t_max));
+
+  return trace::ContactTrace(std::move(contacts), n, config.t_max);
+}
+
+}  // namespace psn::synth

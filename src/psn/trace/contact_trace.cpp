@@ -1,0 +1,85 @@
+#include "psn/trace/contact_trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace psn::trace {
+
+ContactTrace::ContactTrace(std::vector<Contact> contacts, NodeId num_nodes,
+                           Seconds t_max)
+    : num_nodes_(num_nodes), t_max_(t_max) {
+  if (t_max <= 0.0)
+    throw std::invalid_argument("ContactTrace: t_max must be positive");
+  contacts_.reserve(contacts.size());
+  for (Contact c : contacts) {
+    if (c.a >= num_nodes || c.b >= num_nodes)
+      throw std::invalid_argument("ContactTrace: node id out of range: " +
+                                  c.to_string());
+    if (c.a == c.b)
+      throw std::invalid_argument("ContactTrace: self contact: " +
+                                  c.to_string());
+    // Clip to the observation window; drop contacts fully outside it.
+    if (c.end <= 0.0 || c.start >= t_max) continue;
+    c.start = std::max(c.start, 0.0);
+    c.end = std::min(c.end, t_max);
+    contacts_.push_back(c);
+  }
+  std::sort(contacts_.begin(), contacts_.end(), contact_before);
+}
+
+std::vector<Contact> ContactTrace::contacts_overlapping(Seconds lo,
+                                                        Seconds hi) const {
+  std::vector<Contact> out;
+  for (const Contact& c : contacts_) {
+    if (c.start >= hi) break;  // sorted by start: nothing later can overlap
+    if (c.overlaps(lo, hi)) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<std::size_t> ContactTrace::contact_counts() const {
+  std::vector<std::size_t> counts(num_nodes_, 0);
+  for (const Contact& c : contacts_) {
+    ++counts[c.a];
+    ++counts[c.b];
+  }
+  return counts;
+}
+
+std::vector<double> ContactTrace::contact_rates() const {
+  std::vector<double> rates(num_nodes_, 0.0);
+  const auto counts = contact_counts();
+  for (NodeId n = 0; n < num_nodes_; ++n)
+    rates[n] = static_cast<double>(counts[n]) / t_max_;
+  return rates;
+}
+
+ContactTrace ContactTrace::window(Seconds lo, Seconds hi) const {
+  if (!(hi > lo))
+    throw std::invalid_argument("ContactTrace::window: hi must exceed lo");
+  std::vector<Contact> cut;
+  for (const Contact& c : contacts_) {
+    if (!c.overlaps(lo, hi)) continue;
+    Contact shifted = c;
+    shifted.start = std::max(c.start, lo) - lo;
+    shifted.end = std::min(c.end, hi) - lo;
+    cut.push_back(shifted);
+  }
+  return ContactTrace(std::move(cut), num_nodes_, hi - lo);
+}
+
+Seconds ContactTrace::total_contact_time() const noexcept {
+  Seconds total = 0.0;
+  for (const Contact& c : contacts_) total += c.duration();
+  return total;
+}
+
+std::string ContactTrace::summary() const {
+  std::ostringstream ss;
+  ss << "ContactTrace{nodes=" << num_nodes_ << ", contacts=" << size()
+     << ", t_max=" << t_max_ << "s}";
+  return ss.str();
+}
+
+}  // namespace psn::trace

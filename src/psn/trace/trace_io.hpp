@@ -1,0 +1,36 @@
+// Text serialization of contact traces.
+//
+// Format (iMote-style, one record per line):
+//
+//   # psn-trace v1
+//   # nodes <N>
+//   # tmax <seconds>
+//   <a> <b> <start> <end>
+//
+// Lines starting with '#' other than the two header directives are comments.
+// The format round-trips exactly through parse/serialize and is what the
+// examples read and write.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "psn/trace/contact_trace.hpp"
+
+namespace psn::trace {
+
+/// Parses a trace from a stream. Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+[[nodiscard]] ContactTrace read_trace(std::istream& in);
+
+/// Parses a trace from a file path.
+[[nodiscard]] ContactTrace read_trace_file(const std::string& path);
+
+/// Writes the trace in the format above.
+void write_trace(std::ostream& out, const ContactTrace& trace);
+
+/// Writes the trace to a file path; throws std::runtime_error on I/O error.
+void write_trace_file(const std::string& path, const ContactTrace& trace);
+
+}  // namespace psn::trace

@@ -1,0 +1,88 @@
+#include "psn/trace/trace_ops.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace psn::trace {
+
+ContactTrace merge_traces(std::span<const ContactTrace> traces) {
+  if (traces.empty()) throw std::invalid_argument("merge_traces: no traces");
+  const NodeId n = traces.front().num_nodes();
+  Seconds t_max = 0.0;
+  std::vector<Contact> all;
+  for (const auto& t : traces) {
+    if (t.num_nodes() != n)
+      throw std::invalid_argument("merge_traces: node-count mismatch");
+    t_max = std::max(t_max, t.t_max());
+    all.insert(all.end(), t.contacts().begin(), t.contacts().end());
+  }
+  return ContactTrace(std::move(all), n, t_max);
+}
+
+ContactTrace coalesce_contacts(const ContactTrace& trace) {
+  // Group by pair, sweep intervals in start order, merging overlaps and
+  // touching intervals.
+  std::map<std::pair<NodeId, NodeId>, std::vector<Contact>> by_pair;
+  for (const Contact& c : trace.contacts())
+    by_pair[{c.a, c.b}].push_back(c);
+
+  std::vector<Contact> out;
+  for (auto& [pair, contacts] : by_pair) {
+    // Already sorted by start (trace order), but be defensive.
+    std::sort(contacts.begin(), contacts.end(), contact_before);
+    Contact current = contacts.front();
+    for (std::size_t i = 1; i < contacts.size(); ++i) {
+      const Contact& next = contacts[i];
+      if (next.start <= current.end) {
+        current.end = std::max(current.end, next.end);
+      } else {
+        out.push_back(current);
+        current = next;
+      }
+    }
+    out.push_back(current);
+  }
+  return ContactTrace(std::move(out), trace.num_nodes(), trace.t_max());
+}
+
+ContactTrace restrict_to(const ContactTrace& trace,
+                         std::span<const NodeId> keep) {
+  constexpr NodeId not_kept = static_cast<NodeId>(-1);
+  std::vector<NodeId> relabel(trace.num_nodes(), not_kept);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    const NodeId old_id = keep[i];
+    if (old_id >= trace.num_nodes())
+      throw std::invalid_argument("restrict_to: node id out of range");
+    if (relabel[old_id] != not_kept)
+      throw std::invalid_argument("restrict_to: duplicate node id");
+    relabel[old_id] = static_cast<NodeId>(i);
+  }
+  std::vector<Contact> out;
+  for (const Contact& c : trace.contacts()) {
+    const NodeId a = relabel[c.a];
+    const NodeId b = relabel[c.b];
+    if (a == not_kept || b == not_kept) continue;
+    out.push_back(Contact::make(a, b, c.start, c.end));
+  }
+  return ContactTrace(std::move(out),
+                      static_cast<NodeId>(keep.size()), trace.t_max());
+}
+
+ContactTrace concat_traces(const ContactTrace& first,
+                           const ContactTrace& second) {
+  if (first.num_nodes() != second.num_nodes())
+    throw std::invalid_argument("concat_traces: node-count mismatch");
+  std::vector<Contact> all(first.contacts().begin(), first.contacts().end());
+  const Seconds shift = first.t_max();
+  for (Contact c : second.contacts()) {
+    c.start += shift;
+    c.end += shift;
+    all.push_back(c);
+  }
+  return ContactTrace(std::move(all), first.num_nodes(),
+                      first.t_max() + second.t_max());
+}
+
+}  // namespace psn::trace

@@ -1,0 +1,39 @@
+// Trace composition and cleaning operations.
+//
+// Real contact logs need preprocessing before analysis: iMote-style logs
+// can report overlapping sightings of the same pair, deployments are
+// recorded in sessions that must be concatenated, and studies often
+// restrict to a subpopulation (e.g. only mobile nodes). These operations
+// cover that tooling surface; all of them return new traces (ContactTrace
+// is immutable).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "psn/trace/contact_trace.hpp"
+
+namespace psn::trace {
+
+/// Merges the contact sets of traces over the same node population.
+/// The result's t_max is the maximum of the inputs'.
+/// Precondition: all traces have the same num_nodes.
+[[nodiscard]] ContactTrace merge_traces(std::span<const ContactTrace> traces);
+
+/// Coalesces overlapping or touching contacts between the same pair into
+/// single intervals (double-reported sightings become one contact).
+[[nodiscard]] ContactTrace coalesce_contacts(const ContactTrace& trace);
+
+/// Restricts the trace to contacts where both endpoints are in `keep`,
+/// relabelling the kept nodes to 0..keep.size()-1 in the order given.
+/// Precondition: `keep` has no duplicates and valid ids.
+[[nodiscard]] ContactTrace restrict_to(const ContactTrace& trace,
+                                       std::span<const NodeId> keep);
+
+/// Concatenates `second` after `first` in time (second's times shifted by
+/// first.t_max()); both must share num_nodes.
+[[nodiscard]] ContactTrace concat_traces(const ContactTrace& first,
+                                         const ContactTrace& second);
+
+}  // namespace psn::trace

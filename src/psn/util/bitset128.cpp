@@ -1,0 +1,25 @@
+#include "psn/util/bitset128.hpp"
+
+#include <bit>
+
+namespace psn::util {
+
+unsigned Bitset128::count() const noexcept {
+  return static_cast<unsigned>(std::popcount(word_[0]) +
+                               std::popcount(word_[1]));
+}
+
+std::string Bitset128::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (unsigned bit = 0; bit < 128; ++bit) {
+    if (!test(bit)) continue;
+    if (!first) out += ", ";
+    out += std::to_string(bit);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace psn::util

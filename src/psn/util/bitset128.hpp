@@ -1,0 +1,88 @@
+// Fixed 128-bit set of node ids.
+//
+// The path enumerator attaches a membership set to every path so that the
+// loop-freedom check (does this path already visit node x?) is O(1). The
+// paper's datasets have at most 98 nodes; psn supports up to 128 nodes per
+// trace, which two 64-bit words cover. Traces larger than 128 nodes are
+// rejected at SpaceTimeGraph construction.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace psn::util {
+
+/// Value-type set over {0, ..., 127}.
+class Bitset128 {
+ public:
+  constexpr Bitset128() noexcept = default;
+
+  /// Set containing exactly {bit}.
+  [[nodiscard]] static constexpr Bitset128 single(unsigned bit) noexcept {
+    Bitset128 s;
+    s.set(bit);
+    return s;
+  }
+
+  constexpr void set(unsigned bit) noexcept {
+    word_[bit >> 6] |= (std::uint64_t{1} << (bit & 63));
+  }
+
+  constexpr void reset(unsigned bit) noexcept {
+    word_[bit >> 6] &= ~(std::uint64_t{1} << (bit & 63));
+  }
+
+  [[nodiscard]] constexpr bool test(unsigned bit) const noexcept {
+    return (word_[bit >> 6] >> (bit & 63)) & 1U;
+  }
+
+  [[nodiscard]] constexpr bool empty() const noexcept {
+    return word_[0] == 0 && word_[1] == 0;
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] unsigned count() const noexcept;
+
+  [[nodiscard]] constexpr Bitset128 operator|(Bitset128 o) const noexcept {
+    Bitset128 r;
+    r.word_[0] = word_[0] | o.word_[0];
+    r.word_[1] = word_[1] | o.word_[1];
+    return r;
+  }
+
+  [[nodiscard]] constexpr Bitset128 operator&(Bitset128 o) const noexcept {
+    Bitset128 r;
+    r.word_[0] = word_[0] & o.word_[0];
+    r.word_[1] = word_[1] & o.word_[1];
+    return r;
+  }
+
+  [[nodiscard]] constexpr bool operator==(const Bitset128&) const noexcept =
+      default;
+
+  /// Raw word access (i in {0, 1}); used for hashing.
+  [[nodiscard]] constexpr std::uint64_t word(unsigned i) const noexcept {
+    return word_[i];
+  }
+
+  /// Binary rendering ("{3, 17, 96}") for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::uint64_t word_[2] = {0, 0};
+};
+
+/// Hash functor for unordered containers keyed by Bitset128.
+struct Bitset128Hash {
+  [[nodiscard]] std::size_t operator()(const Bitset128& s) const noexcept {
+    // SplitMix-style mix of the two words.
+    std::uint64_t h = s.word(0) * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    h += s.word(1) * 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace psn::util

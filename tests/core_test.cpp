@@ -1,0 +1,205 @@
+// Tests for psn::core: datasets, workloads, quadrant grouping, and the two
+// study pipelines (scaled-down configurations).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "psn/core/dataset.hpp"
+#include "psn/core/forwarding_study.hpp"
+#include "psn/core/path_study.hpp"
+#include "psn/core/quadrant.hpp"
+#include "psn/core/workload.hpp"
+
+namespace psn::core {
+namespace {
+
+TEST(DatasetFactoryTest, FourPaperDatasets) {
+  const auto datasets = DatasetFactory::paper_datasets();
+  ASSERT_EQ(datasets.size(), 4u);
+  std::set<std::string> names;
+  for (const auto& ds : datasets) {
+    names.insert(ds.name);
+    EXPECT_EQ(ds.trace.num_nodes(), 98u);
+    EXPECT_DOUBLE_EQ(ds.trace.t_max(), 3.0 * 3600.0);
+    EXPECT_GT(ds.trace.size(), 1000u);  // conference-scale density.
+    EXPECT_EQ(ds.rates.classes.size(), 98u);
+    EXPECT_DOUBLE_EQ(ds.message_horizon, 2.0 * 3600.0);
+  }
+  EXPECT_EQ(names.size(), 4u);
+}
+
+TEST(DatasetFactoryTest, DatasetsAreDeterministic) {
+  const auto a = DatasetFactory::paper_dataset(0);
+  const auto b = DatasetFactory::paper_dataset(0);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i)
+    EXPECT_EQ(a.trace[i], b.trace[i]);
+}
+
+TEST(DatasetFactoryTest, IndexOutOfRangeThrows) {
+  EXPECT_THROW((void)DatasetFactory::paper_dataset(4), std::out_of_range);
+}
+
+TEST(DatasetFactoryTest, InOutSplitIsBalanced) {
+  const auto ds = DatasetFactory::paper_dataset(0);
+  std::size_t in = 0;
+  for (const auto c : ds.rates.classes)
+    if (c == trace::RateClass::in_node) ++in;
+  // Median split: the two classes are within a couple nodes of each other.
+  EXPECT_NEAR(static_cast<double>(in), 49.0, 3.0);
+}
+
+TEST(DatasetFactoryTest, ReplicationAndControls) {
+  const auto repl = DatasetFactory::replication_dataset();
+  EXPECT_EQ(repl.trace.num_nodes(), 41u);
+  const auto hom = DatasetFactory::homogeneous_dataset();
+  EXPECT_EQ(hom.trace.num_nodes(), 100u);
+  const auto rwp = DatasetFactory::random_waypoint_dataset();
+  EXPECT_EQ(rwp.trace.num_nodes(), 40u);
+  EXPECT_GT(rwp.trace.size(), 0u);
+}
+
+TEST(Workload, PoissonRateApproximatelyHonored) {
+  WorkloadConfig config;
+  config.message_rate = 0.25;
+  config.horizon = 7200.0;
+  config.seed = 3;
+  const auto msgs = poisson_workload(98, config);
+  // Expected ~1800 messages; Poisson sd ~42.
+  EXPECT_NEAR(static_cast<double>(msgs.size()), 1800.0, 150.0);
+  for (const auto& m : msgs) {
+    EXPECT_LT(m.created, 7200.0);
+    EXPECT_NE(m.source, m.destination);
+    EXPECT_LT(m.source, 98u);
+    EXPECT_LT(m.destination, 98u);
+  }
+  // Creation times sorted and ids sequential.
+  for (std::size_t i = 1; i < msgs.size(); ++i) {
+    EXPECT_GE(msgs[i].created, msgs[i - 1].created);
+    EXPECT_EQ(msgs[i].id, msgs[i - 1].id + 1);
+  }
+}
+
+TEST(Workload, UniformSampleRespectsBounds) {
+  const auto msgs = uniform_message_sample(50, 200, 3600.0, 9);
+  ASSERT_EQ(msgs.size(), 200u);
+  for (const auto& m : msgs) {
+    EXPECT_NE(m.source, m.destination);
+    EXPECT_LT(m.source, 50u);
+    EXPECT_LT(m.destination, 50u);
+    EXPECT_GE(m.t_start, 0.0);
+    EXPECT_LT(m.t_start, 3600.0);
+  }
+}
+
+TEST(Workload, DeterministicInSeed) {
+  WorkloadConfig config;
+  config.seed = 42;
+  const auto a = poisson_workload(20, config);
+  const auto b = poisson_workload(20, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].source, b[i].source);
+    EXPECT_EQ(a[i].destination, b[i].destination);
+    EXPECT_DOUBLE_EQ(a[i].created, b[i].created);
+  }
+}
+
+TEST(QuadrantTest, ClassifyPairMatrix) {
+  trace::RateClassification rc;
+  rc.rates = {10.0, 1.0};
+  rc.median_rate = 5.0;
+  rc.classes = {trace::RateClass::in_node, trace::RateClass::out_node};
+  EXPECT_EQ(classify_pair(0, 0, rc), Quadrant::in_in);
+  EXPECT_EQ(classify_pair(0, 1, rc), Quadrant::in_out);
+  EXPECT_EQ(classify_pair(1, 0, rc), Quadrant::out_in);
+  EXPECT_EQ(classify_pair(1, 1, rc), Quadrant::out_out);
+}
+
+TEST(QuadrantTest, NamesStable) {
+  EXPECT_STREQ(quadrant_name(Quadrant::in_in), "in-in");
+  EXPECT_STREQ(quadrant_name(Quadrant::in_out), "in-out");
+  EXPECT_STREQ(quadrant_name(Quadrant::out_in), "out-in");
+  EXPECT_STREQ(quadrant_name(Quadrant::out_out), "out-out");
+}
+
+TEST(QuadrantTest, GroupingPreservesAllRecords) {
+  trace::RateClassification rc;
+  rc.rates = {10.0, 1.0, 8.0};
+  rc.median_rate = 5.0;
+  rc.classes = {trace::RateClass::in_node, trace::RateClass::out_node,
+                trace::RateClass::in_node};
+  std::vector<paths::ExplosionRecord> records(5);
+  records[0].source = 0;
+  records[0].destination = 2;  // in-in
+  records[1].source = 0;
+  records[1].destination = 1;  // in-out
+  records[2].source = 1;
+  records[2].destination = 0;  // out-in
+  records[3].source = 1;
+  records[3].destination = 1;  // out-out (degenerate but classifiable)
+  records[4].source = 2;
+  records[4].destination = 0;  // in-in
+  const auto grouped = group_by_quadrant(records, rc);
+  EXPECT_EQ(grouped.of(Quadrant::in_in).size(), 2u);
+  EXPECT_EQ(grouped.of(Quadrant::in_out).size(), 1u);
+  EXPECT_EQ(grouped.of(Quadrant::out_in).size(), 1u);
+  EXPECT_EQ(grouped.of(Quadrant::out_out).size(), 1u);
+}
+
+TEST(PathStudyTest, SmallStudyProducesExplosions) {
+  // Scaled-down: small message sample, small k, on a real dataset.
+  const auto ds = DatasetFactory::paper_dataset(0);
+  PathStudyConfig config;
+  config.messages = 10;
+  config.k = 50;
+  config.seed = 5;
+  const auto result = run_path_study(ds, config);
+  ASSERT_EQ(result.records.size(), 10u);
+  std::size_t delivered = 0;
+  std::size_t exploded = 0;
+  for (const auto& rec : result.records) {
+    if (rec.delivered) ++delivered;
+    if (rec.exploded) ++exploded;
+  }
+  // The conference trace is dense; most messages deliver and explode.
+  EXPECT_GE(delivered, 7u);
+  EXPECT_GE(exploded, 5u);
+  EXPECT_EQ(result.optimal_durations().size(), delivered);
+  EXPECT_EQ(result.times_to_explosion().size(), exploded);
+  // Quadrant grouping is a partition.
+  std::size_t total = 0;
+  for (const auto& bucket : result.quadrants.by_quadrant)
+    total += bucket.size();
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(ForwardingStudyTest, PaperSuiteOnSmallWorkload) {
+  const auto ds = DatasetFactory::paper_dataset(2);
+  ForwardingStudyConfig config;
+  config.runs = 2;
+  config.message_rate = 0.01;  // light workload for test speed.
+  config.seed = 11;
+  const auto result = run_forwarding_study(ds, config);
+  ASSERT_EQ(result.algorithms.size(), 6u);
+
+  const auto& epidemic = result.algorithms[0];
+  EXPECT_EQ(epidemic.overall.algorithm, "Epidemic");
+  EXPECT_GT(epidemic.overall.success_rate, 0.5);
+
+  for (const auto& study : result.algorithms) {
+    // Epidemic upper-bounds success rate.
+    EXPECT_LE(study.overall.success_rate,
+              epidemic.overall.success_rate + 1e-12)
+        << study.overall.algorithm;
+    EXPECT_EQ(study.delays.size(), study.overall.delivered);
+    // Pair-type counts partition the workload.
+    std::size_t total = 0;
+    for (const auto& p : study.by_pair_type.per_type) total += p.messages;
+    EXPECT_EQ(total, study.overall.messages);
+  }
+}
+
+}  // namespace
+}  // namespace psn::core

@@ -1,0 +1,276 @@
+// Tests for psn::graph: space-time discretization, per-step components,
+// temporal reachability. Includes the paper's Fig. 2 example.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "psn/graph/components.hpp"
+#include "psn/graph/reachability.hpp"
+#include "psn/graph/space_time_graph.hpp"
+
+namespace psn::graph {
+namespace {
+
+using trace::Contact;
+using trace::ContactTrace;
+
+ContactTrace make_trace(std::vector<Contact> cs, NodeId n, Seconds t_max) {
+  return ContactTrace(std::move(cs), n, t_max);
+}
+
+TEST(SpaceTimeGraph, Fig2Example) {
+  // Paper Fig. 2: nodes 1,2 in contact during the first step; all three
+  // pairs during the second. (0-based here.)
+  const auto trace = make_trace(
+      {
+          Contact::make(0, 1, 0.0, 1.0),
+          Contact::make(0, 1, 1.0, 2.0),
+          Contact::make(0, 2, 1.0, 2.0),
+          Contact::make(1, 2, 1.0, 2.0),
+      },
+      3, 2.0);
+  const SpaceTimeGraph g(trace, 1.0);
+  ASSERT_EQ(g.num_steps(), 2u);
+  EXPECT_EQ(g.edges(0).size(), 1u);
+  EXPECT_EQ(g.edges(1).size(), 3u);
+  EXPECT_TRUE(g.in_contact(0, 0, 1));
+  EXPECT_FALSE(g.in_contact(0, 0, 2));
+  EXPECT_TRUE(g.in_contact(1, 0, 2));
+  EXPECT_TRUE(g.in_contact(1, 1, 2));
+}
+
+TEST(SpaceTimeGraph, ContactSpanningStepsAppearsInEach) {
+  const auto trace =
+      make_trace({Contact::make(0, 1, 5.0, 35.0)}, 2, 60.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  ASSERT_EQ(g.num_steps(), 6u);
+  EXPECT_TRUE(g.in_contact(0, 0, 1));
+  EXPECT_TRUE(g.in_contact(1, 0, 1));
+  EXPECT_TRUE(g.in_contact(2, 0, 1));
+  EXPECT_TRUE(g.in_contact(3, 0, 1));  // [30, 40) contains 30..35.
+  EXPECT_FALSE(g.in_contact(4, 0, 1));
+}
+
+TEST(SpaceTimeGraph, ContactEndingOnBoundaryExcludedFromNextStep) {
+  const auto trace = make_trace({Contact::make(0, 1, 0.0, 10.0)}, 2, 30.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  EXPECT_TRUE(g.in_contact(0, 0, 1));
+  EXPECT_FALSE(g.in_contact(1, 0, 1));
+}
+
+TEST(SpaceTimeGraph, ZeroLengthContactStillPresent) {
+  const auto trace = make_trace({Contact::make(0, 1, 15.0, 15.0)}, 2, 30.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  EXPECT_TRUE(g.in_contact(1, 0, 1));
+  EXPECT_FALSE(g.in_contact(0, 0, 1));
+}
+
+TEST(SpaceTimeGraph, DuplicateContactsDeduplicated) {
+  const auto trace = make_trace(
+      {
+          Contact::make(0, 1, 0.0, 5.0),
+          Contact::make(0, 1, 6.0, 9.0),  // same step 0
+      },
+      2, 10.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  EXPECT_EQ(g.edges(0).size(), 1u);
+}
+
+TEST(SpaceTimeGraph, NeighborsSortedAndSymmetric) {
+  const auto trace = make_trace(
+      {
+          Contact::make(3, 1, 0.0, 5.0),
+          Contact::make(3, 2, 0.0, 5.0),
+          Contact::make(3, 0, 0.0, 5.0),
+      },
+      4, 10.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  const auto nb = g.neighbors(0, 3);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0], 0u);
+  EXPECT_EQ(nb[1], 1u);
+  EXPECT_EQ(nb[2], 2u);
+  EXPECT_EQ(g.neighbors(0, 1).size(), 1u);
+  EXPECT_EQ(g.neighbors(0, 1)[0], 3u);
+}
+
+TEST(SpaceTimeGraph, StepOfClampsAndFloors) {
+  const auto trace = make_trace({Contact::make(0, 1, 0.0, 1.0)}, 2, 100.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  EXPECT_EQ(g.step_of(-5.0), 0u);
+  EXPECT_EQ(g.step_of(0.0), 0u);
+  EXPECT_EQ(g.step_of(9.99), 0u);
+  EXPECT_EQ(g.step_of(10.0), 1u);
+  EXPECT_EQ(g.step_of(1e9), g.num_steps() - 1);
+}
+
+TEST(SpaceTimeGraph, StepEndTimes) {
+  const auto trace = make_trace({Contact::make(0, 1, 0.0, 1.0)}, 2, 100.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  EXPECT_DOUBLE_EQ(g.step_end(0), 10.0);
+  EXPECT_DOUBLE_EQ(g.step_end(4), 50.0);
+}
+
+TEST(SpaceTimeGraph, RejectsTooManyNodes) {
+  std::vector<Contact> cs{Contact::make(0, 1, 0.0, 1.0)};
+  const ContactTrace trace(cs, 200, 10.0);
+  EXPECT_THROW(SpaceTimeGraph(trace, 10.0), std::invalid_argument);
+}
+
+TEST(SpaceTimeGraph, RejectsNonPositiveDelta) {
+  const auto trace = make_trace({Contact::make(0, 1, 0.0, 1.0)}, 2, 10.0);
+  EXPECT_THROW(SpaceTimeGraph(trace, 0.0), std::invalid_argument);
+}
+
+TEST(SpaceTimeGraph, TotalEdges) {
+  const auto trace = make_trace(
+      {
+          Contact::make(0, 1, 0.0, 20.0),  // steps 0,1
+          Contact::make(1, 2, 0.0, 5.0),   // step 0
+      },
+      3, 20.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  EXPECT_EQ(g.total_edges(), 3u);
+}
+
+TEST(SpaceTimeGraph, IsolatedNodeHasNoNeighbors) {
+  const auto trace = make_trace({Contact::make(0, 1, 0.0, 5.0)}, 4, 10.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  EXPECT_TRUE(g.neighbors(0, 2).empty());
+  EXPECT_TRUE(g.neighbors(0, 3).empty());
+}
+
+TEST(SpaceTimeGraph, InContactIsSymmetric) {
+  const auto trace = make_trace({Contact::make(2, 5, 0.0, 5.0)}, 6, 10.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  EXPECT_TRUE(g.in_contact(0, 2, 5));
+  EXPECT_TRUE(g.in_contact(0, 5, 2));
+  EXPECT_FALSE(g.in_contact(0, 2, 4));
+  EXPECT_FALSE(g.in_contact(0, 4, 2));
+}
+
+TEST(SpaceTimeGraph, EmptyTraceStillHasSteps) {
+  const trace::ContactTrace empty({}, 3, 50.0);
+  const SpaceTimeGraph g(empty, 10.0);
+  EXPECT_EQ(g.num_steps(), 5u);
+  EXPECT_EQ(g.total_edges(), 0u);
+  EXPECT_TRUE(g.edges(0).empty());
+}
+
+TEST(UnionFindTest, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2));
+  EXPECT_EQ(uf.find(0), uf.find(2));
+  EXPECT_NE(uf.find(0), uf.find(3));
+}
+
+TEST(Components, LabelsAreCanonicalSmallestMember) {
+  const auto trace = make_trace(
+      {
+          Contact::make(2, 4, 0.0, 5.0),
+          Contact::make(4, 1, 0.0, 5.0),
+      },
+      6, 10.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  const auto labels = components_at(g, 0);
+  EXPECT_EQ(labels[1], 1u);
+  EXPECT_EQ(labels[2], 1u);
+  EXPECT_EQ(labels[4], 1u);
+  EXPECT_EQ(labels[0], 0u);  // isolated nodes are singletons.
+  EXPECT_EQ(labels[3], 3u);
+  EXPECT_EQ(labels[5], 5u);
+}
+
+TEST(Components, SizesSumToPopulation) {
+  const auto trace = make_trace(
+      {
+          Contact::make(0, 1, 0.0, 5.0),
+          Contact::make(2, 3, 0.0, 5.0),
+      },
+      5, 10.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  const auto sizes = component_sizes_at(g, 0);
+  NodeId total = 0;
+  for (const auto& [label, size] : sizes) total += size;
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(Reachability, DirectContactDelivers) {
+  const auto trace = make_trace({Contact::make(0, 1, 15.0, 18.0)}, 2, 60.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  const auto d = optimal_duration(g, 0, 1, 0.0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_DOUBLE_EQ(*d, 20.0);  // end of step 1.
+}
+
+TEST(Reachability, MultiHopOverTime) {
+  const auto trace = make_trace(
+      {
+          Contact::make(0, 1, 5.0, 8.0),     // step 0
+          Contact::make(1, 2, 25.0, 28.0),   // step 2
+      },
+      3, 60.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  const auto d = optimal_duration(g, 0, 2, 0.0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_DOUBLE_EQ(*d, 30.0);  // end of step 2.
+}
+
+TEST(Reachability, ZeroWeightClosureWithinStep) {
+  // Chain 0-1-2-3 all in one step: everything reachable that step.
+  const auto trace = make_trace(
+      {
+          Contact::make(0, 1, 0.0, 5.0),
+          Contact::make(1, 2, 0.0, 5.0),
+          Contact::make(2, 3, 0.0, 5.0),
+      },
+      4, 30.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  const auto r = earliest_delivery(g, 0, 0.0);
+  for (NodeId v = 0; v < 4; ++v) {
+    ASSERT_TRUE(r.reached(v));
+    EXPECT_EQ(*r.arrival_step[v], 0u);
+  }
+}
+
+TEST(Reachability, RespectsMessageStartTime) {
+  // Contact happens before the message exists: unusable.
+  const auto trace = make_trace({Contact::make(0, 1, 5.0, 8.0)}, 2, 60.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  EXPECT_FALSE(optimal_duration(g, 0, 1, 20.0).has_value());
+}
+
+TEST(Reachability, TimeOrderingMatters) {
+  // 1-2 contact happens before 0-1: a message from 0 cannot use it.
+  const auto trace = make_trace(
+      {
+          Contact::make(1, 2, 5.0, 8.0),    // step 0
+          Contact::make(0, 1, 25.0, 28.0),  // step 2
+      },
+      3, 60.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  EXPECT_FALSE(optimal_duration(g, 0, 2, 0.0).has_value());
+  ASSERT_TRUE(optimal_duration(g, 0, 1, 0.0).has_value());
+}
+
+TEST(Reachability, UnreachableNodeHasNoValue) {
+  const auto trace = make_trace({Contact::make(0, 1, 0.0, 5.0)}, 3, 30.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  const auto r = earliest_delivery(g, 0, 0.0);
+  EXPECT_TRUE(r.reached(1));
+  EXPECT_FALSE(r.reached(2));
+}
+
+TEST(Reachability, SourceReachedImmediately) {
+  const auto trace = make_trace({Contact::make(0, 1, 50.0, 55.0)}, 2, 60.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  const auto r = earliest_delivery(g, 0, 12.0);
+  ASSERT_TRUE(r.reached(0));
+  EXPECT_EQ(*r.arrival_step[0], 1u);
+}
+
+}  // namespace
+}  // namespace psn::graph

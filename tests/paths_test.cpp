@@ -1,0 +1,470 @@
+// Tests for psn::paths: the Path value type and the k-shortest valid path
+// enumerator (Fig. 3), including validity rules: loop avoidance, minimal
+// progress, first preference, and the zero-weight closure.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "psn/paths/enumerator.hpp"
+#include "psn/paths/explosion.hpp"
+#include "psn/paths/path.hpp"
+
+namespace psn::paths {
+namespace {
+
+using trace::Contact;
+using trace::ContactTrace;
+
+graph::SpaceTimeGraph make_graph(std::vector<Contact> cs, NodeId n,
+                                 Seconds t_max, Seconds delta = 10.0) {
+  return graph::SpaceTimeGraph(ContactTrace(std::move(cs), n, t_max), delta);
+}
+
+EnumerationResult run(const graph::SpaceTimeGraph& g, NodeId src, NodeId dst,
+                      Seconds t0, std::size_t k = 2000) {
+  EnumeratorConfig config;
+  config.k = k;
+  config.record_paths = true;
+  return KPathEnumerator(g, config).enumerate(src, dst, t0);
+}
+
+std::uint64_t total_paths(const EnumerationResult& r) {
+  std::uint64_t total = 0;
+  for (const auto& d : r.deliveries) total += d.count;
+  return total;
+}
+
+TEST(PathTest, OriginHasZeroHops) {
+  const auto p = Path::origin(3, 7);
+  EXPECT_EQ(p.hops(), 0u);
+  EXPECT_EQ(p.last_node(), 3u);
+  EXPECT_EQ(p.last_step(), 7u);
+  EXPECT_TRUE(p.visits(3));
+  EXPECT_FALSE(p.visits(4));
+}
+
+TEST(PathTest, ExtendAccumulates) {
+  const auto p = Path::origin(0, 0).extend(1, 0).extend(2, 3);
+  EXPECT_EQ(p.hops(), 2u);
+  EXPECT_EQ(p.last_node(), 2u);
+  EXPECT_EQ(p.last_step(), 3u);
+  const auto seq = p.sequence();
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq[0], (std::pair<NodeId, Step>{0, 0}));
+  EXPECT_EQ(seq[1], (std::pair<NodeId, Step>{1, 0}));
+  EXPECT_EQ(seq[2], (std::pair<NodeId, Step>{2, 3}));
+}
+
+TEST(PathTest, SharedSuffixIndependence) {
+  const auto base = Path::origin(0, 0).extend(1, 1);
+  const auto a = base.extend(2, 2);
+  const auto b = base.extend(3, 2);
+  EXPECT_TRUE(a.visits(2));
+  EXPECT_FALSE(a.visits(3));
+  EXPECT_TRUE(b.visits(3));
+  EXPECT_FALSE(b.visits(2));
+  EXPECT_EQ(base.hops(), 1u);
+}
+
+TEST(PathTest, MembershipCountMatchesHops) {
+  // Loop-free: |members| = hops + 1 always.
+  auto p = Path::origin(5, 0);
+  for (NodeId v : {7u, 9u, 11u, 13u}) p = p.extend(v, p.last_step() + 1);
+  EXPECT_EQ(p.members().count(), p.hops() + 1u);
+}
+
+TEST(Enumerator, DirectContactSingleFirstPreferencePath) {
+  // Source meets destination at step 0 and also node 1; node 1 meets the
+  // destination later. First preference: only the direct path is valid.
+  const auto g = make_graph(
+      {
+          Contact::make(0, 2, 0.0, 5.0),
+          Contact::make(0, 1, 0.0, 5.0),
+          Contact::make(1, 2, 20.0, 25.0),
+      },
+      3, 60.0);
+  const auto r = run(g, 0, 2, 0.0);
+  ASSERT_EQ(total_paths(r), 1u);
+  EXPECT_EQ(r.deliveries[0].hops, 1u);
+  EXPECT_DOUBLE_EQ(r.deliveries[0].arrival, 10.0);
+  const auto t1 = r.optimal_duration();
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_DOUBLE_EQ(*t1, 10.0);
+}
+
+TEST(Enumerator, TwoHopChainOverTime) {
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 0.0, 5.0),    // step 0
+          Contact::make(1, 2, 20.0, 25.0),  // step 2
+      },
+      3, 60.0);
+  const auto r = run(g, 0, 2, 0.0);
+  ASSERT_EQ(total_paths(r), 1u);
+  const auto& d = r.deliveries[0];
+  EXPECT_EQ(d.hops, 2u);
+  EXPECT_DOUBLE_EQ(d.arrival, 30.0);
+  const auto seq = d.path.sequence();
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq[0].first, 0u);
+  EXPECT_EQ(seq[1].first, 1u);
+  EXPECT_EQ(seq[2].first, 2u);
+}
+
+TEST(Enumerator, ZeroWeightClosureSameStep) {
+  // 0-1 and 1-2 in the same step: 0 -> 1 -> 2 arrives within the step.
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 0.0, 5.0),
+          Contact::make(1, 2, 0.0, 5.0),
+      },
+      3, 30.0);
+  const auto r = run(g, 0, 2, 0.0);
+  ASSERT_EQ(total_paths(r), 1u);
+  EXPECT_EQ(r.deliveries[0].hops, 2u);
+  EXPECT_DOUBLE_EQ(r.deliveries[0].arrival, 10.0);
+}
+
+TEST(Enumerator, TwoDisjointRelaysTwoPaths) {
+  // Two relays meet the source at step 0 and the destination at step 2.
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 0.0, 5.0),
+          Contact::make(0, 2, 0.0, 5.0),
+          Contact::make(1, 3, 20.0, 25.0),
+          Contact::make(2, 3, 20.0, 25.0),
+      },
+      4, 60.0);
+  const auto r = run(g, 0, 3, 0.0);
+  EXPECT_EQ(total_paths(r), 2u);
+  for (const auto& d : r.deliveries) EXPECT_EQ(d.hops, 2u);
+}
+
+TEST(Enumerator, PersistentContactPoolsTimeVariants) {
+  // 0-1 in contact for 3 steps, then 1 meets 2: each step of the 0-1
+  // contact spawns a formally distinct path (different relay step), all
+  // pooled into one delivery with count 3.
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 0.0, 30.0),   // steps 0,1,2
+          Contact::make(1, 2, 40.0, 45.0),  // step 4
+      },
+      3, 60.0);
+  const auto r = run(g, 0, 2, 0.0);
+  ASSERT_EQ(r.deliveries.size(), 1u);
+  EXPECT_EQ(r.deliveries[0].count, 3u);
+  EXPECT_EQ(total_paths(r), 3u);
+}
+
+TEST(Enumerator, LoopFreePathsOnly) {
+  // Triangle active for many steps: all enumerated paths must be loop-free.
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 0.0, 50.0),
+          Contact::make(1, 2, 0.0, 50.0),
+          Contact::make(0, 2, 60.0, 65.0),
+      },
+      3, 100.0);
+  const auto r = run(g, 0, 2, 0.0);
+  for (const auto& d : r.deliveries) {
+    const auto seq = d.path.sequence();
+    EXPECT_TRUE(is_structurally_valid(seq, g, 0));
+    EXPECT_EQ(seq.back().first, 2u);
+  }
+}
+
+TEST(Enumerator, FirstPreferenceDropsHolderPaths) {
+  // Node 1 receives the message at step 0, meets the destination at step 2
+  // (delivers), and meets it again at step 4: the second meeting must NOT
+  // produce another delivery of the same path (it was dropped).
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 0.0, 5.0),
+          Contact::make(1, 2, 20.0, 25.0),
+          Contact::make(1, 2, 40.0, 45.0),
+      },
+      3, 60.0);
+  const auto r = run(g, 0, 2, 0.0);
+  EXPECT_EQ(total_paths(r), 1u);
+  EXPECT_DOUBLE_EQ(r.deliveries[0].arrival, 30.0);
+}
+
+TEST(Enumerator, FirstPreferenceInvalidatesThroughPaths) {
+  // 0 -> 1 at step 0; 0 meets the destination at step 1 (direct delivery);
+  // 1 meets the destination at step 3. The relayed path (0,1,2) contains
+  // node 0, which met the destination at step 1 < step 3: not first
+  // preference, so only the direct path counts.
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 0.0, 5.0),    // step 0
+          Contact::make(0, 2, 10.0, 15.0),  // step 1
+          Contact::make(1, 2, 30.0, 35.0),  // step 3
+      },
+      3, 60.0);
+  const auto r = run(g, 0, 2, 0.0);
+  EXPECT_EQ(total_paths(r), 1u);
+  EXPECT_EQ(r.deliveries[0].hops, 1u);
+  EXPECT_DOUBLE_EQ(r.deliveries[0].arrival, 20.0);
+}
+
+TEST(Enumerator, ArrivalIntoDstContactNodeDeliversImmediately) {
+  // 1 is in contact with the destination when it receives the message from
+  // 0: minimal progress delivers through 1 in the same step.
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 20.0, 25.0),
+          Contact::make(1, 2, 20.0, 25.0),
+      },
+      3, 60.0);
+  const auto r = run(g, 0, 2, 20.0);
+  ASSERT_EQ(total_paths(r), 1u);
+  EXPECT_EQ(r.deliveries[0].hops, 2u);
+  EXPECT_DOUBLE_EQ(r.deliveries[0].arrival, 30.0);
+}
+
+TEST(Enumerator, DestinationNeverRelays) {
+  // Any path through the destination is invalid; 0 -> 2(dst) -> 1 -> ...
+  // must not exist. Build: 0-2 step 0, 2-1 step 1, 1-2 step 3. The only
+  // valid delivery is the direct one at step 0.
+  const auto g = make_graph(
+      {
+          Contact::make(0, 2, 0.0, 5.0),
+          Contact::make(2, 1, 10.0, 15.0),
+          Contact::make(1, 2, 30.0, 35.0),
+      },
+      3, 60.0);
+  const auto r = run(g, 0, 2, 0.0);
+  EXPECT_EQ(total_paths(r), 1u);
+  EXPECT_EQ(r.deliveries[0].hops, 1u);
+}
+
+TEST(Enumerator, MessageStartAfterContactsUnreachable) {
+  const auto g = make_graph({Contact::make(0, 1, 0.0, 5.0)}, 2, 60.0);
+  const auto r = run(g, 0, 1, 30.0);
+  EXPECT_FALSE(r.delivered());
+  EXPECT_FALSE(r.optimal_duration().has_value());
+}
+
+TEST(Enumerator, TnNonDecreasing) {
+  // Dense little network; check T_n ordering on whatever arrives.
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 0.0, 40.0),
+          Contact::make(1, 2, 10.0, 50.0),
+          Contact::make(2, 3, 20.0, 60.0),
+          Contact::make(0, 3, 30.0, 70.0),
+          Contact::make(1, 3, 50.0, 90.0),
+      },
+      4, 100.0);
+  const auto r = run(g, 0, 3, 0.0);
+  ASSERT_TRUE(r.delivered());
+  const std::uint64_t total = total_paths(r);
+  double prev = 0.0;
+  for (std::uint64_t i = 1; i <= total; ++i) {
+    const auto ti = r.duration_of(i);
+    ASSERT_TRUE(ti.has_value());
+    EXPECT_GE(*ti, prev);
+    prev = *ti;
+  }
+  EXPECT_FALSE(r.duration_of(total + 1).has_value());
+}
+
+TEST(Enumerator, ReachedKStopsEnumeration) {
+  // A hub network that generates many paths quickly; with k = 4 the
+  // enumeration must stop at >= 4 total paths and set reached_k.
+  std::vector<Contact> cs;
+  for (int step = 0; step < 8; ++step) {
+    for (NodeId relay = 1; relay <= 4; ++relay) {
+      cs.push_back(Contact::make(0, relay, step * 10.0, step * 10.0 + 5.0));
+      cs.push_back(
+          Contact::make(relay, 5, step * 10.0 + 0.1, step * 10.0 + 5.0));
+    }
+  }
+  const auto g = make_graph(std::move(cs), 6, 100.0);
+  const auto r = run(g, 0, 5, 0.0, 4);
+  EXPECT_TRUE(r.reached_k);
+  EXPECT_GE(total_paths(r), 4u);
+  EXPECT_TRUE(r.time_to_explosion(4).has_value());
+}
+
+TEST(Enumerator, TimeToExplosionComputation) {
+  // First path through relay 1 arrives at t=20 (step 1); two more through
+  // relays 2 and 3 arrive at t=50 (step 4): TE for k=3 is 30.
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 0.0, 5.0),    // step 0
+          Contact::make(1, 4, 10.0, 15.0),  // step 1: first delivery
+          Contact::make(0, 2, 20.0, 25.0),  // step 2
+          Contact::make(0, 3, 20.0, 25.0),  // step 2
+          Contact::make(2, 4, 40.0, 45.0),  // step 4
+          Contact::make(3, 4, 40.0, 45.0),  // step 4
+      },
+      5, 60.0);
+  const auto r = run(g, 0, 4, 0.0, 3);
+  ASSERT_TRUE(r.reached_k);
+  const auto t1 = r.optimal_duration();
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_DOUBLE_EQ(*t1, 20.0);
+  const auto te = r.time_to_explosion(3);
+  ASSERT_TRUE(te.has_value());
+  EXPECT_DOUBLE_EQ(*te, 30.0);
+}
+
+TEST(Enumerator, DeliveriesSortedByHopsWithinStep) {
+  // Direct path and 2-hop path arrive in the same step; shorter first.
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 0.0, 5.0),    // step 0: reach relay
+          Contact::make(0, 2, 10.0, 15.0),  // step 1: direct
+          Contact::make(1, 2, 10.0, 15.0),  // step 1: via relay
+      },
+      3, 60.0);
+  const auto r = run(g, 0, 2, 0.0);
+  ASSERT_EQ(r.deliveries.size(), 2u);
+  EXPECT_LE(r.deliveries[0].hops, r.deliveries[1].hops);
+  EXPECT_EQ(r.deliveries[0].hops, 1u);
+  EXPECT_EQ(r.deliveries[1].hops, 2u);
+}
+
+TEST(Enumerator, RecordPathsOffStillCounts) {
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 0.0, 5.0),
+          Contact::make(1, 2, 20.0, 25.0),
+      },
+      3, 60.0);
+  EnumeratorConfig config;
+  config.k = 2000;
+  config.record_paths = false;
+  const auto r = KPathEnumerator(g, config).enumerate(0, 2, 0.0);
+  ASSERT_EQ(total_paths(r), 1u);
+  EXPECT_FALSE(r.deliveries[0].path.valid());
+  EXPECT_EQ(r.deliveries[0].hops, 2u);
+}
+
+TEST(Enumerator, RejectsBadArguments) {
+  const auto g = make_graph({Contact::make(0, 1, 0.0, 5.0)}, 2, 60.0);
+  const KPathEnumerator e(g);
+  EXPECT_THROW((void)e.enumerate(0, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)e.enumerate(0, 9, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)KPathEnumerator(g, EnumeratorConfig{0, true}),
+               std::invalid_argument);
+}
+
+TEST(Enumerator, AllRecordedPathsStructurallyValid) {
+  // Random-ish handmade mess; every recorded path must validate.
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 0.0, 35.0),
+          Contact::make(1, 2, 5.0, 45.0),
+          Contact::make(2, 3, 12.0, 50.0),
+          Contact::make(3, 4, 22.0, 60.0),
+          Contact::make(0, 4, 41.0, 44.0),
+          Contact::make(1, 4, 55.0, 80.0),
+          Contact::make(2, 4, 61.0, 62.0),
+      },
+      5, 100.0);
+  const auto r = run(g, 0, 4, 0.0);
+  ASSERT_TRUE(r.delivered());
+  for (const auto& d : r.deliveries) {
+    const auto seq = d.path.sequence();
+    EXPECT_TRUE(is_structurally_valid(seq, g, 0)) << "hops=" << d.hops;
+    EXPECT_EQ(seq.back().first, 4u);
+    EXPECT_EQ(seq.size(), static_cast<std::size_t>(d.hops) + 1u);
+  }
+}
+
+TEST(Enumerator, KOneStopsAtFirstDelivery) {
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 0.0, 5.0),
+          Contact::make(1, 2, 20.0, 25.0),
+          Contact::make(0, 2, 40.0, 45.0),
+      },
+      3, 60.0);
+  const auto r = run(g, 0, 2, 0.0, 1);
+  EXPECT_TRUE(r.reached_k);
+  EXPECT_EQ(total_paths(r), 1u);
+  EXPECT_DOUBLE_EQ(r.deliveries[0].arrival, 30.0);  // via relay, step 2.
+}
+
+TEST(Enumerator, MessageAtLastStepStillWorks) {
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 50.0, 59.0),  // final step
+      },
+      2, 60.0);
+  const auto r = run(g, 0, 1, 55.0);
+  ASSERT_TRUE(r.delivered());
+  EXPECT_DOUBLE_EQ(r.deliveries[0].arrival, 60.0);
+}
+
+TEST(Enumerator, SameMessageEnumeratedTwiceIsIdentical) {
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 0.0, 35.0),
+          Contact::make(1, 2, 5.0, 45.0),
+          Contact::make(0, 3, 12.0, 50.0),
+          Contact::make(3, 2, 22.0, 60.0),
+      },
+      4, 100.0);
+  EnumeratorConfig config;
+  config.k = 100;
+  const KPathEnumerator e(g, config);
+  const auto a = e.enumerate(0, 2, 0.0);
+  const auto b = e.enumerate(0, 2, 0.0);
+  ASSERT_EQ(a.deliveries.size(), b.deliveries.size());
+  for (std::size_t i = 0; i < a.deliveries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.deliveries[i].arrival, b.deliveries[i].arrival);
+    EXPECT_EQ(a.deliveries[i].hops, b.deliveries[i].hops);
+    EXPECT_EQ(a.deliveries[i].count, b.deliveries[i].count);
+  }
+}
+
+TEST(Enumerator, GrowthCumulativeNonDecreasing) {
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 0.0, 30.0),
+          Contact::make(1, 2, 10.0, 50.0),
+          Contact::make(2, 3, 20.0, 70.0),
+          Contact::make(1, 3, 60.0, 90.0),
+      },
+      4, 100.0);
+  const auto r = run(g, 0, 3, 0.0, 50);
+  ASSERT_TRUE(r.delivered());
+  const auto rec = make_explosion_record(r, 50);
+  std::uint64_t prev = 0;
+  double prev_offset = -1.0;
+  for (const auto& gp : rec.growth) {
+    EXPECT_GE(gp.cumulative, prev);
+    EXPECT_GT(gp.offset, prev_offset);
+    prev = gp.cumulative;
+    prev_offset = gp.offset;
+  }
+}
+
+TEST(StructuralValidity, DetectsViolations) {
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 0.0, 5.0),
+          Contact::make(1, 2, 20.0, 25.0),
+      },
+      3, 60.0);
+  // Valid chain.
+  EXPECT_TRUE(is_structurally_valid({{0, 0}, {1, 0}, {2, 2}}, g, 0));
+  // Wrong source.
+  EXPECT_FALSE(is_structurally_valid({{1, 0}, {0, 0}}, g, 0));
+  // Missing contact.
+  EXPECT_FALSE(is_structurally_valid({{0, 0}, {2, 0}}, g, 0));
+  // Time reversal.
+  EXPECT_FALSE(is_structurally_valid({{0, 2}, {1, 0}}, g, 0));
+  // Repeated node.
+  EXPECT_FALSE(
+      is_structurally_valid({{0, 0}, {1, 0}, {0, 0}}, g, 0));
+  // Empty.
+  EXPECT_FALSE(is_structurally_valid({}, g, 0));
+}
+
+}  // namespace
+}  // namespace psn::paths

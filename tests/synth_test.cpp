@@ -1,0 +1,317 @@
+// Tests for psn::synth: the trace generators and their calibration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "psn/stats/summary.hpp"
+#include "psn/synth/conference.hpp"
+#include "psn/synth/homogeneous.hpp"
+#include "psn/synth/pairwise_poisson.hpp"
+#include "psn/synth/random_waypoint.hpp"
+#include "psn/trace/trace_stats.hpp"
+#include "psn/util/rng.hpp"
+
+namespace psn::synth {
+namespace {
+
+TEST(PairwisePoisson, DeterministicInSeed) {
+  PairwisePoissonConfig config;
+  config.num_nodes = 20;
+  config.t_max = 600.0;
+  config.seed = 5;
+  const auto a = generate_pairwise_poisson(config);
+  const auto b = generate_pairwise_poisson(config);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i)
+    EXPECT_EQ(a.trace[i], b.trace[i]);
+}
+
+TEST(PairwisePoisson, DifferentSeedsDiffer) {
+  PairwisePoissonConfig config;
+  config.num_nodes = 20;
+  config.t_max = 600.0;
+  config.seed = 5;
+  const auto a = generate_pairwise_poisson(config);
+  config.seed = 6;
+  const auto b = generate_pairwise_poisson(config);
+  EXPECT_NE(a.trace.size(), b.trace.size());
+}
+
+TEST(PairwisePoisson, MeanNodeRateCalibrated) {
+  PairwisePoissonConfig config;
+  config.num_nodes = 60;
+  config.t_max = 4.0 * 3600.0;
+  config.mean_node_rate = 0.05;
+  config.seed = 11;
+  const auto g = generate_pairwise_poisson(config);
+  // Ground-truth rates average to the configured mean by construction.
+  const double gt_mean = stats::mean_of(g.node_rates);
+  EXPECT_NEAR(gt_mean, config.mean_node_rate, 1e-12);
+  // Realized rates agree statistically.
+  const auto realized = g.trace.contact_rates();
+  EXPECT_NEAR(stats::mean_of(realized), config.mean_node_rate,
+              config.mean_node_rate * 0.1);
+}
+
+TEST(PairwisePoisson, RealizedRatesTrackGroundTruth) {
+  PairwisePoissonConfig config;
+  config.num_nodes = 50;
+  config.t_max = 6.0 * 3600.0;
+  config.mean_node_rate = 0.06;
+  config.seed = 17;
+  const auto g = generate_pairwise_poisson(config);
+  const auto realized = g.trace.contact_rates();
+  std::vector<double> gt(g.node_rates.begin(), g.node_rates.end());
+  EXPECT_GT(stats::pearson(gt, realized), 0.95);
+}
+
+TEST(PairwisePoisson, UniformWeightsGiveSpreadOutRates) {
+  PairwisePoissonConfig config;
+  config.num_nodes = 90;
+  config.t_max = 3.0 * 3600.0;
+  config.weights = WeightModel::uniform;
+  config.seed = 23;
+  const auto g = generate_pairwise_poisson(config);
+  // Fig. 7: rates approximately uniform on (0, max) -> the coefficient of
+  // variation of a U(0, m) sample is 1/sqrt(3) ~ 0.577.
+  stats::Accumulator acc;
+  for (const double r : g.node_rates) acc.add(r);
+  const double cv = acc.stddev() / acc.mean();
+  EXPECT_NEAR(cv, 0.577, 0.12);
+}
+
+TEST(PairwisePoisson, ConstantWeightsGiveTightRates) {
+  PairwisePoissonConfig config;
+  config.num_nodes = 90;
+  config.t_max = 3.0 * 3600.0;
+  config.weights = WeightModel::constant;
+  config.seed = 23;
+  const auto g = generate_pairwise_poisson(config);
+  stats::Accumulator acc;
+  for (const double r : g.node_rates) acc.add(r);
+  EXPECT_LT(acc.stddev() / acc.mean(), 0.01);
+}
+
+TEST(PairwisePoisson, ScanIntervalQuantizesStartsPerPairPhase) {
+  PairwisePoissonConfig config;
+  config.num_nodes = 30;
+  config.t_max = 3600.0;
+  config.scan_interval = 120.0;
+  config.seed = 29;
+  const auto g = generate_pairwise_poisson(config);
+  ASSERT_GT(g.trace.size(), 0u);
+  // Each pair has its own scan phase: within a pair, start times differ by
+  // multiples of the scan interval (unless clamped at 0).
+  std::map<std::pair<trace::NodeId, trace::NodeId>, double> first_start;
+  for (const auto& c : g.trace.contacts()) {
+    const auto key = std::make_pair(c.a, c.b);
+    const auto [it, inserted] = first_start.try_emplace(key, c.start);
+    if (inserted || c.start == 0.0 || it->second == 0.0) continue;
+    const double diff = c.start - it->second;
+    const double remainder = std::fmod(diff, 120.0);
+    EXPECT_LT(std::min(remainder, 120.0 - remainder), 1e-6)
+        << c.to_string();
+  }
+}
+
+TEST(PairwisePoisson, ParetoGapsPreserveMeanRate) {
+  PairwisePoissonConfig config;
+  config.num_nodes = 60;
+  config.t_max = 6.0 * 3600.0;
+  config.mean_node_rate = 0.03;
+  config.gaps = GapModel::pareto;
+  config.pareto_gap_shape = 1.6;
+  config.seed = 71;
+  const auto g = generate_pairwise_poisson(config);
+  const auto realized = g.trace.contact_rates();
+  // Heavy tails add variance, but the mean rate calibration must hold.
+  EXPECT_NEAR(stats::mean_of(realized), config.mean_node_rate,
+              config.mean_node_rate * 0.25);
+}
+
+TEST(PairwisePoisson, ParetoGapsHaveHeavierTailThanExponential) {
+  PairwisePoissonConfig config;
+  config.num_nodes = 40;
+  config.t_max = 8.0 * 3600.0;
+  config.mean_node_rate = 0.05;
+  // Equal weights so every pair has the same rate: the pooled gap
+  // distribution then isolates the gap model's shape (uniform weights
+  // would make the pooled distribution heavy-tailed by mixing alone).
+  config.weights = WeightModel::constant;
+  config.seed = 73;
+
+  config.gaps = GapModel::exponential;
+  const auto exp_trace = generate_pairwise_poisson(config).trace;
+  config.gaps = GapModel::pareto;
+  const auto par_trace = generate_pairwise_poisson(config).trace;
+
+  const auto tail_fraction = [](const trace::ContactTrace& t) {
+    const auto gaps = trace::all_inter_contact_times(t);
+    if (gaps.empty()) return 0.0;
+    double mean = 0.0;
+    for (const double g : gaps) mean += g;
+    mean /= static_cast<double>(gaps.size());
+    std::size_t tail = 0;
+    for (const double g : gaps)
+      if (g > 5.0 * mean) ++tail;
+    return static_cast<double>(tail) / static_cast<double>(gaps.size());
+  };
+  // P(gap > 5 * mean): exp(-5) ~ 0.0067 for exponential; the Pareto tail
+  // is several times heavier.
+  EXPECT_GT(tail_fraction(par_trace), 2.0 * tail_fraction(exp_trace));
+}
+
+TEST(PairwisePoisson, GapHelperMatchesRequestedMean) {
+  util::Rng rng(79);
+  const double rate = 0.02;
+  double sum_exp = 0.0;
+  double sum_par = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum_exp += draw_intercontact_gap(GapModel::exponential, 1.6, rate, rng);
+    sum_par += draw_intercontact_gap(GapModel::pareto, 1.6, rate, rng);
+  }
+  EXPECT_NEAR(sum_exp / n, 1.0 / rate, 1.0 / rate * 0.02);
+  // alpha = 1.6 has finite mean but huge variance; loose tolerance.
+  EXPECT_NEAR(sum_par / n, 1.0 / rate, 1.0 / rate * 0.25);
+}
+
+TEST(PairwisePoisson, RejectsDegenerateConfigs) {
+  PairwisePoissonConfig config;
+  config.num_nodes = 1;
+  EXPECT_THROW((void)generate_pairwise_poisson(config), std::invalid_argument);
+  config.num_nodes = 5;
+  config.mean_node_rate = 0.0;
+  EXPECT_THROW((void)generate_pairwise_poisson(config), std::invalid_argument);
+}
+
+TEST(Homogeneous, PerNodeRateMatches) {
+  HomogeneousConfig config;
+  config.num_nodes = 80;
+  config.t_max = 4.0 * 3600.0;
+  config.node_rate = 0.04;
+  config.seed = 31;
+  const auto trace = generate_homogeneous(config);
+  const auto rates = trace.contact_rates();
+  EXPECT_NEAR(stats::mean_of(rates), config.node_rate,
+              config.node_rate * 0.1);
+  // Homogeneity: per-node spread is small (Poisson noise only).
+  stats::Accumulator acc;
+  for (const double r : rates) acc.add(r);
+  EXPECT_LT(acc.stddev() / acc.mean(), 0.25);
+}
+
+TEST(Conference, PopulationLayout) {
+  ConferenceConfig config;
+  config.mobile_nodes = 10;
+  config.stationary_nodes = 4;
+  config.t_max = 1800.0;
+  config.seed = 37;
+  config.modulation = default_conference_modulation(config.t_max);
+  const auto g = generate_conference(config);
+  EXPECT_EQ(g.trace.num_nodes(), 14u);
+  EXPECT_EQ(g.node_weights.size(), 14u);
+}
+
+TEST(Conference, ModulationShapesDensity) {
+  // Low factor in the first half, high in the second: the second half must
+  // log clearly more contacts.
+  ConferenceConfig config;
+  config.mobile_nodes = 40;
+  config.stationary_nodes = 0;
+  config.t_max = 3600.0;
+  config.mean_node_rate = 0.08;
+  config.scan_interval = 0.0;
+  config.modulation = {{0.0, 1800.0, 0.5}, {1800.0, 3600.0, 2.0}};
+  config.seed = 41;
+  const auto g = generate_conference(config);
+  std::size_t first = 0;
+  std::size_t second = 0;
+  for (const auto& c : g.trace.contacts())
+    (c.start < 1800.0 ? first : second) += 1;
+  EXPECT_GT(second, first * 2);
+}
+
+TEST(Conference, DefaultModulationCoversWindowAndDeclines) {
+  const auto segs = default_conference_modulation(3.0 * 3600.0);
+  ASSERT_FALSE(segs.empty());
+  EXPECT_DOUBLE_EQ(segs.front().start, 0.0);
+  EXPECT_DOUBLE_EQ(segs.back().end, 3.0 * 3600.0);
+  // Contiguous coverage.
+  for (std::size_t i = 1; i < segs.size(); ++i)
+    EXPECT_DOUBLE_EQ(segs[i].start, segs[i - 1].end);
+  // The final segment is in decline (factor < 1 of its session baseline).
+  EXPECT_LT(segs.back().factor, 1.0);
+}
+
+TEST(Conference, StationaryBoostRaisesStationaryRates) {
+  ConferenceConfig config;
+  config.mobile_nodes = 40;
+  config.stationary_nodes = 40;
+  config.t_max = 2.0 * 3600.0;
+  config.stationary_weight_boost = 3.0;
+  config.seed = 43;
+  const auto g = generate_conference(config);
+  double mobile = 0.0;
+  double stationary = 0.0;
+  for (std::size_t i = 0; i < 40; ++i) mobile += g.node_rates[i];
+  for (std::size_t i = 40; i < 80; ++i) stationary += g.node_rates[i];
+  EXPECT_GT(stationary, mobile * 1.5);
+}
+
+TEST(RandomWaypoint, DeterministicInSeed) {
+  RandomWaypointConfig config;
+  config.num_nodes = 10;
+  config.t_max = 300.0;
+  config.seed = 47;
+  const auto a = generate_random_waypoint(config);
+  const auto b = generate_random_waypoint(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(RandomWaypoint, ProducesContactsInDenseArea) {
+  RandomWaypointConfig config;
+  config.num_nodes = 25;
+  config.area_side = 100.0;  // dense: plenty of contacts.
+  config.t_max = 600.0;
+  config.seed = 53;
+  const auto trace = generate_random_waypoint(config);
+  EXPECT_GT(trace.size(), 10u);
+}
+
+TEST(RandomWaypoint, ContactsRespectWindow) {
+  RandomWaypointConfig config;
+  config.num_nodes = 15;
+  config.area_side = 120.0;
+  config.t_max = 400.0;
+  config.seed = 59;
+  const auto trace = generate_random_waypoint(config);
+  for (const auto& c : trace.contacts()) {
+    EXPECT_GE(c.start, 0.0);
+    EXPECT_LE(c.end, 400.0);
+    EXPECT_LE(c.start, c.end);
+  }
+}
+
+TEST(RandomWaypoint, HomogeneousRates) {
+  RandomWaypointConfig config;
+  config.num_nodes = 30;
+  config.area_side = 150.0;
+  config.t_max = 3600.0;
+  config.seed = 61;
+  const auto trace = generate_random_waypoint(config);
+  const auto rates = trace.contact_rates();
+  stats::Accumulator acc;
+  for (const double r : rates) acc.add(r);
+  ASSERT_GT(acc.mean(), 0.0);
+  // RWP mixes uniformly; spread should be far below the conference CV.
+  EXPECT_LT(acc.stddev() / acc.mean(), 0.45);
+}
+
+}  // namespace
+}  // namespace psn::synth

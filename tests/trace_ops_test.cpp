@@ -1,0 +1,121 @@
+// Tests for psn::trace trace composition operations.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "psn/trace/trace_ops.hpp"
+
+namespace psn::trace {
+namespace {
+
+TEST(MergeTraces, UnionsContacts) {
+  const ContactTrace a({Contact::make(0, 1, 0.0, 5.0)}, 3, 100.0);
+  const ContactTrace b({Contact::make(1, 2, 50.0, 55.0)}, 3, 200.0);
+  const std::array<ContactTrace, 2> traces{a, b};
+  const auto merged = merge_traces(traces);
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged.t_max(), 200.0);
+  EXPECT_EQ(merged.num_nodes(), 3u);
+}
+
+TEST(MergeTraces, RejectsMismatchedPopulations) {
+  const ContactTrace a({Contact::make(0, 1, 0.0, 5.0)}, 3, 100.0);
+  const ContactTrace b({Contact::make(0, 1, 0.0, 5.0)}, 4, 100.0);
+  const std::array<ContactTrace, 2> traces{a, b};
+  EXPECT_THROW((void)merge_traces(traces), std::invalid_argument);
+}
+
+TEST(MergeTraces, RejectsEmptyInput) {
+  EXPECT_THROW((void)merge_traces({}), std::invalid_argument);
+}
+
+TEST(Coalesce, MergesOverlappingSightings) {
+  const ContactTrace trace(
+      {
+          Contact::make(0, 1, 0.0, 10.0),
+          Contact::make(0, 1, 5.0, 20.0),   // overlaps
+          Contact::make(0, 1, 20.0, 25.0),  // touches
+          Contact::make(0, 1, 40.0, 45.0),  // separate
+      },
+      2, 100.0);
+  const auto clean = coalesce_contacts(trace);
+  ASSERT_EQ(clean.size(), 2u);
+  EXPECT_DOUBLE_EQ(clean[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(clean[0].end, 25.0);
+  EXPECT_DOUBLE_EQ(clean[1].start, 40.0);
+}
+
+TEST(Coalesce, DifferentPairsNotMerged) {
+  const ContactTrace trace(
+      {
+          Contact::make(0, 1, 0.0, 10.0),
+          Contact::make(0, 2, 5.0, 15.0),
+      },
+      3, 100.0);
+  EXPECT_EQ(coalesce_contacts(trace).size(), 2u);
+}
+
+TEST(RestrictTo, RelabelsAndFilters) {
+  const ContactTrace trace(
+      {
+          Contact::make(0, 1, 0.0, 5.0),
+          Contact::make(1, 2, 10.0, 15.0),
+          Contact::make(2, 3, 20.0, 25.0),
+      },
+      4, 100.0);
+  const std::array<NodeId, 2> keep{1, 3};
+  const auto sub = restrict_to(trace, keep);
+  EXPECT_EQ(sub.num_nodes(), 2u);
+  // Only contacts fully inside {1, 3} survive: none here.
+  EXPECT_EQ(sub.size(), 0u);
+
+  const std::array<NodeId, 3> keep2{2, 3, 1};
+  const auto sub2 = restrict_to(trace, keep2);
+  EXPECT_EQ(sub2.num_nodes(), 3u);
+  ASSERT_EQ(sub2.size(), 2u);
+  // Contact (1,2) -> relabelled (2,0); Contact (2,3) -> (0,1).
+  EXPECT_EQ(sub2[0].a, 0u);
+  EXPECT_EQ(sub2[0].b, 2u);
+  EXPECT_EQ(sub2[1].a, 0u);
+  EXPECT_EQ(sub2[1].b, 1u);
+}
+
+TEST(RestrictTo, RejectsBadIds) {
+  const ContactTrace trace({Contact::make(0, 1, 0.0, 5.0)}, 2, 100.0);
+  const std::array<NodeId, 1> bad{7};
+  EXPECT_THROW((void)restrict_to(trace, bad), std::invalid_argument);
+  const std::array<NodeId, 2> dup{0, 0};
+  EXPECT_THROW((void)restrict_to(trace, dup), std::invalid_argument);
+}
+
+TEST(Concat, ShiftsSecondTrace) {
+  const ContactTrace a({Contact::make(0, 1, 0.0, 5.0)}, 2, 100.0);
+  const ContactTrace b({Contact::make(0, 1, 10.0, 15.0)}, 2, 50.0);
+  const auto joined = concat_traces(a, b);
+  ASSERT_EQ(joined.size(), 2u);
+  EXPECT_DOUBLE_EQ(joined.t_max(), 150.0);
+  EXPECT_DOUBLE_EQ(joined[1].start, 110.0);
+  EXPECT_DOUBLE_EQ(joined[1].end, 115.0);
+}
+
+TEST(Concat, RejectsMismatchedPopulations) {
+  const ContactTrace a({Contact::make(0, 1, 0.0, 5.0)}, 2, 100.0);
+  const ContactTrace b({Contact::make(0, 1, 0.0, 5.0)}, 3, 100.0);
+  EXPECT_THROW((void)concat_traces(a, b), std::invalid_argument);
+}
+
+TEST(Compose, CoalesceAfterMergeRoundTrip) {
+  // Merging two noisy copies of the same session then coalescing yields
+  // the clean session.
+  const ContactTrace s1({Contact::make(0, 1, 0.0, 10.0)}, 2, 100.0);
+  const ContactTrace s2({Contact::make(0, 1, 5.0, 12.0)}, 2, 100.0);
+  const std::array<ContactTrace, 2> traces{s1, s2};
+  const auto clean = coalesce_contacts(merge_traces(traces));
+  ASSERT_EQ(clean.size(), 1u);
+  EXPECT_DOUBLE_EQ(clean[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(clean[0].end, 12.0);
+}
+
+}  // namespace
+}  // namespace psn::trace

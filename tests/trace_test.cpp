@@ -1,0 +1,262 @@
+// Tests for psn::trace: contacts, traces, I/O, descriptive statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "psn/trace/contact.hpp"
+#include "psn/trace/contact_trace.hpp"
+#include "psn/trace/trace_io.hpp"
+#include "psn/trace/trace_stats.hpp"
+
+namespace psn::trace {
+namespace {
+
+TEST(ContactTest, MakeNormalizesEndpoints) {
+  const auto c = Contact::make(5, 2, 10.0, 20.0);
+  EXPECT_EQ(c.a, 2u);
+  EXPECT_EQ(c.b, 5u);
+  EXPECT_DOUBLE_EQ(c.duration(), 10.0);
+}
+
+TEST(ContactTest, RejectsSelfContact) {
+  EXPECT_THROW((void)Contact::make(3, 3, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(ContactTest, RejectsReversedInterval) {
+  EXPECT_THROW((void)Contact::make(1, 2, 5.0, 4.0), std::invalid_argument);
+}
+
+TEST(ContactTest, OverlapSemantics) {
+  const auto c = Contact::make(0, 1, 10.0, 20.0);
+  EXPECT_TRUE(c.overlaps(15.0, 16.0));
+  EXPECT_TRUE(c.overlaps(5.0, 11.0));
+  EXPECT_TRUE(c.overlaps(19.0, 30.0));
+  EXPECT_FALSE(c.overlaps(20.0, 30.0));  // half-open: end not included.
+  EXPECT_FALSE(c.overlaps(0.0, 10.0));   // start-of-window exclusive end.
+}
+
+TEST(ContactTest, PeerAndInvolves) {
+  const auto c = Contact::make(3, 7, 0.0, 1.0);
+  EXPECT_TRUE(c.involves(3));
+  EXPECT_TRUE(c.involves(7));
+  EXPECT_FALSE(c.involves(5));
+  EXPECT_EQ(c.peer(3), 7u);
+  EXPECT_EQ(c.peer(7), 3u);
+}
+
+TEST(ContactTrace, SortsContacts) {
+  std::vector<Contact> cs{
+      Contact::make(0, 1, 50.0, 60.0),
+      Contact::make(1, 2, 10.0, 20.0),
+      Contact::make(0, 2, 30.0, 40.0),
+  };
+  const ContactTrace trace(cs, 3, 100.0);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace[0].start, 10.0);
+  EXPECT_DOUBLE_EQ(trace[1].start, 30.0);
+  EXPECT_DOUBLE_EQ(trace[2].start, 50.0);
+}
+
+TEST(ContactTrace, ClipsToWindow) {
+  std::vector<Contact> cs{
+      Contact::make(0, 1, -5.0, 5.0),    // clipped at 0
+      Contact::make(0, 1, 95.0, 150.0),  // clipped at t_max
+      Contact::make(1, 2, 200.0, 300.0), // dropped entirely
+  };
+  const ContactTrace trace(cs, 3, 100.0);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(trace[1].end, 100.0);
+}
+
+TEST(ContactTrace, RejectsOutOfRangeNode) {
+  std::vector<Contact> cs{Contact::make(0, 5, 0.0, 1.0)};
+  EXPECT_THROW(ContactTrace(cs, 3, 100.0), std::invalid_argument);
+}
+
+TEST(ContactTrace, ContactCountsBothEndpoints) {
+  std::vector<Contact> cs{
+      Contact::make(0, 1, 0.0, 1.0),
+      Contact::make(0, 2, 2.0, 3.0),
+  };
+  const ContactTrace trace(cs, 4, 10.0);
+  const auto counts = trace.contact_counts();
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 0u);
+}
+
+TEST(ContactTrace, RatesArePerSecond) {
+  std::vector<Contact> cs{Contact::make(0, 1, 0.0, 1.0)};
+  const ContactTrace trace(cs, 2, 100.0);
+  const auto rates = trace.contact_rates();
+  EXPECT_DOUBLE_EQ(rates[0], 0.01);
+  EXPECT_DOUBLE_EQ(rates[1], 0.01);
+}
+
+TEST(ContactTrace, WindowShiftsTimes) {
+  std::vector<Contact> cs{
+      Contact::make(0, 1, 10.0, 20.0),
+      Contact::make(1, 2, 40.0, 55.0),
+  };
+  const ContactTrace trace(cs, 3, 100.0);
+  const auto cut = trace.window(30.0, 60.0);
+  ASSERT_EQ(cut.size(), 1u);
+  EXPECT_DOUBLE_EQ(cut[0].start, 10.0);  // 40 - 30
+  EXPECT_DOUBLE_EQ(cut[0].end, 25.0);    // 55 - 30
+  EXPECT_DOUBLE_EQ(cut.t_max(), 30.0);
+}
+
+TEST(ContactTrace, ContactsOverlappingQuery) {
+  std::vector<Contact> cs{
+      Contact::make(0, 1, 0.0, 10.0),
+      Contact::make(1, 2, 20.0, 30.0),
+      Contact::make(0, 2, 50.0, 60.0),
+  };
+  const ContactTrace trace(cs, 3, 100.0);
+  EXPECT_EQ(trace.contacts_overlapping(0.0, 100.0).size(), 3u);
+  EXPECT_EQ(trace.contacts_overlapping(25.0, 55.0).size(), 2u);
+  EXPECT_EQ(trace.contacts_overlapping(11.0, 19.0).size(), 0u);
+}
+
+TEST(ContactTrace, TotalContactTime) {
+  std::vector<Contact> cs{
+      Contact::make(0, 1, 0.0, 10.0),
+      Contact::make(1, 2, 20.0, 25.0),
+  };
+  const ContactTrace trace(cs, 3, 100.0);
+  EXPECT_DOUBLE_EQ(trace.total_contact_time(), 15.0);
+}
+
+TEST(TraceIo, RoundTrip) {
+  std::vector<Contact> cs{
+      Contact::make(0, 1, 0.5, 10.25),
+      Contact::make(1, 2, 20.0, 25.0),
+  };
+  const ContactTrace trace(cs, 5, 100.0);
+  std::stringstream ss;
+  write_trace(ss, trace);
+  const auto back = read_trace(ss);
+  EXPECT_EQ(back.num_nodes(), 5u);
+  EXPECT_DOUBLE_EQ(back.t_max(), 100.0);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], trace[0]);
+  EXPECT_EQ(back[1], trace[1]);
+}
+
+TEST(TraceIo, MissingHeaderFails) {
+  std::stringstream ss("0 1 0.0 1.0\n");
+  EXPECT_THROW((void)read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, MalformedLineFails) {
+  std::stringstream ss("# nodes 3\n# tmax 10\n0 zebra 0.0 1.0\n");
+  EXPECT_THROW((void)read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, SelfContactFails) {
+  std::stringstream ss("# nodes 3\n# tmax 10\n1 1 0.0 1.0\n");
+  EXPECT_THROW((void)read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, CommentsIgnored) {
+  std::stringstream ss(
+      "# psn-trace v1\n# nodes 3\n# tmax 10\n# a comment\n\n0 1 0 1\n");
+  const auto trace = read_trace(ss);
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(TraceStats, MedianSplitHalvesPopulation) {
+  // Node 0 contacts everyone often; node 3 rarely.
+  std::vector<Contact> cs;
+  for (int i = 0; i < 9; ++i)
+    cs.push_back(Contact::make(0, 1, i * 10.0, i * 10.0 + 1.0));
+  for (int i = 0; i < 5; ++i)
+    cs.push_back(Contact::make(2, 3, i * 10.0 + 2.0, i * 10.0 + 3.0));
+  const ContactTrace trace(cs, 4, 100.0);
+  const auto rc = classify_rates(trace);
+  EXPECT_TRUE(rc.is_in(0));
+  EXPECT_TRUE(rc.is_in(1));
+  EXPECT_FALSE(rc.is_in(2));
+  EXPECT_FALSE(rc.is_in(3));
+}
+
+TEST(TraceStats, ContactsPerBin) {
+  std::vector<Contact> cs{
+      Contact::make(0, 1, 5.0, 6.0),
+      Contact::make(0, 1, 65.0, 66.0),
+      Contact::make(1, 2, 70.0, 71.0),
+  };
+  const ContactTrace trace(cs, 3, 120.0);
+  const auto hist = contacts_per_bin(trace, 60.0);
+  ASSERT_EQ(hist.bin_count(), 2u);
+  EXPECT_DOUBLE_EQ(hist.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.count(1), 2.0);
+}
+
+TEST(TraceStats, ContactCountCdf) {
+  std::vector<Contact> cs{Contact::make(0, 1, 0.0, 1.0)};
+  const ContactTrace trace(cs, 3, 10.0);
+  const auto cdf = contact_count_cdf(trace);
+  EXPECT_DOUBLE_EQ(cdf.at(0.0), 1.0 / 3.0);  // node 2 has zero contacts.
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 1.0);
+}
+
+TEST(TraceStats, InterContactTimes) {
+  std::vector<Contact> cs{
+      Contact::make(0, 1, 0.0, 10.0),
+      Contact::make(0, 1, 30.0, 35.0),
+      Contact::make(0, 1, 100.0, 110.0),
+  };
+  const ContactTrace trace(cs, 2, 200.0);
+  const auto gaps = inter_contact_times(trace, 1, 0);
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0], 20.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 65.0);
+}
+
+TEST(TraceStats, OverlappingContactsYieldNoGap) {
+  std::vector<Contact> cs{
+      Contact::make(0, 1, 0.0, 10.0),
+      Contact::make(0, 1, 5.0, 20.0),
+  };
+  const ContactTrace trace(cs, 2, 100.0);
+  EXPECT_TRUE(inter_contact_times(trace, 0, 1).empty());
+}
+
+TEST(TraceStats, AllInterContactTimesAggregates) {
+  std::vector<Contact> cs{
+      Contact::make(0, 1, 0.0, 1.0),
+      Contact::make(0, 1, 11.0, 12.0),
+      Contact::make(2, 3, 0.0, 1.0),
+      Contact::make(2, 3, 21.0, 22.0),
+  };
+  const ContactTrace trace(cs, 4, 100.0);
+  const auto gaps = all_inter_contact_times(trace);
+  ASSERT_EQ(gaps.size(), 2u);
+}
+
+TEST(TraceStats, MeanIntercontactMatrix) {
+  std::vector<Contact> cs{
+      Contact::make(0, 1, 0.0, 1.0),
+      Contact::make(0, 1, 11.0, 12.0),
+      Contact::make(0, 1, 31.0, 32.0),
+      Contact::make(1, 2, 5.0, 6.0),
+  };
+  const ContactTrace trace(cs, 3, 100.0);
+  const auto m = mean_intercontact_matrix(trace);
+  // Pair (0,1): gaps 10 and 19 -> mean 14.5.
+  EXPECT_DOUBLE_EQ(m[0 * 3 + 1], 14.5);
+  EXPECT_DOUBLE_EQ(m[1 * 3 + 0], 14.5);
+  // Pair (1,2): met once -> optimistic stand-in t_max.
+  EXPECT_DOUBLE_EQ(m[1 * 3 + 2], 100.0);
+  // Pair (0,2): never met -> infinity.
+  EXPECT_TRUE(std::isinf(m[0 * 3 + 2]));
+}
+
+}  // namespace
+}  // namespace psn::trace

@@ -1,0 +1,219 @@
+// Tests for psn::util: the Rng engine and the 128-bit node set.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "psn/util/bitset128.hpp"
+#include "psn/util/rng.hpp"
+
+namespace psn::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(17);
+  constexpr std::uint64_t n = 7;
+  std::vector<int> counts(n, 0);
+  constexpr int draws = 70000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_index(n)];
+  for (const int c : counts)
+    EXPECT_NEAR(static_cast<double>(c), draws / static_cast<double>(n),
+                draws * 0.01);
+}
+
+TEST(Rng, UniformIndexOneAlwaysZero) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(23);
+  const double rate = 0.25;
+  double sum = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.05);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(29);
+  const double mean = 3.0;
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+  EXPECT_NEAR(sum / n, mean, 0.05);
+}
+
+TEST(Rng, PoissonLargeMean) {
+  Rng rng(31);
+  const double mean = 250.0;
+  double sum = 0.0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+  EXPECT_NEAR(sum / n, mean, 1.0);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(37);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(41);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(43);
+  int hits = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng(47);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, SplitStreamsAreIndependentish) {
+  Rng parent(53);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent() == child()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(59);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Bitset128, EmptyByDefault) {
+  Bitset128 s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  for (unsigned b = 0; b < 128; ++b) EXPECT_FALSE(s.test(b));
+}
+
+TEST(Bitset128, SetTestReset) {
+  Bitset128 s;
+  for (unsigned b : {0u, 1u, 63u, 64u, 65u, 127u}) {
+    s.set(b);
+    EXPECT_TRUE(s.test(b));
+  }
+  EXPECT_EQ(s.count(), 6u);
+  s.reset(64);
+  EXPECT_FALSE(s.test(64));
+  EXPECT_EQ(s.count(), 5u);
+}
+
+TEST(Bitset128, SingleFactory) {
+  const auto s = Bitset128::single(97);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_TRUE(s.test(97));
+}
+
+TEST(Bitset128, UnionAndIntersection) {
+  Bitset128 a;
+  a.set(3);
+  a.set(70);
+  Bitset128 b;
+  b.set(70);
+  b.set(100);
+  const auto u = a | b;
+  EXPECT_EQ(u.count(), 3u);
+  const auto i = a & b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(70));
+}
+
+TEST(Bitset128, EqualityAndHash) {
+  Bitset128 a;
+  a.set(5);
+  a.set(99);
+  Bitset128 b;
+  b.set(99);
+  b.set(5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(Bitset128Hash{}(a), Bitset128Hash{}(b));
+  b.set(1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Bitset128, ToStringListsMembers) {
+  Bitset128 s;
+  s.set(2);
+  s.set(64);
+  EXPECT_EQ(s.to_string(), "{2, 64}");
+}
+
+TEST(Bitset128, HashSpreadsOverBuckets) {
+  std::set<std::size_t> hashes;
+  for (unsigned b = 0; b < 128; ++b)
+    hashes.insert(Bitset128Hash{}(Bitset128::single(b)));
+  EXPECT_EQ(hashes.size(), 128u);
+}
+
+}  // namespace
+}  // namespace psn::util
