@@ -8,6 +8,7 @@
 //   PSN_BENCH_MESSAGES  enumeration sample size per dataset (default 80)
 //   PSN_BENCH_K         explosion threshold (default 2000, as in the paper)
 //   PSN_BENCH_RUNS      forwarding simulation runs (default 3; paper: 10)
+//   PSN_BENCH_THREADS   sweep-engine worker threads (default 0 = hardware)
 
 #pragma once
 
@@ -30,6 +31,13 @@ inline std::size_t bench_messages() {
 }
 inline std::size_t bench_k() { return env_size("PSN_BENCH_K", 2000); }
 inline std::size_t bench_runs() { return env_size("PSN_BENCH_RUNS", 3); }
+inline std::size_t bench_threads() { return env_size("PSN_BENCH_THREADS", 0); }
+
+inline void print_sweep_footer(std::size_t total_runs, std::size_t threads,
+                               double wall_seconds) {
+  std::cout << "\n[sweep] " << total_runs << " runs on " << threads
+            << " threads in " << wall_seconds << " s\n";
+}
 
 inline void print_header(const std::string& figure,
                          const std::string& description) {

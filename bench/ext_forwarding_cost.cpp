@@ -2,7 +2,8 @@
 // does not consider forwarding cost and that "there may be good reasons to
 // prefer one algorithm over another even if they show similar
 // performance". This harness quantifies exactly that: transmissions per
-// message next to success rate and delay for the full algorithm suite.
+// message next to success rate and delay for the full algorithm suite,
+// run as one engine sweep over the ten extended algorithms.
 //
 // Expected shape: Epidemic pays orders of magnitude more transmissions for
 // its modest delay advantage; the single-copy algorithms cluster at a few
@@ -12,7 +13,10 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "psn/core/forwarding_study.hpp"
+#include "psn/core/dataset.hpp"
+#include "psn/engine/run_spec.hpp"
+#include "psn/engine/sweep.hpp"
+#include "psn/forward/algorithm_registry.hpp"
 #include "psn/stats/table.hpp"
 
 int main() {
@@ -21,24 +25,30 @@ int main() {
                       "forwarding cost (transmissions per message)");
 
   const auto ds = core::DatasetFactory::paper_dataset(0);
-  core::ForwardingStudyConfig config;
-  config.runs = bench::bench_runs();
-  config.extended_suite = true;
-  const auto result = run_forwarding_study(ds, config);
+  engine::PlanConfig pc;
+  pc.runs = bench::bench_runs();
+  const auto plan = engine::make_plan({engine::make_scenario(ds)},
+                                      forward::extended_algorithm_names(), pc);
+
+  engine::SweepOptions options;
+  options.threads = bench::bench_threads();
+  options.keep_delays = false;
+  const auto sweep = engine::run_sweep(plan, options);
 
   stats::TablePrinter table({"algorithm", "success rate", "avg delay (s)",
                              "tx / message", "tx / delivered"});
-  for (const auto& study : result.algorithms) {
+  for (std::size_t a = 0; a < sweep.num_algorithms; ++a) {
+    const auto& cell = sweep.cell(0, a);
     const double per_delivered =
-        study.overall.delivered > 0
-            ? study.cost_per_message *
-                  static_cast<double>(study.overall.messages) /
-                  static_cast<double>(study.overall.delivered)
+        cell.overall.delivered > 0
+            ? cell.cost_per_message *
+                  static_cast<double>(cell.overall.messages) /
+                  static_cast<double>(cell.overall.delivered)
             : 0.0;
-    table.add_row({study.overall.algorithm,
-                   stats::TablePrinter::fmt(study.overall.success_rate, 3),
-                   stats::TablePrinter::fmt(study.overall.average_delay, 0),
-                   stats::TablePrinter::fmt(study.cost_per_message, 1),
+    table.add_row({cell.algorithm,
+                   stats::TablePrinter::fmt(cell.overall.success_rate, 3),
+                   stats::TablePrinter::fmt(cell.overall.average_delay, 0),
+                   stats::TablePrinter::fmt(cell.cost_per_message, 1),
                    stats::TablePrinter::fmt(per_delivered, 1)});
   }
   table.print(std::cout);
@@ -47,5 +57,7 @@ int main() {
                "schemes while its delay advantage is modest — the path "
                "explosion means cheap algorithms find near-optimal paths "
                "anyway.\n";
+  bench::print_sweep_footer(sweep.total_runs, sweep.threads,
+                            sweep.wall_seconds);
   return 0;
 }

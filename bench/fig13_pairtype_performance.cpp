@@ -7,9 +7,13 @@
 // 'out' node is involved, especially when the source is 'out'.
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
-#include "psn/core/forwarding_study.hpp"
+#include "psn/core/dataset.hpp"
+#include "psn/engine/run_spec.hpp"
+#include "psn/engine/sweep.hpp"
+#include "psn/forward/algorithm_registry.hpp"
 #include "psn/stats/table.hpp"
 
 int main() {
@@ -18,16 +22,23 @@ int main() {
                       "per-pair-type performance of the six algorithms");
 
   const auto ds = core::DatasetFactory::paper_dataset(0);
-  core::ForwardingStudyConfig config;
-  config.runs = bench::bench_runs();
-  const auto result = run_forwarding_study(ds, config);
+  engine::PlanConfig pc;
+  pc.runs = bench::bench_runs();
+  const auto plan = engine::make_plan({engine::make_scenario(ds)},
+                                      forward::paper_algorithm_names(), pc);
+
+  engine::SweepOptions options;
+  options.threads = bench::bench_threads();
+  options.keep_delays = false;
+  const auto sweep = engine::run_sweep(plan, options);
 
   std::cout << "\n(a) average delay (s)\n";
   stats::TablePrinter ta(
       {"algorithm", "in-in", "in-out", "out-in", "out-out"});
-  for (const auto& study : result.algorithms) {
-    std::vector<std::string> row{study.overall.algorithm};
-    for (const auto& p : study.by_pair_type.per_type)
+  for (std::size_t a = 0; a < sweep.num_algorithms; ++a) {
+    const auto& cell = sweep.cell(0, a);
+    std::vector<std::string> row{cell.algorithm};
+    for (const auto& p : cell.by_pair_type.per_type)
       row.push_back(stats::TablePrinter::fmt(p.average_delay, 0));
     ta.add_row(std::move(row));
   }
@@ -36,9 +47,10 @@ int main() {
   std::cout << "\n(b) success rate\n";
   stats::TablePrinter tb(
       {"algorithm", "in-in", "in-out", "out-in", "out-out"});
-  for (const auto& study : result.algorithms) {
-    std::vector<std::string> row{study.overall.algorithm};
-    for (const auto& p : study.by_pair_type.per_type)
+  for (std::size_t a = 0; a < sweep.num_algorithms; ++a) {
+    const auto& cell = sweep.cell(0, a);
+    std::vector<std::string> row{cell.algorithm};
+    for (const auto& p : cell.by_pair_type.per_type)
       row.push_back(stats::TablePrinter::fmt(p.success_rate, 3));
     tb.add_row(std::move(row));
   }
@@ -46,5 +58,7 @@ int main() {
 
   std::cout << "\nShape check (paper: in-in best for everyone; out pairs "
                "harder; oracles win when source is 'out').\n";
+  bench::print_sweep_footer(sweep.total_runs, sweep.threads,
+                            sweep.wall_seconds);
   return 0;
 }

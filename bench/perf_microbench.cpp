@@ -1,11 +1,30 @@
 // google-benchmark microbenchmarks for the heavy kernels: trace
 // generation, space-time graph construction, reachability sweeps, path
-// enumeration, and the forwarding simulator.
+// enumeration, and the forwarding simulator — plus a sweep-engine matrix
+// benchmark that writes machine-readable BENCH_sweep.json (wall time and
+// runs/sec at each thread count) so successive PRs have a perf trajectory.
+//
+// Knobs: PSN_BENCH_RUNS (matrix repetitions, default 3),
+// PSN_BENCH_SWEEP_THREADS (comma list, default "1,2,4,8"),
+// PSN_BENCH_SWEEP_JSON (output path, default BENCH_sweep.json; empty
+// string disables the sweep section).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "psn/core/dataset.hpp"
 #include "psn/core/workload.hpp"
+#include "psn/engine/run_spec.hpp"
+#include "psn/engine/sweep.hpp"
+#include "psn/engine/thread_pool.hpp"
 #include "psn/forward/algorithm_registry.hpp"
 #include "psn/forward/algorithms/epidemic.hpp"
 #include "psn/forward/simulator.hpp"
@@ -108,4 +127,105 @@ void BM_SingleCopySimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_SingleCopySimulation);
 
+// --- Sweep-engine matrix: (paper algorithms) x (1 scenario) x (runs) at
+// --- several thread counts, reported as wall time and runs/sec.
+
+std::vector<std::size_t> sweep_thread_counts() {
+  std::string raw = "1,2,4,8";
+  if (const char* env = std::getenv("PSN_BENCH_SWEEP_THREADS")) raw = env;
+  std::vector<std::size_t> counts;
+  std::stringstream stream(raw);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    const long long v = std::atoll(token.c_str());
+    if (v > 0) counts.push_back(static_cast<std::size_t>(v));
+  }
+  if (counts.empty()) counts = {1, 2, 4, 8};
+  return counts;
+}
+
+void run_sweep_matrix_bench() {
+  const char* path_env = std::getenv("PSN_BENCH_SWEEP_JSON");
+  const std::string json_path = path_env ? path_env : "BENCH_sweep.json";
+  if (json_path.empty()) return;
+
+  const auto& ds = dataset();
+  psn::engine::PlanConfig pc;
+  pc.runs = psn::bench::bench_runs();
+  pc.master_seed = 7;
+  pc.message_rate = 0.05;
+  const auto plan = psn::engine::make_plan(
+      {psn::engine::make_scenario(ds)},
+      psn::forward::paper_algorithm_names(), pc);
+
+  std::cout << "\nsweep matrix: " << plan.algorithms.size()
+            << " algorithms x 1 scenario x " << pc.runs << " runs = "
+            << plan.total_runs() << " runs ("
+            << psn::engine::ThreadPool::hardware_threads()
+            << " hardware threads)\n";
+
+  struct Point {
+    std::size_t threads;
+    double wall_seconds;
+    double runs_per_sec;
+    double run_wall_seconds;  ///< summed per-run work time.
+  };
+  std::vector<Point> points;
+  for (const std::size_t threads : sweep_thread_counts()) {
+    psn::engine::SweepOptions options;
+    options.threads = threads;
+    options.keep_delays = false;
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = psn::engine::run_sweep(plan, options);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    Point point;
+    point.threads = threads;
+    point.wall_seconds = wall;
+    point.runs_per_sec =
+        wall > 0.0 ? static_cast<double>(plan.total_runs()) / wall : 0.0;
+    point.run_wall_seconds = 0.0;
+    for (const auto& cell : result.cells)
+      point.run_wall_seconds += cell.run_wall_seconds;
+    points.push_back(point);
+    std::cout << "  threads=" << threads << "  wall=" << wall << "s  "
+              << point.runs_per_sec << " runs/s\n";
+  }
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "perf_microbench: cannot write " << json_path << '\n';
+    return;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"sweep_matrix\",\n"
+      << "  \"dataset\": \"" << ds.name << "\",\n"
+      << "  \"algorithms\": " << plan.algorithms.size() << ",\n"
+      << "  \"runs_per_algorithm\": " << pc.runs << ",\n"
+      << "  \"total_runs\": " << plan.total_runs() << ",\n"
+      << "  \"hardware_threads\": "
+      << psn::engine::ThreadPool::hardware_threads() << ",\n"
+      << "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    out << "    {\"threads\": " << p.threads
+        << ", \"wall_seconds\": " << p.wall_seconds
+        << ", \"runs_per_sec\": " << p.runs_per_sec
+        << ", \"run_wall_seconds\": " << p.run_wall_seconds << "}"
+        << (i + 1 < points.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << json_path << '\n';
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_sweep_matrix_bench();
+  return 0;
+}

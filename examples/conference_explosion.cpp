@@ -72,8 +72,12 @@ int main(int argc, char** argv) {
     table.add_row(
         {core::quadrant_name(static_cast<core::Quadrant>(q)),
          std::to_string(records.size()), std::to_string(n_exp),
-         n_del ? stats::TablePrinter::fmt(t1_sum / n_del, 0) : "-",
-         n_exp ? stats::TablePrinter::fmt(te_sum / n_exp, 0) : "-"});
+         n_del ? stats::TablePrinter::fmt(
+                     t1_sum / static_cast<double>(n_del), 0)
+               : "-",
+         n_exp ? stats::TablePrinter::fmt(
+                     te_sum / static_cast<double>(n_exp), 0)
+               : "-"});
   }
   table.print(std::cout);
   std::cout << "\nExpect: in-* rows have small mean T1; *-in rows have "

@@ -1,55 +1,40 @@
 #include "psn/core/forwarding_study.hpp"
 
-#include "psn/core/workload.hpp"
+#include "psn/engine/run_spec.hpp"
+#include "psn/engine/sweep.hpp"
 
 namespace psn::core {
 
 ForwardingStudyResult run_forwarding_study(
     const Dataset& dataset, const ForwardingStudyConfig& config) {
-  const graph::SpaceTimeGraph graph(dataset.trace, config.delta);
+  // The study is a single-scenario sweep: the engine derives the same
+  // per-run workload / simulator streams the pre-engine implementation
+  // used (see run_spec.cpp), so results are bit-identical to the serial
+  // version at every thread count.
+  engine::PlanConfig pc;
+  pc.runs = config.runs;
+  pc.master_seed = config.seed;
+  pc.message_rate = config.message_rate;
+  pc.seed_mode = engine::SeedMode::kSharedAcrossScenarios;
 
-  // One workload per run, shared across algorithms so comparisons are
-  // paired (every algorithm sees the same messages).
-  std::vector<std::vector<forward::Message>> workloads;
-  for (std::size_t r = 0; r < config.runs; ++r) {
-    WorkloadConfig wc;
-    wc.message_rate = config.message_rate;
-    wc.horizon = dataset.message_horizon;
-    wc.seed = config.seed + r * 1000003ULL;
-    workloads.push_back(poisson_workload(dataset.trace.num_nodes(), wc));
-  }
+  auto plan = engine::make_plan(
+      {engine::make_scenario(dataset, config.delta)},
+      config.extended_suite ? forward::extended_algorithm_names()
+                            : forward::paper_algorithm_names(),
+      pc);
 
-  auto algorithms = config.extended_suite
-                        ? forward::make_extended_algorithms()
-                        : forward::make_paper_algorithms();
+  engine::SweepOptions options;
+  options.threads = config.threads;
+  auto sweep = engine::run_sweep(plan, options);
 
   ForwardingStudyResult result;
-  for (auto& algorithm : algorithms) {
-    std::vector<forward::Run> runs;
-    runs.reserve(config.runs);
-    for (std::size_t r = 0; r < config.runs; ++r) {
-      forward::SimulatorConfig sc;
-      sc.seed = config.seed + r * 7919ULL;
-      forward::Run run;
-      run.messages = workloads[r];
-      run.result = forward::simulate(*algorithm, graph, dataset.trace,
-                                     run.messages, sc);
-      runs.push_back(std::move(run));
-    }
+  result.algorithms.reserve(sweep.cells.size());
+  for (auto& cell : sweep.cells) {
     AlgorithmStudy study;
-    study.overall = forward::aggregate_performance(algorithm->name(), runs);
-    study.by_pair_type =
-        forward::split_by_pair_type(algorithm->name(), runs, dataset.rates);
-    study.delays = forward::pooled_delays(runs);
-    std::uint64_t tx = 0;
-    std::size_t msgs = 0;
-    for (const auto& run : runs) {
-      tx += run.result.transmissions;
-      msgs += run.messages.size();
-    }
-    if (msgs > 0)
-      study.cost_per_message =
-          static_cast<double>(tx) / static_cast<double>(msgs);
+    study.overall = std::move(cell.overall);
+    study.by_pair_type = std::move(cell.by_pair_type);
+    study.delays = std::move(cell.delays);
+    study.cost_per_message = cell.cost_per_message;
     result.algorithms.push_back(std::move(study));
   }
   return result;

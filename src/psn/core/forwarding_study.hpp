@@ -21,6 +21,9 @@ struct ForwardingStudyConfig {
   trace::Seconds delta = 10.0;
   std::uint64_t seed = 7;
   bool extended_suite = false;  ///< include Direct/Random/Spray/PRoPHET.
+  /// Worker threads for the underlying engine sweep; 0 means one per
+  /// hardware thread. Results are identical at every thread count.
+  std::size_t threads = 0;
 };
 
 /// Per-algorithm study output.

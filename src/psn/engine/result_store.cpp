@@ -1,0 +1,45 @@
+#include "psn/engine/result_store.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace psn::engine {
+
+ResultStore::ResultStore(std::size_t capacity)
+    : records_(capacity), written_(capacity, 0) {}
+
+void ResultStore::put(std::size_t slot, RunRecord record) {
+  std::lock_guard lock(mu_);
+  if (slot >= records_.size())
+    throw std::out_of_range("ResultStore::put: slot out of range");
+  if (written_[slot])
+    throw std::logic_error("ResultStore::put: slot written twice");
+  records_[slot] = std::move(record);
+  written_[slot] = 1;
+  ++filled_;
+}
+
+std::size_t ResultStore::capacity() const noexcept { return records_.size(); }
+
+std::size_t ResultStore::filled() const {
+  std::lock_guard lock(mu_);
+  return filled_;
+}
+
+bool ResultStore::complete() const { return filled() == records_.size(); }
+
+std::span<const RunRecord> ResultStore::records() const {
+  if (!complete())
+    throw std::logic_error("ResultStore::records: sweep incomplete");
+  return records_;
+}
+
+RunRecord ResultStore::take(std::size_t slot) {
+  if (!complete())
+    throw std::logic_error("ResultStore::take: sweep incomplete");
+  if (slot >= records_.size())
+    throw std::out_of_range("ResultStore::take: slot out of range");
+  return std::move(records_[slot]);
+}
+
+}  // namespace psn::engine

@@ -1,0 +1,60 @@
+// Thread-safe, slot-addressed table of completed runs.
+//
+// Workers write each finished run into the slot given by its plan index
+// (SweepPlan::slot), so the table's final contents — and everything
+// aggregated from it — are independent of thread count and of the order
+// in which workers happen to finish. This is the determinism anchor of
+// the sweep engine.
+
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "psn/engine/run_spec.hpp"
+#include "psn/forward/metrics.hpp"
+
+namespace psn::engine {
+
+/// One completed run: its spec, the workload it ran, and what happened.
+struct RunRecord {
+  RunSpec spec;
+  forward::Run run;
+  /// Wall-clock execution time of this run (perf telemetry only; never
+  /// part of the aggregated metrics, so it does not break determinism).
+  double wall_seconds = 0.0;
+};
+
+class ResultStore {
+ public:
+  explicit ResultStore(std::size_t capacity);
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  /// Stores `record` at `slot`. Each slot must be written exactly once;
+  /// distinct slots may be written concurrently.
+  void put(std::size_t slot, RunRecord record);
+
+  [[nodiscard]] std::size_t capacity() const noexcept;
+  [[nodiscard]] std::size_t filled() const;
+  [[nodiscard]] bool complete() const;
+
+  /// The full table, indexed by plan slot. Call only after all workers
+  /// are done (no lock taken; throws if the table is incomplete).
+  [[nodiscard]] std::span<const RunRecord> records() const;
+
+  /// Moves a record out of its slot (aggregation steals the workloads to
+  /// avoid copying them). Same completeness precondition as records().
+  [[nodiscard]] RunRecord take(std::size_t slot);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RunRecord> records_;
+  std::vector<char> written_;
+  std::size_t filled_ = 0;
+};
+
+}  // namespace psn::engine

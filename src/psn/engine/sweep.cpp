@@ -1,0 +1,190 @@
+#include "psn/engine/sweep.hpp"
+
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "psn/core/workload.hpp"
+#include "psn/engine/result_store.hpp"
+#include "psn/engine/thread_pool.hpp"
+#include "psn/forward/algorithm_registry.hpp"
+#include "psn/forward/simulator.hpp"
+#include "psn/graph/space_time_graph.hpp"
+
+namespace psn::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// First exception thrown by any task, kept for rethrow on the caller.
+class ErrorSlot {
+ public:
+  void capture() noexcept {
+    std::lock_guard lock(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+  void rethrow_if_set() {
+    std::lock_guard lock(mu_);
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
+SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
+  if (plan.scenarios.empty() || plan.algorithms.empty())
+    throw std::invalid_argument("run_sweep: empty plan axes");
+  for (const Scenario& scenario : plan.scenarios)
+    if (!scenario.dataset)
+      throw std::invalid_argument("run_sweep: scenario without dataset");
+
+  const auto sweep_start = Clock::now();
+  const std::size_t threads =
+      options.threads == 0 ? ThreadPool::hardware_threads() : options.threads;
+  ThreadPool pool(threads);
+  ErrorSlot errors;
+
+  // Phase 1: shared read-only inputs, built in parallel — one space-time
+  // graph per scenario, and one workload per (scenario, run). Workloads
+  // are algorithm-independent by construction (paired comparisons), so
+  // generating them here does the work once instead of once per
+  // algorithm; tasks copy them into their records.
+  std::vector<std::unique_ptr<const graph::SpaceTimeGraph>> graphs(
+      plan.scenarios.size());
+  for (std::size_t s = 0; s < plan.scenarios.size(); ++s) {
+    pool.submit([&plan, &graphs, &errors, s] {
+      try {
+        const Scenario& scenario = plan.scenarios[s];
+        graphs[s] = std::make_unique<const graph::SpaceTimeGraph>(
+            scenario.dataset->trace, scenario.delta);
+      } catch (...) {
+        errors.capture();
+      }
+    });
+  }
+  std::vector<std::vector<forward::Message>> workloads(
+      plan.scenarios.size() * plan.config.runs);
+  const auto canonical_spec = [&plan](std::size_t s, std::size_t r)
+      -> const RunSpec& { return plan.runs[plan.slot(s, 0, r)]; };
+  for (std::size_t s = 0; s < plan.scenarios.size(); ++s) {
+    for (std::size_t r = 0; r < plan.config.runs; ++r) {
+      pool.submit([&plan, &workloads, &errors, &canonical_spec, s, r] {
+        try {
+          const Scenario& scenario = plan.scenarios[s];
+          const RunSpec& spec = canonical_spec(s, r);
+          core::WorkloadConfig wc;
+          wc.message_rate = spec.message_rate;
+          wc.horizon = scenario.dataset->message_horizon;
+          wc.seed = spec.workload_seed;
+          workloads[s * plan.config.runs + r] = core::poisson_workload(
+              scenario.dataset->trace.num_nodes(), wc);
+        } catch (...) {
+          errors.capture();
+        }
+      });
+    }
+  }
+  pool.wait_idle();
+  errors.rethrow_if_set();
+
+  // Phase 2: the run matrix. Each task is self-contained — it derives its
+  // workload and algorithm instance from the spec alone and writes into
+  // its plan slot, so nothing here depends on scheduling order.
+  ResultStore store(plan.total_runs());
+  for (std::size_t slot = 0; slot < plan.runs.size(); ++slot) {
+    pool.submit([&plan, &graphs, &workloads, &store, &errors,
+                 &canonical_spec, slot] {
+      try {
+        const RunSpec& spec = plan.runs[slot];
+        const Scenario& scenario = plan.scenarios[spec.scenario];
+        const auto run_start = Clock::now();
+
+        RunRecord record;
+        record.spec = spec;
+        // make_plan gives every algorithm of a (scenario, run) the same
+        // workload stream, so the shared pre-generated workload applies;
+        // hand-built plans with divergent specs fall back to generating
+        // their own.
+        const RunSpec& canonical = canonical_spec(spec.scenario, spec.run);
+        if (spec.workload_seed == canonical.workload_seed &&
+            spec.message_rate == canonical.message_rate) {
+          record.run.messages =
+              workloads[spec.scenario * plan.config.runs + spec.run];
+        } else {
+          core::WorkloadConfig wc;
+          wc.message_rate = spec.message_rate;
+          wc.horizon = scenario.dataset->message_horizon;
+          wc.seed = spec.workload_seed;
+          record.run.messages = core::poisson_workload(
+              scenario.dataset->trace.num_nodes(), wc);
+        }
+
+        const auto algorithm =
+            forward::make_algorithm(plan.algorithms[spec.algorithm]);
+        forward::SimulatorConfig sc;
+        sc.seed = spec.sim_seed;
+        record.run.result =
+            forward::simulate(*algorithm, *graphs[spec.scenario],
+                              scenario.dataset->trace, record.run.messages, sc);
+
+        record.wall_seconds = seconds_since(run_start);
+        store.put(slot, std::move(record));
+      } catch (...) {
+        errors.capture();
+      }
+    });
+  }
+  pool.wait_idle();
+  errors.rethrow_if_set();
+
+  // Phase 3: aggregation, single-threaded in plan order.
+  SweepResult result;
+  result.num_scenarios = plan.scenarios.size();
+  result.num_algorithms = plan.algorithms.size();
+  result.threads = threads;
+  result.total_runs = plan.total_runs();
+  result.cells.reserve(result.num_scenarios * result.num_algorithms);
+  for (std::size_t s = 0; s < plan.scenarios.size(); ++s) {
+    for (std::size_t a = 0; a < plan.algorithms.size(); ++a) {
+      CellSummary cell;
+      cell.scenario = plan.scenarios[s].name;
+      cell.algorithm = plan.algorithms[a];
+
+      std::vector<forward::Run> runs;
+      runs.reserve(plan.config.runs);
+      std::uint64_t transmissions = 0;
+      std::size_t messages = 0;
+      for (std::size_t r = 0; r < plan.config.runs; ++r) {
+        RunRecord record = store.take(plan.slot(s, a, r));
+        cell.run_wall_seconds += record.wall_seconds;
+        transmissions += record.run.result.transmissions;
+        messages += record.run.messages.size();
+        runs.push_back(std::move(record.run));
+      }
+      cell.overall = forward::aggregate_performance(cell.algorithm, runs);
+      cell.by_pair_type = forward::split_by_pair_type(
+          cell.algorithm, runs, plan.scenarios[s].dataset->rates);
+      if (options.keep_delays) cell.delays = forward::pooled_delays(runs);
+      if (messages > 0)
+        cell.cost_per_message = static_cast<double>(transmissions) /
+                                static_cast<double>(messages);
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  result.wall_seconds = seconds_since(sweep_start);
+  return result;
+}
+
+}  // namespace psn::engine

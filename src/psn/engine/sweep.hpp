@@ -1,0 +1,62 @@
+// The scenario-sweep engine: executes a SweepPlan's cross product of
+// {scenario} x {algorithm} x {run} on a fixed-size thread pool and
+// aggregates forwarding metrics into per-(scenario, algorithm) cells.
+//
+// Determinism guarantee: for a fixed plan, run_sweep produces bit-identical
+// CellSummary metrics at any thread count. Each run draws from its own
+// precomputed RNG streams (run_spec.hpp), results land in slot-addressed
+// storage (result_store.hpp), and aggregation walks slots in plan order.
+// Only the wall-clock telemetry fields vary between executions.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "psn/engine/run_spec.hpp"
+#include "psn/forward/metrics.hpp"
+
+namespace psn::engine {
+
+/// Aggregated outcome of one (scenario, algorithm) cell of the matrix,
+/// pooled over all of that cell's runs.
+struct CellSummary {
+  std::string scenario;
+  std::string algorithm;
+  forward::Performance overall;
+  forward::PairTypePerformance by_pair_type;
+  std::vector<double> delays;  ///< pooled delivered delays (Fig. 10).
+  double cost_per_message = 0.0;  ///< transmissions per generated message.
+  double run_wall_seconds = 0.0;  ///< summed per-run wall time (telemetry).
+};
+
+struct SweepResult {
+  std::vector<CellSummary> cells;  ///< scenario-major, algorithm-minor.
+  std::size_t num_scenarios = 0;
+  std::size_t num_algorithms = 0;
+  std::size_t threads = 1;
+  std::size_t total_runs = 0;
+  double wall_seconds = 0.0;  ///< end-to-end sweep wall time (telemetry).
+
+  [[nodiscard]] const CellSummary& cell(std::size_t scenario,
+                                        std::size_t algorithm) const {
+    return cells.at(scenario * num_algorithms + algorithm);
+  }
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 means one per hardware thread.
+  std::size_t threads = 0;
+  /// Retain pooled delay vectors in the cells (Fig. 10 style drivers need
+  /// them; large sweeps can switch them off to bound memory).
+  bool keep_delays = true;
+};
+
+/// Executes the plan. Scenario graphs are built once (in parallel) and
+/// shared read-only; each run then simulates one algorithm over one
+/// scenario's workload on the pool. Throws if any run threw.
+[[nodiscard]] SweepResult run_sweep(const SweepPlan& plan,
+                                    const SweepOptions& options = {});
+
+}  // namespace psn::engine

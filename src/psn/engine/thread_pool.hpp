@@ -1,0 +1,55 @@
+// A fixed-size worker pool for the sweep engine.
+//
+// Deliberately minimal: FIFO queue, submit() + wait_idle(), no futures.
+// Determinism in the sweep does not come from the pool (task completion
+// order is arbitrary) but from result slots being addressed by plan index
+// (see result_store.hpp); the pool only needs to run every task exactly
+// once. Tasks must not throw — callers wrap their work and stash errors.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psn::engine {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 is clamped to 1.
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains the queue (wait_idle) and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe to call from any thread, including workers.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Reasonable default thread count for this host (>= 1).
+  [[nodiscard]] static std::size_t hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace psn::engine

@@ -1,5 +1,7 @@
 #include "psn/forward/algorithm_registry.hpp"
 
+#include <stdexcept>
+
 #include "psn/forward/algorithms/direct.hpp"
 #include "psn/forward/algorithms/epidemic.hpp"
 #include "psn/forward/algorithms/fresh.hpp"
@@ -13,24 +15,54 @@
 
 namespace psn::forward {
 
-std::vector<std::unique_ptr<ForwardingAlgorithm>> make_paper_algorithms() {
+namespace {
+
+// The name lists are the single source of truth for suite membership and
+// order; the suite constructors derive from them through make_algorithm.
+std::vector<std::unique_ptr<ForwardingAlgorithm>> make_suite(
+    const std::vector<std::string>& names) {
   std::vector<std::unique_ptr<ForwardingAlgorithm>> out;
-  out.push_back(std::make_unique<EpidemicForwarding>());
-  out.push_back(std::make_unique<FreshForwarding>());
-  out.push_back(std::make_unique<GreedyForwarding>());
-  out.push_back(std::make_unique<GreedyTotalForwarding>());
-  out.push_back(std::make_unique<GreedyOnlineForwarding>());
-  out.push_back(std::make_unique<MinExpectedDelayForwarding>());
+  out.reserve(names.size());
+  for (const auto& name : names) out.push_back(make_algorithm(name));
   return out;
 }
 
+}  // namespace
+
+std::vector<std::unique_ptr<ForwardingAlgorithm>> make_paper_algorithms() {
+  return make_suite(paper_algorithm_names());
+}
+
 std::vector<std::unique_ptr<ForwardingAlgorithm>> make_extended_algorithms() {
-  auto out = make_paper_algorithms();
-  out.push_back(std::make_unique<DirectDelivery>());
-  out.push_back(std::make_unique<RandomizedForwarding>());
-  out.push_back(std::make_unique<SprayAndWaitForwarding>());
-  out.push_back(std::make_unique<ProphetForwarding>());
+  return make_suite(extended_algorithm_names());
+}
+
+std::vector<std::string> paper_algorithm_names() {
+  return {"Epidemic",      "FRESH",         "Greedy",
+          "Greedy Total",  "Greedy Online", "Dynamic Programming"};
+}
+
+std::vector<std::string> extended_algorithm_names() {
+  auto out = paper_algorithm_names();
+  out.insert(out.end(), {"Direct", "Random", "Spray+Wait", "PRoPHET"});
   return out;
+}
+
+std::unique_ptr<ForwardingAlgorithm> make_algorithm(std::string_view name) {
+  if (name == "Epidemic") return std::make_unique<EpidemicForwarding>();
+  if (name == "FRESH") return std::make_unique<FreshForwarding>();
+  if (name == "Greedy") return std::make_unique<GreedyForwarding>();
+  if (name == "Greedy Total") return std::make_unique<GreedyTotalForwarding>();
+  if (name == "Greedy Online")
+    return std::make_unique<GreedyOnlineForwarding>();
+  if (name == "Dynamic Programming")
+    return std::make_unique<MinExpectedDelayForwarding>();
+  if (name == "Direct") return std::make_unique<DirectDelivery>();
+  if (name == "Random") return std::make_unique<RandomizedForwarding>();
+  if (name == "Spray+Wait") return std::make_unique<SprayAndWaitForwarding>();
+  if (name == "PRoPHET") return std::make_unique<ProphetForwarding>();
+  throw std::invalid_argument("make_algorithm: unknown algorithm '" +
+                              std::string(name) + "'");
 }
 
 }  // namespace psn::forward

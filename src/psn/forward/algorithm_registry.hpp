@@ -3,6 +3,8 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "psn/forward/algorithm.hpp"
@@ -19,5 +21,17 @@ make_paper_algorithms();
 /// Spray+Wait, PRoPHET.
 [[nodiscard]] std::vector<std::unique_ptr<ForwardingAlgorithm>>
 make_extended_algorithms();
+
+/// Display names of the two suites, in suite order. These are the keys of
+/// make_algorithm and the axis labels of engine sweep plans.
+[[nodiscard]] std::vector<std::string> paper_algorithm_names();
+[[nodiscard]] std::vector<std::string> extended_algorithm_names();
+
+/// Constructs a fresh instance of the algorithm with the given display
+/// name (as returned by ForwardingAlgorithm::name()). Each call returns an
+/// independent instance, so concurrent runs never share algorithm state.
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<ForwardingAlgorithm> make_algorithm(
+    std::string_view name);
 
 }  // namespace psn::forward

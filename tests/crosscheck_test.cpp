@@ -128,7 +128,9 @@ TEST_P(SeededCrossCheck, EnumeratedPathsAreValidAndOrdered) {
       EXPECT_EQ(seq.back().first, dst);
       EXPECT_EQ(seq.size(), static_cast<std::size_t>(d.hops) + 1);
     }
-    if (r.delivered()) EXPECT_GE(materialized, 1u);
+    if (r.delivered()) {
+      EXPECT_GE(materialized, 1u);
+    }
   }
 }
 
@@ -196,7 +198,9 @@ TEST_P(DeltaCrossCheck, SweepMatchesEnumeratorAtAnyDelta) {
     const auto t1 = enumerator.enumerate(src, dst, t0).optimal_duration();
     ASSERT_EQ(sweep.has_value(), t1.has_value())
         << "delta=" << delta << " src=" << src << " dst=" << dst;
-    if (sweep.has_value()) EXPECT_DOUBLE_EQ(*sweep, *t1) << "delta=" << delta;
+    if (sweep.has_value()) {
+      EXPECT_DOUBLE_EQ(*sweep, *t1) << "delta=" << delta;
+    }
   }
 }
 

@@ -1,0 +1,252 @@
+// Tests for psn::engine: the thread pool, plan expansion / seed streams,
+// the result store, and — the load-bearing property — determinism of the
+// sweep under parallelism: the same plan must produce bit-identical
+// aggregated metrics at 1, 2, and 8 threads.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "psn/core/dataset.hpp"
+#include "psn/core/forwarding_study.hpp"
+#include "psn/engine/result_store.hpp"
+#include "psn/engine/run_spec.hpp"
+#include "psn/engine/sweep.hpp"
+#include "psn/engine/thread_pool.hpp"
+#include "psn/forward/algorithm_registry.hpp"
+#include "psn/synth/pairwise_poisson.hpp"
+#include "psn/trace/trace_stats.hpp"
+
+namespace psn::engine {
+namespace {
+
+// A small but non-trivial dataset: 24 nodes, 45 minutes, heterogeneous
+// weights so the pair-type split is exercised.
+core::Dataset small_dataset(std::uint64_t seed) {
+  synth::PairwisePoissonConfig config;
+  config.num_nodes = 24;
+  config.t_max = 2700.0;
+  config.mean_node_rate = 0.08;
+  config.seed = seed;
+  auto generated = synth::generate_pairwise_poisson(config);
+
+  core::Dataset dataset;
+  dataset.name = "engine-test";
+  dataset.trace = std::move(generated.trace);
+  dataset.rates = trace::classify_rates(dataset.trace);
+  dataset.message_horizon = 1800.0;
+  dataset.ground_truth_rates = std::move(generated.node_rates);
+  return dataset;
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kTasks = 200;
+  for (int i = 0; i < kTasks; ++i)
+    pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // Must not deadlock.
+  SUCCEED();
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(RunSpec, PlanExpandsFullCrossProduct) {
+  const auto ds = small_dataset(11);
+  PlanConfig config;
+  config.runs = 3;
+  const auto plan = make_plan({make_scenario(ds), make_scenario(ds)},
+                              {"Epidemic", "FRESH", "Greedy"}, config);
+  EXPECT_EQ(plan.total_runs(), 2u * 3u * 3u);
+  // Linearization: scenario-major, then algorithm, then repetition.
+  for (std::size_t s = 0; s < 2; ++s)
+    for (std::size_t a = 0; a < 3; ++a)
+      for (std::size_t r = 0; r < 3; ++r) {
+        const RunSpec& spec = plan.runs[plan.slot(s, a, r)];
+        EXPECT_EQ(spec.scenario, s);
+        EXPECT_EQ(spec.algorithm, a);
+        EXPECT_EQ(spec.run, r);
+      }
+}
+
+TEST(RunSpec, SharedModeReproducesLegacyStudyStreams) {
+  // The pre-engine forwarding study used seed + r*1000003 (workload) and
+  // seed + r*7919 (simulator); the shared mode must preserve both so old
+  // results stay reproducible.
+  const std::uint64_t master = 7;
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(workload_stream_seed(master, 0, r,
+                                   SeedMode::kSharedAcrossScenarios),
+              master + r * 1000003ULL);
+    EXPECT_EQ(sim_stream_seed(master, 0, r, SeedMode::kSharedAcrossScenarios),
+              master + r * 7919ULL);
+    // And scenario index must not matter in shared mode.
+    EXPECT_EQ(workload_stream_seed(master, 3, r,
+                                   SeedMode::kSharedAcrossScenarios),
+              workload_stream_seed(master, 0, r,
+                                   SeedMode::kSharedAcrossScenarios));
+  }
+}
+
+TEST(RunSpec, PerScenarioModeSeparatesStreams) {
+  const std::uint64_t master = 7;
+  EXPECT_EQ(workload_stream_seed(master, 0, 0, SeedMode::kPerScenario),
+            master);  // scenario 0 keeps the legacy stream.
+  EXPECT_NE(workload_stream_seed(master, 1, 0, SeedMode::kPerScenario),
+            workload_stream_seed(master, 0, 0, SeedMode::kPerScenario));
+  EXPECT_NE(workload_stream_seed(master, 1, 0, SeedMode::kPerScenario),
+            workload_stream_seed(master, 2, 0, SeedMode::kPerScenario));
+}
+
+TEST(ResultStore, SlotAddressedAndComplete) {
+  ResultStore store(3);
+  EXPECT_FALSE(store.complete());
+  for (std::size_t slot : {2u, 0u, 1u}) {  // out-of-order completion.
+    RunRecord record;
+    record.spec.run = slot;
+    store.put(slot, std::move(record));
+  }
+  EXPECT_TRUE(store.complete());
+  const auto records = store.records();
+  for (std::size_t slot = 0; slot < 3; ++slot)
+    EXPECT_EQ(records[slot].spec.run, slot);
+}
+
+TEST(ResultStore, DoubleWriteThrows) {
+  ResultStore store(2);
+  store.put(0, RunRecord{});
+  EXPECT_THROW(store.put(0, RunRecord{}), std::logic_error);
+  EXPECT_THROW(store.put(7, RunRecord{}), std::out_of_range);
+}
+
+TEST(Sweep, UnknownAlgorithmPropagatesError) {
+  const auto ds = small_dataset(13);
+  PlanConfig config;
+  config.runs = 1;
+  const auto plan =
+      make_plan({make_scenario(ds)}, {"No Such Algorithm"}, config);
+  SweepOptions options;
+  options.threads = 2;
+  EXPECT_THROW((void)run_sweep(plan, options), std::invalid_argument);
+}
+
+// The headline guarantee: bit-identical aggregated metrics at 1, 2, and 8
+// threads for the same plan.
+TEST(Sweep, DeterministicAcrossThreadCounts) {
+  const auto ds = small_dataset(17);
+  PlanConfig config;
+  config.runs = 4;
+  config.master_seed = 21;
+  config.message_rate = 0.02;
+  const auto plan = make_plan({make_scenario(ds)},
+                              {"Epidemic", "FRESH", "Greedy"}, config);
+
+  std::vector<SweepResult> results;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SweepOptions options;
+    options.threads = threads;
+    results.push_back(run_sweep(plan, options));
+    EXPECT_EQ(results.back().threads, threads);
+  }
+
+  const auto& base = results.front();
+  ASSERT_EQ(base.cells.size(), 3u);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const auto& other = results[i];
+    ASSERT_EQ(other.cells.size(), base.cells.size());
+    for (std::size_t c = 0; c < base.cells.size(); ++c) {
+      const auto& lhs = base.cells[c];
+      const auto& rhs = other.cells[c];
+      EXPECT_EQ(lhs.algorithm, rhs.algorithm);
+      // Bit-identical, hence EXPECT_EQ on doubles — no tolerance.
+      EXPECT_EQ(lhs.overall.success_rate, rhs.overall.success_rate);
+      EXPECT_EQ(lhs.overall.average_delay, rhs.overall.average_delay);
+      EXPECT_EQ(lhs.overall.messages, rhs.overall.messages);
+      EXPECT_EQ(lhs.overall.delivered, rhs.overall.delivered);
+      EXPECT_EQ(lhs.cost_per_message, rhs.cost_per_message);
+      EXPECT_EQ(lhs.delays, rhs.delays);
+      for (std::size_t t = 0; t < 4; ++t) {
+        EXPECT_EQ(lhs.by_pair_type.per_type[t].success_rate,
+                  rhs.by_pair_type.per_type[t].success_rate);
+        EXPECT_EQ(lhs.by_pair_type.per_type[t].average_delay,
+                  rhs.by_pair_type.per_type[t].average_delay);
+      }
+    }
+  }
+}
+
+// Multi-scenario sweeps must be deterministic too, and per-scenario seed
+// mode must actually change the workloads of later scenarios.
+TEST(Sweep, MultiScenarioDeterminismAndSeedModes) {
+  const auto ds_a = small_dataset(19);
+  const auto ds_b = small_dataset(23);
+
+  PlanConfig config;
+  config.runs = 2;
+  config.message_rate = 0.02;
+  config.seed_mode = SeedMode::kPerScenario;
+  const auto plan =
+      make_plan({make_scenario(ds_a), make_scenario(ds_b)},
+                {"Epidemic", "Greedy"}, config);
+
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions wide;
+  wide.threads = 8;
+  const auto lhs = run_sweep(plan, serial);
+  const auto rhs = run_sweep(plan, wide);
+  ASSERT_EQ(lhs.cells.size(), 4u);
+  for (std::size_t c = 0; c < lhs.cells.size(); ++c) {
+    EXPECT_EQ(lhs.cells[c].overall.success_rate,
+              rhs.cells[c].overall.success_rate);
+    EXPECT_EQ(lhs.cells[c].overall.average_delay,
+              rhs.cells[c].overall.average_delay);
+    EXPECT_EQ(lhs.cells[c].delays, rhs.cells[c].delays);
+  }
+  // cell(s, a) indexing agrees with the flat layout.
+  EXPECT_EQ(&lhs.cell(1, 1), &lhs.cells[3]);
+}
+
+// The refactored forwarding study rides the engine; its output must not
+// depend on the thread count either.
+TEST(ForwardingStudy, ThreadCountInvariant) {
+  const auto ds = small_dataset(29);
+  core::ForwardingStudyConfig config;
+  config.runs = 3;
+  config.message_rate = 0.02;
+
+  config.threads = 1;
+  const auto serial = core::run_forwarding_study(ds, config);
+  config.threads = 8;
+  const auto wide = core::run_forwarding_study(ds, config);
+
+  ASSERT_EQ(serial.algorithms.size(), wide.algorithms.size());
+  for (std::size_t a = 0; a < serial.algorithms.size(); ++a) {
+    EXPECT_EQ(serial.algorithms[a].overall.success_rate,
+              wide.algorithms[a].overall.success_rate);
+    EXPECT_EQ(serial.algorithms[a].overall.average_delay,
+              wide.algorithms[a].overall.average_delay);
+    EXPECT_EQ(serial.algorithms[a].delays, wide.algorithms[a].delays);
+    EXPECT_EQ(serial.algorithms[a].cost_per_message,
+              wide.algorithms[a].cost_per_message);
+  }
+}
+
+}  // namespace
+}  // namespace psn::engine

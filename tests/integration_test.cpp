@@ -80,8 +80,12 @@ TEST(Integration, QuadrantOrderingHeadline) {
   const auto mean = [&](std::size_t q) {
     return t1_n[q] ? t1_sum[q] / static_cast<double>(t1_n[q]) : 0.0;
   };
-  if (t1_n[0] >= 5 && t1_n[2] >= 5) EXPECT_LT(mean(0), mean(2) * 1.5);
-  if (t1_n[1] >= 5 && t1_n[3] >= 5) EXPECT_LT(mean(1), mean(3) * 1.5);
+  if (t1_n[0] >= 5 && t1_n[2] >= 5) {
+    EXPECT_LT(mean(0), mean(2) * 1.5);
+  }
+  if (t1_n[1] >= 5 && t1_n[3] >= 5) {
+    EXPECT_LT(mean(1), mean(3) * 1.5);
+  }
 }
 
 TEST(Integration, AlgorithmSimilarityHeadline) {
@@ -104,9 +108,10 @@ TEST(Integration, AlgorithmSimilarityHeadline) {
   // Pair-type effect: for Epidemic itself, in-in success should beat
   // out-out success (delivery to rarely-seen nodes is the hard case).
   const auto& epidemic_types = result.algorithms[0].by_pair_type.per_type;
-  if (epidemic_types[0].messages >= 10 && epidemic_types[3].messages >= 10)
+  if (epidemic_types[0].messages >= 10 && epidemic_types[3].messages >= 10) {
     EXPECT_GE(epidemic_types[0].success_rate,
               epidemic_types[3].success_rate);
+  }
 }
 
 TEST(Integration, CostExtensionHeadline) {
