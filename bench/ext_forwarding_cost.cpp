@@ -36,7 +36,7 @@ int main() {
   const auto sweep = engine::run_sweep(plan, options);
 
   stats::TablePrinter table({"algorithm", "success rate", "avg delay (s)",
-                             "tx / message", "tx / delivered"});
+                             "avg hops", "tx / message", "tx / delivered"});
   for (std::size_t a = 0; a < sweep.num_algorithms; ++a) {
     const auto& cell = sweep.cell(0, a);
     const double per_delivered =
@@ -48,6 +48,7 @@ int main() {
     table.add_row({cell.algorithm,
                    stats::TablePrinter::fmt(cell.overall.success_rate, 3),
                    stats::TablePrinter::fmt(cell.overall.average_delay, 0),
+                   stats::TablePrinter::fmt(cell.overall.average_hops, 2),
                    stats::TablePrinter::fmt(cell.cost_per_message, 1),
                    stats::TablePrinter::fmt(per_delivered, 1)});
   }

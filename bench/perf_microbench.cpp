@@ -1,13 +1,20 @@
 // google-benchmark microbenchmarks for the heavy kernels: trace
 // generation, space-time graph construction, reachability sweeps, path
-// enumeration, and the forwarding simulator — plus a sweep-engine matrix
-// benchmark that writes machine-readable BENCH_sweep.json (wall time and
-// runs/sec at each thread count) so successive PRs have a perf trajectory.
+// enumeration, and the forwarding simulator — plus two sweep-engine
+// benchmarks that write machine-readable BENCH_sweep.json so successive
+// PRs have a perf trajectory:
+//  * the thread-scaling matrix (wall time and runs/sec per thread count
+//    on the paper-scale dataset), and
+//  * the node-count scaling series (per-run wall times for epidemic and a
+//    single-copy scheme on the registry's town_128 / campus_512 /
+//    city_2048 tiers).
 //
 // Knobs: PSN_BENCH_RUNS (matrix repetitions, default 3),
 // PSN_BENCH_SWEEP_THREADS (comma list, default "1,2,4,8"),
 // PSN_BENCH_SWEEP_JSON (output path, default BENCH_sweep.json; empty
-// string disables the sweep section).
+// string disables both sweep sections), PSN_BENCH_SCALING_SCENARIOS
+// (comma list, default "town_128,campus_512,city_2048"; empty disables
+// the scaling series), PSN_BENCH_SCALING_RUNS (default 2).
 
 #include <benchmark/benchmark.h>
 
@@ -16,6 +23,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -23,6 +31,7 @@
 #include "psn/core/dataset.hpp"
 #include "psn/core/workload.hpp"
 #include "psn/engine/run_spec.hpp"
+#include "psn/engine/scenario_registry.hpp"
 #include "psn/engine/sweep.hpp"
 #include "psn/engine/thread_pool.hpp"
 #include "psn/forward/algorithm_registry.hpp"
@@ -144,11 +153,44 @@ std::vector<std::size_t> sweep_thread_counts() {
   return counts;
 }
 
-void run_sweep_matrix_bench() {
-  const char* path_env = std::getenv("PSN_BENCH_SWEEP_JSON");
-  const std::string json_path = path_env ? path_env : "BENCH_sweep.json";
-  if (json_path.empty()) return;
+struct MatrixPoint {
+  std::size_t threads;
+  double wall_seconds;
+  double runs_per_sec;
+  double run_wall_seconds;  ///< summed per-run work time.
+};
 
+/// Thread-matrix results plus the shape of the plan that produced them,
+/// so the JSON header always describes the experiment actually run.
+struct MatrixResult {
+  std::string dataset;
+  std::size_t algorithms = 0;
+  std::size_t runs_per_algorithm = 0;
+  std::size_t total_runs = 0;
+  std::vector<MatrixPoint> points;
+};
+
+struct ScalePoint {
+  std::string scenario;
+  psn::trace::NodeId nodes = 0;
+  std::size_t contacts = 0;
+  double dataset_build_seconds = 0.0;
+  double graph_build_seconds = 0.0;
+  struct AlgorithmRuns {
+    std::string name;
+    std::vector<double> run_walls;  ///< per-run wall times, run order.
+    double success_rate = 0.0;
+  };
+  std::vector<AlgorithmRuns> algorithms;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+MatrixResult run_sweep_matrix_bench() {
   const auto& ds = dataset();
   psn::engine::PlanConfig pc;
   pc.runs = psn::bench::bench_runs();
@@ -164,46 +206,137 @@ void run_sweep_matrix_bench() {
             << psn::engine::ThreadPool::hardware_threads()
             << " hardware threads)\n";
 
-  struct Point {
-    std::size_t threads;
-    double wall_seconds;
-    double runs_per_sec;
-    double run_wall_seconds;  ///< summed per-run work time.
-  };
-  std::vector<Point> points;
+  MatrixResult matrix;
+  matrix.dataset = ds.name;
+  matrix.algorithms = plan.algorithms.size();
+  matrix.runs_per_algorithm = pc.runs;
+  matrix.total_runs = plan.total_runs();
   for (const std::size_t threads : sweep_thread_counts()) {
     psn::engine::SweepOptions options;
     options.threads = threads;
     options.keep_delays = false;
     const auto start = std::chrono::steady_clock::now();
     const auto result = psn::engine::run_sweep(plan, options);
-    const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    Point point;
+    const double wall = seconds_since(start);
+    MatrixPoint point;
     point.threads = threads;
     point.wall_seconds = wall;
     point.runs_per_sec =
         wall > 0.0 ? static_cast<double>(plan.total_runs()) / wall : 0.0;
     point.run_wall_seconds = 0.0;
     for (const auto& cell : result.cells)
-      point.run_wall_seconds += cell.run_wall_seconds;
-    points.push_back(point);
+      for (const double w : cell.run_walls) point.run_wall_seconds += w;
+    matrix.points.push_back(point);
     std::cout << "  threads=" << threads << "  wall=" << wall << "s  "
               << point.runs_per_sec << " runs/s\n";
   }
+  return matrix;
+}
 
+// --- Node-count scaling series: the registry's town/campus/city tiers,
+// --- epidemic + one single-copy scheme, per-run wall times.
+
+std::vector<std::string> scaling_scenario_names() {
+  std::string raw = "town_128,campus_512,city_2048";
+  if (const char* env = std::getenv("PSN_BENCH_SCALING_SCENARIOS")) raw = env;
+  std::vector<std::string> names;
+  std::stringstream stream(raw);
+  std::string token;
+  while (std::getline(stream, token, ','))
+    if (!token.empty()) names.push_back(token);
+  return names;
+}
+
+std::size_t scaling_runs() {
+  if (const char* env = std::getenv("PSN_BENCH_SCALING_RUNS")) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 2;
+}
+
+std::vector<ScalePoint> run_scaling_bench() {
+  const auto names = scaling_scenario_names();
+  std::vector<ScalePoint> points;
+  if (names.empty()) return points;
+
+  const std::size_t runs = scaling_runs();
+  std::cout << "\nnode-count scaling series: {epidemic, FRESH} x " << runs
+            << " runs per tier\n";
+  for (const auto& name : names) {
+    ScalePoint point;
+    point.scenario = name;
+
+    const auto build_start = std::chrono::steady_clock::now();
+    psn::engine::Scenario scenario;
+    try {
+      scenario = psn::engine::make_scenario_by_name(name);
+    } catch (const std::invalid_argument& e) {
+      // A typo in PSN_BENCH_SCALING_SCENARIOS must not discard the rest
+      // of the run's results.
+      std::cerr << "perf_microbench: skipping scaling scenario: " << e.what()
+                << '\n';
+      continue;
+    }
+    point.dataset_build_seconds = seconds_since(build_start);
+    point.nodes = scenario.dataset->trace.num_nodes();
+    point.contacts = scenario.dataset->trace.size();
+
+    const auto graph_start = std::chrono::steady_clock::now();
+    const psn::graph::SpaceTimeGraph graph(scenario.dataset->trace,
+                                           scenario.delta);
+    point.graph_build_seconds = seconds_since(graph_start);
+
+    psn::engine::PlanConfig pc;
+    pc.runs = runs;
+    pc.master_seed = 7;
+    // Fixed workload intensity across tiers: the scaling series measures
+    // the cost of population size, not of message volume.
+    pc.message_rate = 0.01;
+    const auto plan = psn::engine::make_plan(
+        {scenario}, {"Epidemic", "FRESH"}, pc);
+    psn::engine::SweepOptions options;
+    options.keep_delays = false;
+    const auto result = psn::engine::run_sweep(plan, options);
+
+    for (const auto& cell : result.cells) {
+      ScalePoint::AlgorithmRuns algo;
+      algo.name = cell.algorithm;
+      algo.run_walls = cell.run_walls;
+      algo.success_rate = cell.overall.success_rate;
+      point.algorithms.push_back(std::move(algo));
+    }
+    std::cout << "  " << name << ": N=" << point.nodes
+              << "  contacts=" << point.contacts
+              << "  graph_build=" << point.graph_build_seconds << "s";
+    for (const auto& algo : point.algorithms) {
+      double sum = 0.0;
+      for (const double w : algo.run_walls) sum += w;
+      std::cout << "  " << algo.name << "="
+                << sum / static_cast<double>(algo.run_walls.size())
+                << "s/run";
+    }
+    std::cout << '\n';
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+void write_bench_json(const std::string& json_path,
+                      const MatrixResult& matrix,
+                      const std::vector<ScalePoint>& scaling) {
   std::ofstream out(json_path);
   if (!out) {
     std::cerr << "perf_microbench: cannot write " << json_path << '\n';
     return;
   }
+  const auto& points = matrix.points;
   out << "{\n"
       << "  \"benchmark\": \"sweep_matrix\",\n"
-      << "  \"dataset\": \"" << ds.name << "\",\n"
-      << "  \"algorithms\": " << plan.algorithms.size() << ",\n"
-      << "  \"runs_per_algorithm\": " << pc.runs << ",\n"
-      << "  \"total_runs\": " << plan.total_runs() << ",\n"
+      << "  \"dataset\": \"" << matrix.dataset << "\",\n"
+      << "  \"algorithms\": " << matrix.algorithms << ",\n"
+      << "  \"runs_per_algorithm\": " << matrix.runs_per_algorithm << ",\n"
+      << "  \"total_runs\": " << matrix.total_runs << ",\n"
       << "  \"hardware_threads\": "
       << psn::engine::ThreadPool::hardware_threads() << ",\n"
       << "  \"points\": [\n";
@@ -214,6 +347,25 @@ void run_sweep_matrix_bench() {
         << ", \"runs_per_sec\": " << p.runs_per_sec
         << ", \"run_wall_seconds\": " << p.run_wall_seconds << "}"
         << (i + 1 < points.size() ? "," : "") << '\n';
+  }
+  out << "  ],\n"
+      << "  \"node_scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const auto& p = scaling[i];
+    out << "    {\"scenario\": \"" << p.scenario << "\", \"nodes\": "
+        << p.nodes << ", \"contacts\": " << p.contacts
+        << ", \"dataset_build_seconds\": " << p.dataset_build_seconds
+        << ", \"graph_build_seconds\": " << p.graph_build_seconds
+        << ", \"algorithms\": [";
+    for (std::size_t a = 0; a < p.algorithms.size(); ++a) {
+      const auto& algo = p.algorithms[a];
+      out << "{\"name\": \"" << algo.name << "\", \"success_rate\": "
+          << algo.success_rate << ", \"run_wall_seconds\": [";
+      for (std::size_t r = 0; r < algo.run_walls.size(); ++r)
+        out << algo.run_walls[r] << (r + 1 < algo.run_walls.size() ? ", " : "");
+      out << "]}" << (a + 1 < p.algorithms.size() ? ", " : "");
+    }
+    out << "]}" << (i + 1 < scaling.size() ? "," : "") << '\n';
   }
   out << "  ]\n}\n";
   std::cout << "wrote " << json_path << '\n';
@@ -226,6 +378,12 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  run_sweep_matrix_bench();
+
+  const char* path_env = std::getenv("PSN_BENCH_SWEEP_JSON");
+  const std::string json_path = path_env ? path_env : "BENCH_sweep.json";
+  if (json_path.empty()) return 0;
+  const auto matrix = run_sweep_matrix_bench();
+  const auto scaling = run_scaling_bench();
+  write_bench_json(json_path, matrix, scaling);
   return 0;
 }

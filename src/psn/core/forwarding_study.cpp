@@ -35,6 +35,7 @@ ForwardingStudyResult run_forwarding_study(
     study.by_pair_type = std::move(cell.by_pair_type);
     study.delays = std::move(cell.delays);
     study.cost_per_message = cell.cost_per_message;
+    study.truncated_relay_steps = cell.truncated_relay_steps;
     result.algorithms.push_back(std::move(study));
   }
   return result;

@@ -34,6 +34,9 @@ struct AlgorithmStudy {
   /// Mean transmissions per generated message — the forwarding-cost
   /// extension (paper §7 leaves cost as an open question).
   double cost_per_message = 0.0;
+  /// Steps whose relay fixpoint was truncated (summed over runs); the
+  /// integration tests assert this stays zero at paper scale.
+  std::uint64_t truncated_relay_steps = 0;
 };
 
 struct ForwardingStudyResult {

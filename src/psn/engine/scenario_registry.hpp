@@ -1,0 +1,38 @@
+// Scenario registry: named, self-owning experiment scenarios, mirroring
+// forward::make_algorithm for the scenario axis of a sweep plan.
+//
+// The registered families span the scale tiers of DESIGN.md §3:
+//
+//   conference_small — the paper's Infocom'06 9-12 window (98 nodes), the
+//                      reference point every other tier is compared to;
+//   town_128         — 128 nodes, the historical Bitset128 ceiling, kept
+//                      as the first rung of the node-count scaling series;
+//   campus_512       — 512 nodes, a campus-sized deployment;
+//   city_2048        — 2048 nodes, a district-scale crowd.
+//
+// All tiers are parameterized builds of the conference generator (3-hour
+// window, session/break modulation, heterogeneous weights), deterministic
+// in their fixed seeds. Per-node contact rates taper with population so
+// the contact graph stays Bluetooth-sighting sparse as N grows.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psn/engine/run_spec.hpp"
+
+namespace psn::engine {
+
+/// Names of the registered scenario families, smallest population first.
+/// These are the valid inputs of make_scenario_by_name.
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+/// Builds the named scenario, generating and owning its dataset (unlike
+/// make_scenario, which aliases a caller-owned one). Each call generates a
+/// fresh dataset; the fixed per-family seeds make repeated builds
+/// identical. Throws std::invalid_argument for unknown names.
+[[nodiscard]] Scenario make_scenario_by_name(std::string_view name);
+
+}  // namespace psn::engine

@@ -168,7 +168,8 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
       std::size_t messages = 0;
       for (std::size_t r = 0; r < plan.config.runs; ++r) {
         RunRecord record = store.take(plan.slot(s, a, r));
-        cell.run_wall_seconds += record.wall_seconds;
+        cell.run_walls.push_back(record.wall_seconds);
+        cell.truncated_relay_steps += record.run.result.truncated_relay_steps;
         transmissions += record.run.result.transmissions;
         messages += record.run.messages.size();
         runs.push_back(std::move(record.run));

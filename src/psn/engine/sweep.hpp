@@ -28,7 +28,10 @@ struct CellSummary {
   forward::PairTypePerformance by_pair_type;
   std::vector<double> delays;  ///< pooled delivered delays (Fig. 10).
   double cost_per_message = 0.0;  ///< transmissions per generated message.
-  double run_wall_seconds = 0.0;  ///< summed per-run wall time (telemetry).
+  std::vector<double> run_walls;  ///< per-run wall times, run order (telemetry).
+  /// Steps whose relay fixpoint hit max_relay_passes, summed over runs;
+  /// nonzero means forwarding chains were truncated (message.hpp).
+  std::uint64_t truncated_relay_steps = 0;
 };
 
 struct SweepResult {

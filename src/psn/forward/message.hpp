@@ -35,6 +35,11 @@ struct SimulationResult {
   /// performed during the run — the forwarding *cost* the paper's §7
   /// leaves open; our cost-extension benches report it per algorithm.
   std::uint64_t transmissions = 0;
+  /// Steps whose within-step relay fixpoint was cut off by
+  /// SimulatorConfig::max_relay_passes while still making progress.
+  /// Nonzero means forwarding chains were silently truncated; the
+  /// paper-scale integration tests assert this stays zero.
+  std::uint64_t truncated_relay_steps = 0;
 
   [[nodiscard]] std::size_t delivered_count() const noexcept;
   [[nodiscard]] double success_rate() const noexcept;

@@ -9,20 +9,24 @@ Performance aggregate_performance(const std::string& algorithm,
   Performance perf;
   perf.algorithm = algorithm;
   double delay_sum = 0.0;
+  double hop_sum = 0.0;
   for (const Run& run : runs) {
     perf.messages += run.result.outcomes.size();
     for (const auto& o : run.result.outcomes) {
       if (o.delivered) {
         ++perf.delivered;
         delay_sum += o.delay;
+        hop_sum += static_cast<double>(o.hops);
       }
     }
   }
   if (perf.messages > 0)
     perf.success_rate = static_cast<double>(perf.delivered) /
                         static_cast<double>(perf.messages);
-  if (perf.delivered > 0)
+  if (perf.delivered > 0) {
     perf.average_delay = delay_sum / static_cast<double>(perf.delivered);
+    perf.average_hops = hop_sum / static_cast<double>(perf.delivered);
+  }
   return perf;
 }
 
@@ -64,6 +68,7 @@ PairTypePerformance split_by_pair_type(const std::string& algorithm,
                                        const trace::RateClassification& rc) {
   PairTypePerformance out;
   double delay_sum[4] = {0, 0, 0, 0};
+  double hop_sum[4] = {0, 0, 0, 0};
   for (std::size_t t = 0; t < 4; ++t) out.per_type[t].algorithm = algorithm;
 
   for (const Run& run : runs) {
@@ -78,6 +83,7 @@ PairTypePerformance split_by_pair_type(const std::string& algorithm,
       if (o.delivered) {
         ++perf.delivered;
         delay_sum[t] += o.delay;
+        hop_sum[t] += static_cast<double>(o.hops);
       }
     }
   }
@@ -86,8 +92,10 @@ PairTypePerformance split_by_pair_type(const std::string& algorithm,
     if (perf.messages > 0)
       perf.success_rate = static_cast<double>(perf.delivered) /
                           static_cast<double>(perf.messages);
-    if (perf.delivered > 0)
+    if (perf.delivered > 0) {
       perf.average_delay = delay_sum[t] / static_cast<double>(perf.delivered);
+      perf.average_hops = hop_sum[t] / static_cast<double>(perf.delivered);
+    }
   }
   return out;
 }

@@ -25,6 +25,10 @@ struct Performance {
   std::string algorithm;
   double success_rate = 0.0;
   double average_delay = 0.0;
+  /// Mean hop count of the delivering copies (Fig. 14-style statistic).
+  /// Meaningful for every algorithm, including Epidemic, whose flooding
+  /// fast path tracks hop levels through the per-step component closure.
+  double average_hops = 0.0;
   std::size_t messages = 0;
   std::size_t delivered = 0;
 };

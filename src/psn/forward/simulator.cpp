@@ -4,7 +4,7 @@
 #include <stdexcept>
 
 #include "psn/graph/components.hpp"
-#include "psn/util/bitset128.hpp"
+#include "psn/util/node_set.hpp"
 #include "psn/util/rng.hpp"
 
 namespace psn::forward {
@@ -12,7 +12,7 @@ namespace psn::forward {
 namespace {
 
 struct MsgState {
-  util::Bitset128 holders;
+  util::NodeSet holders;
   std::vector<std::uint16_t> hops;    ///< per holding node.
   std::vector<std::uint32_t> copies;  ///< per holding node (quota schemes).
   bool active = false;
@@ -73,6 +73,59 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
     ++result.transmissions;  // the final hop to the destination.
   };
 
+  // Scratch for the flooding fast path's hop-level computation: a lazy
+  // Dijkstra over one contact component with unit-weight edges and
+  // holder-seeded start levels. `mark` is generation-stamped so a BFS
+  // costs O(component), not O(n).
+  std::vector<std::uint32_t> level(flooding ? n : 0, 0);
+  std::vector<std::uint32_t> mark(flooding ? n : 0, 0);
+  std::uint32_t mark_gen = 0;
+  std::vector<std::pair<std::uint32_t, NodeId>> heap;
+  const auto heap_cmp = [](const std::pair<std::uint32_t, NodeId>& lhs,
+                           const std::pair<std::uint32_t, NodeId>& rhs) {
+    return lhs.first > rhs.first;  // min-heap on level.
+  };
+  // Settles hop levels for the component `mask` at step s, seeded by the
+  // message's holders at their current hop counts. If `stop_at` is inside
+  // the component, returns as soon as its level is known; otherwise
+  // settles the whole component (level[] is valid where mark[] ==
+  // mark_gen). Hop counts are minimal over all holder-to-node chains
+  // within the step, matching the zero-weight closure of §4.1.
+  const auto settle_component = [&](graph::Step s, const util::NodeSet& mask,
+                                    const MsgState& st, NodeId stop_at,
+                                    bool has_stop) -> std::uint32_t {
+    ++mark_gen;
+    heap.clear();
+    const std::uint32_t words = std::min(mask.num_words(),
+                                         st.holders.num_words());
+    for (std::uint32_t w = 0; w < words; ++w) {
+      std::uint64_t bits = mask.word(w) & st.holders.word(w);
+      while (bits != 0) {
+        const auto v = static_cast<NodeId>(
+            w * 64 + static_cast<std::uint32_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+        heap.emplace_back(st.hops[v], v);
+      }
+    }
+    std::make_heap(heap.begin(), heap.end(), heap_cmp);
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), heap_cmp);
+      const auto [lvl, v] = heap.back();
+      heap.pop_back();
+      if (mark[v] == mark_gen) continue;  // already settled at <= lvl.
+      mark[v] = mark_gen;
+      level[v] = lvl;
+      if (has_stop && v == stop_at) return lvl;
+      for (const NodeId w : graph.neighbors(s, v)) {
+        if (mark[w] != mark_gen) {
+          heap.emplace_back(lvl + 1, w);
+          std::push_heap(heap.begin(), heap.end(), heap_cmp);
+        }
+      }
+    }
+    return 0;
+  };
+
   std::vector<graph::StepEdge> edges;
   for (graph::Step s = 0; s < graph.num_steps(); ++s) {
     // Activate messages created during this step.
@@ -81,7 +134,7 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
       if (graph.step_of(messages[id].created) > s) break;
       auto& st = state[id];
       st.active = true;
-      st.holders = util::Bitset128::single(messages[id].source);
+      st.holders = util::NodeSet::single(n, messages[id].source);
       st.hops.assign(n, 0);
       if (quota_scheme) {
         st.copies.assign(n, 0);
@@ -104,17 +157,19 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
     if (flooding) {
       // Epidemic closure: every member of a contact component ends the step
       // holding everything any member held; delivery happens if the
-      // destination is in the component.
+      // destination is in the component. Hop levels come from the
+      // component settle so epidemic deliveries carry real hop counts
+      // (Fig. 14-style statistics) instead of the historical 0.
       const auto labels = graph::components_at(graph, s);
       // Component masks for components that actually have edges.
-      std::vector<util::Bitset128> masks;
+      std::vector<util::NodeSet> masks;
       {
         std::vector<int> mask_of(n, -1);
         for (const graph::StepEdge& e : step_edges) {
           const NodeId label = labels[e.a];
           if (mask_of[label] < 0) {
             mask_of[label] = static_cast<int>(masks.size());
-            masks.emplace_back();
+            masks.emplace_back(n);
           }
         }
         for (NodeId v = 0; v < n; ++v) {
@@ -127,18 +182,30 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
         if (st.delivered) continue;
         const NodeId dest = messages[id].destination;
         for (const auto& mask : masks) {
-          if ((st.holders & mask).empty()) continue;
+          const unsigned held = st.holders.intersect_count(mask);
+          if (held == 0) continue;
           if (mask.test(dest)) {
             // Copies made inside the component before reaching the
             // destination are part of the flood's cost too.
-            result.transmissions +=
-                mask.count() - (st.holders & mask).count() - 1;
-            deliver(id, s, 0);
+            result.transmissions += mask.count() - held - 1;
+            const std::uint32_t hops =
+                settle_component(s, mask, st, dest, true);
+            deliver(id, s, static_cast<std::uint16_t>(
+                               std::min<std::uint32_t>(hops, 0xFFFF)));
             break;
           }
-          const unsigned before = st.holders.count();
-          st.holders = st.holders | mask;
-          result.transmissions += st.holders.count() - before;
+          const unsigned total = mask.count();
+          // Fully flooded components have nothing left to spread; skipping
+          // them also skips the (comparatively expensive) hop settle.
+          if (held == total) continue;
+          settle_component(s, mask, st, 0, false);
+          mask.for_each([&](std::uint32_t v) {
+            if (!st.holders.test(v))
+              st.hops[v] = static_cast<std::uint16_t>(
+                  std::min<std::uint32_t>(level[v], 0xFFFF));
+          });
+          st.holders |= mask;
+          result.transmissions += total - held;
         }
       }
     } else {
@@ -206,14 +273,20 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
         return changed;
       };
 
+      bool converged = false;
       for (std::uint32_t pass = 0; pass < config.max_relay_passes; ++pass) {
         bool changed = false;
         for (const graph::StepEdge& e : edges) {
           if (relay(e.a, e.b)) changed = true;
           if (relay(e.b, e.a)) changed = true;
         }
-        if (!changed) break;
+        if (!changed) {
+          converged = true;
+          break;
+        }
       }
+      // Surface truncation instead of silently cutting forwarding chains.
+      if (!converged) ++result.truncated_relay_steps;
     }
 
     // Compact the active list occasionally.

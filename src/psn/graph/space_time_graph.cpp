@@ -3,74 +3,118 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace psn::graph {
+
+namespace {
+
+bool edge_less(const StepEdge& lhs, const StepEdge& rhs) noexcept {
+  return lhs.a != rhs.a ? lhs.a < rhs.a : lhs.b < rhs.b;
+}
+
+}  // namespace
 
 SpaceTimeGraph::SpaceTimeGraph(const trace::ContactTrace& trace,
                                Seconds delta)
     : num_nodes_(trace.num_nodes()), delta_(delta) {
   if (delta <= 0.0)
     throw std::invalid_argument("SpaceTimeGraph: delta must be positive");
-  if (num_nodes_ > kMaxNodes)
-    throw std::invalid_argument(
-        "SpaceTimeGraph: more than 128 nodes is not supported (path "
-        "membership sets are 128-bit)");
 
-  const auto steps = static_cast<Step>(
+  num_steps_ = static_cast<Step>(
       std::max(1.0, std::ceil(trace.t_max() / delta_)));
-  step_edges_.assign(steps, {});
+  const Step steps = num_steps_;
 
-  // Spread every contact over the steps it overlaps.
-  for (const trace::Contact& c : trace.contacts()) {
+  // The step interval [first, last] a contact is active in. A zero-length
+  // contact still occupies the step containing its start; a contact that
+  // ends exactly on a step boundary is not active in the following step.
+  const auto span_of = [&](const trace::Contact& c) -> std::pair<Step, Step> {
     auto first = static_cast<Step>(std::floor(c.start / delta_));
-    // A zero-length contact still occupies the step containing its start.
     const Seconds effective_end = std::max(c.end, c.start);
     auto last = static_cast<Step>(std::floor(effective_end / delta_));
-    // A contact that ends exactly on a step boundary is not active in the
-    // following step.
     if (effective_end > c.start &&
         std::floor(effective_end / delta_) * delta_ == effective_end)
       last = last == 0 ? 0 : last - 1;
     first = std::min<Step>(first, steps - 1);
     last = std::min<Step>(last, steps - 1);
-    for (Step s = first; s <= last; ++s)
-      step_edges_[s].push_back({c.a, c.b});
+    return {first, last};
+  };
+
+  // Pass 1: per-step occurrence counts -> edge arena offsets.
+  edge_offsets_.assign(steps + std::size_t{1}, 0);
+  for (const trace::Contact& c : trace.contacts()) {
+    const auto [first, last] = span_of(c);
+    for (Step s = first; s <= last; ++s) ++edge_offsets_[s + 1];
+  }
+  for (Step s = 0; s < steps; ++s) edge_offsets_[s + 1] += edge_offsets_[s];
+
+  // Pass 2: scatter every contact into the steps it overlaps.
+  edges_.resize(edge_offsets_[steps]);
+  {
+    std::vector<std::size_t> cursor(edge_offsets_.begin(),
+                                    edge_offsets_.end() - 1);
+    for (const trace::Contact& c : trace.contacts()) {
+      const auto [first, last] = span_of(c);
+      for (Step s = first; s <= last; ++s) edges_[cursor[s]++] = {c.a, c.b};
+    }
   }
 
-  // Deduplicate edges per step (several contacts between the same pair can
-  // overlap one step) and build CSR adjacency.
-  offsets_.assign(steps, {});
-  neighbors_.assign(steps, {});
-  for (Step s = 0; s < steps; ++s) {
-    auto& edges = step_edges_[s];
-    std::sort(edges.begin(), edges.end(),
-              [](const StepEdge& lhs, const StepEdge& rhs) {
-                return lhs.a != rhs.a ? lhs.a < rhs.a : lhs.b < rhs.b;
-              });
-    edges.erase(std::unique(edges.begin(), edges.end(),
-                            [](const StepEdge& lhs, const StepEdge& rhs) {
-                              return lhs.a == rhs.a && lhs.b == rhs.b;
-                            }),
-                edges.end());
+  // Pass 3: sort + deduplicate each step (several contacts between the
+  // same pair can overlap one step), compacting the arena in place.
+  {
+    std::size_t write = 0;
+    std::size_t begin = 0;
+    for (Step s = 0; s < steps; ++s) {
+      const std::size_t end = edge_offsets_[s + 1];
+      std::sort(edges_.begin() + static_cast<std::ptrdiff_t>(begin),
+                edges_.begin() + static_cast<std::ptrdiff_t>(end), edge_less);
+      const std::size_t step_start = write;
+      for (std::size_t i = begin; i < end; ++i) {
+        const StepEdge e = edges_[i];
+        if (write > step_start && edges_[write - 1].a == e.a &&
+            edges_[write - 1].b == e.b)
+          continue;
+        edges_[write++] = e;
+      }
+      edge_offsets_[s] = step_start;  // old begin already consumed
+      begin = end;
+    }
+    edge_offsets_[steps] = write;
+    edges_.resize(write);
+    edges_.shrink_to_fit();
+  }
 
-    auto& offsets = offsets_[s];
-    auto& neigh = neighbors_[s];
-    std::vector<std::uint32_t> degree(num_nodes_, 0);
-    for (const StepEdge& e : edges) {
-      ++degree[e.a];
-      ++degree[e.b];
+  // Pass 4: CSR adjacency over the whole space-time arena. Degree counts
+  // land one slot past their (step, node) row position, so one global
+  // prefix sum turns them into start offsets, with each step's row
+  // beginning where the previous step's ended.
+  const std::size_t row_width = num_nodes_ + std::size_t{1};
+  adj_offsets_.assign(static_cast<std::size_t>(steps) * row_width, 0);
+  for (Step s = 0; s < steps; ++s) {
+    const std::size_t row = static_cast<std::size_t>(s) * row_width;
+    for (const StepEdge& e : edges(s)) {
+      ++adj_offsets_[row + e.a + 1];
+      ++adj_offsets_[row + e.b + 1];
     }
-    offsets.assign(num_nodes_ + 1, 0);
-    for (NodeId v = 0; v < num_nodes_; ++v)
-      offsets[v + 1] = offsets[v] + degree[v];
-    neigh.assign(offsets[num_nodes_], 0);
-    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
-    for (const StepEdge& e : edges) {
-      neigh[cursor[e.a]++] = e.b;
-      neigh[cursor[e.b]++] = e.a;
+  }
+  for (std::size_t k = 1; k < adj_offsets_.size(); ++k)
+    adj_offsets_[k] += adj_offsets_[k - 1];
+
+  adjacency_.resize(adj_offsets_.empty() ? 0 : adj_offsets_.back());
+  std::vector<std::size_t> cursor(num_nodes_);
+  for (Step s = 0; s < steps; ++s) {
+    const std::size_t row = static_cast<std::size_t>(s) * row_width;
+    std::copy_n(adj_offsets_.begin() + static_cast<std::ptrdiff_t>(row),
+                num_nodes_, cursor.begin());
+    for (const StepEdge& e : edges(s)) {
+      adjacency_[cursor[e.a]++] = e.b;
+      adjacency_[cursor[e.b]++] = e.a;
     }
     for (NodeId v = 0; v < num_nodes_; ++v)
-      std::sort(neigh.begin() + offsets[v], neigh.begin() + offsets[v + 1]);
+      std::sort(adjacency_.begin() +
+                    static_cast<std::ptrdiff_t>(adj_offsets_[row + v]),
+                adjacency_.begin() +
+                    static_cast<std::ptrdiff_t>(adj_offsets_[row + v + 1]));
   }
 }
 
@@ -80,22 +124,9 @@ Step SpaceTimeGraph::step_of(Seconds t) const noexcept {
   return std::min<Step>(s, num_steps() - 1);
 }
 
-std::span<const NodeId> SpaceTimeGraph::neighbors(Step s,
-                                                  NodeId node) const noexcept {
-  const auto& offsets = offsets_[s];
-  const auto& neigh = neighbors_[s];
-  return {neigh.data() + offsets[node], neigh.data() + offsets[node + 1]};
-}
-
 bool SpaceTimeGraph::in_contact(Step s, NodeId a, NodeId b) const noexcept {
   const auto nb = neighbors(s, a);
   return std::binary_search(nb.begin(), nb.end(), b);
-}
-
-std::size_t SpaceTimeGraph::total_edges() const noexcept {
-  std::size_t total = 0;
-  for (const auto& edges : step_edges_) total += edges.size();
-  return total;
 }
 
 }  // namespace psn::graph

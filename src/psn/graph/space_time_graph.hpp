@@ -11,7 +11,13 @@
 //
 // SpaceTimeGraph precomputes, per step, the active contact edges and the
 // per-node adjacency lists that the enumerator, the reachability sweep and
-// the forwarding simulator all share.
+// the forwarding simulator all share. Storage is a contiguous space-time
+// arena — one edge array with per-step offsets, one adjacency array with
+// per-(step, node) offsets — rather than per-step vectors, so replaying a
+// large population walks flat memory instead of chasing a vector of
+// vectors. There is no architectural node-count ceiling: membership sets
+// are dynamic (util::NodeSet), and populations in the thousands are
+// exercised by the scenario registry's campus/city tiers.
 
 #pragma once
 
@@ -35,21 +41,16 @@ struct StepEdge {
   NodeId b = 0;
 };
 
-/// Maximum node population supported (path membership sets are 128-bit).
-inline constexpr NodeId kMaxNodes = 128;
-
 class SpaceTimeGraph {
  public:
   /// Discretizes the trace with the given step width (default 10 s as in
-  /// the paper). Throws if the trace has more than kMaxNodes nodes.
+  /// the paper).
   explicit SpaceTimeGraph(const trace::ContactTrace& trace,
                           Seconds delta = 10.0);
 
   [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
   [[nodiscard]] Seconds delta() const noexcept { return delta_; }
-  [[nodiscard]] Step num_steps() const noexcept {
-    return static_cast<Step>(step_edges_.size());
-  }
+  [[nodiscard]] Step num_steps() const noexcept { return num_steps_; }
 
   /// The step whose interval [step*delta, (step+1)*delta) contains t,
   /// clamped into range.
@@ -62,30 +63,44 @@ class SpaceTimeGraph {
     return (static_cast<Seconds>(s) + 1.0) * delta_;
   }
 
-  /// Contact edges active during step s.
+  /// Contact edges active during step s, deduplicated and sorted by (a, b).
   [[nodiscard]] std::span<const StepEdge> edges(Step s) const noexcept {
-    return step_edges_[s];
+    return {edges_.data() + edge_offsets_[s],
+            edges_.data() + edge_offsets_[s + 1]};
   }
 
   /// Neighbors of `node` during step s (nodes it shares a contact edge
   /// with). Sorted ascending.
   [[nodiscard]] std::span<const NodeId> neighbors(Step s,
-                                                  NodeId node) const noexcept;
+                                                  NodeId node) const noexcept {
+    const std::size_t row =
+        static_cast<std::size_t>(s) * (num_nodes_ + std::size_t{1}) + node;
+    return {adjacency_.data() + adj_offsets_[row],
+            adjacency_.data() + adj_offsets_[row + 1]};
+  }
 
   /// True if a and b share a contact edge during step s.
   [[nodiscard]] bool in_contact(Step s, NodeId a, NodeId b) const noexcept;
 
   /// Total number of (step, edge) pairs; a size measure for benchmarks.
-  [[nodiscard]] std::size_t total_edges() const noexcept;
+  [[nodiscard]] std::size_t total_edges() const noexcept {
+    return edges_.size();
+  }
 
  private:
   NodeId num_nodes_ = 0;
   Seconds delta_ = 10.0;
-  std::vector<std::vector<StepEdge>> step_edges_;
-  /// adjacency_[s] is a CSR view: offsets_[s][v]..offsets_[s][v+1] indexes
-  /// into neighbors_[s].
-  std::vector<std::vector<std::uint32_t>> offsets_;
-  std::vector<std::vector<NodeId>> neighbors_;
+  Step num_steps_ = 0;
+  /// Edge arena: edges of step s are edges_[edge_offsets_[s],
+  /// edge_offsets_[s + 1]), per-step sorted by (a, b) and deduplicated.
+  std::vector<std::size_t> edge_offsets_;  ///< size num_steps_ + 1.
+  std::vector<StepEdge> edges_;
+  /// Adjacency arena: neighbors of (s, v) are adjacency_[adj_offsets_[s *
+  /// (num_nodes_+1) + v], adj_offsets_[s * (num_nodes_+1) + v + 1]), sorted
+  /// ascending. Offsets are global indices into adjacency_ (size_t, like
+  /// edge_offsets_: the arena must not introduce a silent size ceiling).
+  std::vector<std::size_t> adj_offsets_;  ///< size num_steps_*(num_nodes_+1).
+  std::vector<NodeId> adjacency_;
 };
 
 }  // namespace psn::graph

@@ -38,10 +38,10 @@ struct Entry {
 };
 
 using EntryMap =
-    std::unordered_map<util::Bitset128, Entry, util::Bitset128Hash>;
+    std::unordered_map<util::NodeSet, Entry, util::NodeSetHash>;
 
 /// Hops of a pooled entry: |members| - 1 (loop-free invariant).
-std::uint16_t entry_hops(const util::Bitset128& members) noexcept {
+std::uint16_t entry_hops(const util::NodeSet& members) noexcept {
   return static_cast<std::uint16_t>(members.count() - 1);
 }
 
@@ -110,7 +110,7 @@ EnumerationResult KPathEnumerator::enumerate(NodeId source,
     Entry origin;
     origin.repr = Path::origin(source, start);  // cheap; kept always.
     origin.mult = 1;
-    state[source].stored.emplace(util::Bitset128::single(source),
+    state[source].stored.emplace(util::NodeSet::single(source),
                                  std::move(origin));
     state[source].stored_mult = 1;
   }
@@ -127,7 +127,7 @@ EnumerationResult KPathEnumerator::enumerate(NodeId source,
 
     // Nodes in direct contact with the destination this step.
     std::vector<bool> meets_dst(g.num_nodes(), false);
-    util::Bitset128 dst_mask;
+    util::NodeSet dst_mask(g.num_nodes());
     for (const NodeId v : g.neighbors(s, destination)) {
       meets_dst[v] = true;
       dst_mask.set(v);
@@ -166,7 +166,7 @@ EnumerationResult KPathEnumerator::enumerate(NodeId source,
     // v; representative `repr`, may be null when not recording) to node v:
     // delivery if v meets the destination, storage in v's fresh set
     // otherwise.
-    const auto offer = [&](const util::Bitset128& members, const Path* repr,
+    const auto offer = [&](const util::NodeSet& members, const Path* repr,
                            std::uint64_t mult, NodeId v) {
       if (members.test(v)) return;  // loop avoidance
       const std::uint16_t prefix_hops = entry_hops(members);
@@ -195,7 +195,7 @@ EnumerationResult KPathEnumerator::enumerate(NodeId source,
       // handed the message over now), so the extension must not be stored.
       // Same-step deliveries of such prefixes are produced by the branches
       // above.
-      if (!(members & dst_mask).empty()) return;
+      if (members.intersects(dst_mask)) return;
       auto& ns = state[v];
       // Saturation pre-check before touching the hash map: once a node
       // holds k paths (stored + fresh), only equal-or-shorter candidates
@@ -203,7 +203,7 @@ EnumerationResult KPathEnumerator::enumerate(NodeId source,
       const auto hops = static_cast<std::uint16_t>(prefix_hops + 1);
       const bool full = ns.stored_mult + ns.fresh_mult >= k;
       if (full && hops > ns.worst_hops) return;
-      util::Bitset128 extended = members;
+      util::NodeSet extended = members;
       extended.set(v);
       const auto it = ns.fresh.find(extended);
       if (it != ns.fresh.end()) {
@@ -291,7 +291,7 @@ EnumerationResult KPathEnumerator::enumerate(NodeId source,
       // destination this step can never yield a valid delivery again.
       if (!dst_mask.empty() && !nu.stored.empty()) {
         for (auto it = nu.stored.begin(); it != nu.stored.end();) {
-          if (!(it->first & dst_mask).empty()) {
+          if (it->first.intersects(dst_mask)) {
             nu.stored_mult -= it->second.mult;
             it = nu.stored.erase(it);
             dirty = true;

@@ -7,7 +7,7 @@
 // reaching the destination are emitted as deliveries in arrival order.
 //
 // Validity rules enforced (paper §4.1):
-//  * loop avoidance — a path never revisits a node (O(1) via Bitset128);
+//  * loop avoidance — a path never revisits a node (O(1) via NodeSet);
 //  * minimal progress — whenever a node holding paths is in direct contact
 //    with the destination, every path it holds is delivered;
 //  * first preference — a delivered path is dropped from its holder, so no

@@ -8,7 +8,7 @@ namespace psn::paths {
 Path Path::origin(NodeId node, Step step) {
   Path p;
   p.head_ = std::make_shared<const PathHop>(PathHop{node, step, nullptr});
-  p.members_ = util::Bitset128::single(node);
+  p.members_ = util::NodeSet::single(node);
   p.hops_ = 0;
   return p;
 }

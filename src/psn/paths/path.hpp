@@ -4,7 +4,7 @@
 // where each consecutive tuple is justified by a contact. Paths are
 // immutable and share suffixes: extending a path allocates one node that
 // points at its predecessor, so the enumerator can hold hundreds of
-// thousands of live paths cheaply. Each path carries a 128-bit membership
+// thousands of live paths cheaply. Each path carries a node membership
 // set making the loop-freedom test O(1).
 
 #pragma once
@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "psn/graph/space_time_graph.hpp"
-#include "psn/util/bitset128.hpp"
+#include "psn/util/node_set.hpp"
 
 namespace psn::paths {
 
@@ -52,7 +52,7 @@ class Path {
   [[nodiscard]] NodeId last_node() const noexcept { return head_->node; }
   [[nodiscard]] Step last_step() const noexcept { return head_->step; }
 
-  [[nodiscard]] const util::Bitset128& members() const noexcept {
+  [[nodiscard]] const util::NodeSet& members() const noexcept {
     return members_;
   }
 
@@ -63,7 +63,7 @@ class Path {
 
  private:
   std::shared_ptr<const PathHop> head_;
-  util::Bitset128 members_;
+  util::NodeSet members_;
   std::uint16_t hops_ = 0;
 };
 

@@ -14,6 +14,7 @@
 #include "psn/core/forwarding_study.hpp"
 #include "psn/engine/result_store.hpp"
 #include "psn/engine/run_spec.hpp"
+#include "psn/engine/scenario_registry.hpp"
 #include "psn/engine/sweep.hpp"
 #include "psn/engine/thread_pool.hpp"
 #include "psn/forward/algorithm_registry.hpp"
@@ -221,6 +222,71 @@ TEST(Sweep, MultiScenarioDeterminismAndSeedModes) {
   }
   // cell(s, a) indexing agrees with the flat layout.
   EXPECT_EQ(&lhs.cell(1, 1), &lhs.cells[3]);
+}
+
+TEST(ScenarioRegistry, NamesAreBuildableAndUnknownThrows) {
+  const auto names = scenario_names();
+  ASSERT_GE(names.size(), 4u);
+  EXPECT_THROW((void)make_scenario_by_name("no-such-scenario"),
+               std::invalid_argument);
+  // The small tiers build quickly; the owned dataset matches the name's
+  // advertised population. (city_2048 is exercised by integration_test.)
+  const auto small = make_scenario_by_name("conference_small");
+  ASSERT_TRUE(small.dataset != nullptr);
+  EXPECT_EQ(small.name, "conference_small");
+  EXPECT_EQ(small.dataset->trace.num_nodes(), 98u);
+  const auto town = make_scenario_by_name("town_128");
+  EXPECT_EQ(town.dataset->trace.num_nodes(), 128u);
+  EXPECT_FALSE(town.dataset->trace.empty());
+}
+
+TEST(ScenarioRegistry, RepeatedBuildsAreIdentical) {
+  const auto a = make_scenario_by_name("town_128");
+  const auto b = make_scenario_by_name("town_128");
+  ASSERT_EQ(a.dataset->trace.size(), b.dataset->trace.size());
+  for (std::size_t i = 0; i < a.dataset->trace.size(); ++i)
+    EXPECT_EQ(a.dataset->trace[i], b.dataset->trace[i]);
+}
+
+// The scale-up guarantee: a past-the-Bitset128-ceiling scenario (512
+// nodes) sweeps bit-identically at 1 and 8 threads, epidemic plus a
+// single-copy scheme, with no silent relay truncation.
+TEST(Sweep, Campus512BitIdenticalAcrossThreadCounts) {
+  const auto scenario = make_scenario_by_name("campus_512");
+  ASSERT_EQ(scenario.dataset->trace.num_nodes(), 512u);
+
+  PlanConfig config;
+  config.runs = 2;
+  config.master_seed = 17;
+  config.message_rate = 0.005;  // ~36 messages per run keeps this quick.
+  const auto plan = make_plan({scenario}, {"Epidemic", "FRESH"}, config);
+
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions wide;
+  wide.threads = 8;
+  const auto lhs = run_sweep(plan, serial);
+  const auto rhs = run_sweep(plan, wide);
+
+  ASSERT_EQ(lhs.cells.size(), 2u);
+  ASSERT_EQ(rhs.cells.size(), 2u);
+  for (std::size_t c = 0; c < lhs.cells.size(); ++c) {
+    const auto& a = lhs.cells[c];
+    const auto& b = rhs.cells[c];
+    EXPECT_EQ(a.algorithm, b.algorithm);
+    // Bit-identical, hence EXPECT_EQ on doubles — no tolerance.
+    EXPECT_EQ(a.overall.success_rate, b.overall.success_rate);
+    EXPECT_EQ(a.overall.average_delay, b.overall.average_delay);
+    EXPECT_EQ(a.overall.average_hops, b.overall.average_hops);
+    EXPECT_EQ(a.overall.delivered, b.overall.delivered);
+    EXPECT_EQ(a.cost_per_message, b.cost_per_message);
+    EXPECT_EQ(a.delays, b.delays);
+    EXPECT_EQ(a.truncated_relay_steps, b.truncated_relay_steps);
+    EXPECT_EQ(a.truncated_relay_steps, 0u);
+    EXPECT_EQ(a.run_walls.size(), config.runs);
+  }
+  // The flood must actually spread at this scale.
+  EXPECT_GT(lhs.cells[0].overall.delivered, 0u);
 }
 
 // The refactored forwarding study rides the engine; its output must not

@@ -87,6 +87,8 @@ TEST(Epidemic, UsesMultiHopPathsOverTime) {
   const auto r = f.run(epidemic, {msg(0, 0, 3, 0.0)});
   ASSERT_TRUE(r.outcomes[0].delivered);
   EXPECT_DOUBLE_EQ(r.outcomes[0].delay, 50.0);
+  // Hop levels are tracked through the flooding fast path: 0->1->2->3.
+  EXPECT_EQ(r.outcomes[0].hops, 3u);
 }
 
 TEST(Epidemic, ZeroWeightClosureWithinStep) {
@@ -101,6 +103,66 @@ TEST(Epidemic, ZeroWeightClosureWithinStep) {
   const auto r = f.run(epidemic, {msg(0, 0, 3, 0.0)});
   ASSERT_TRUE(r.outcomes[0].delivered);
   EXPECT_DOUBLE_EQ(r.outcomes[0].delay, 10.0);
+  // Three contact edges crossed within the one step.
+  EXPECT_EQ(r.outcomes[0].hops, 3u);
+}
+
+TEST(Epidemic, HopCountIsMinimalOverHolderChains) {
+  // Two routes to the destination open in the same step: a long chain
+  // through 1-2-3 and a direct source contact. The delivering copy's hop
+  // count is the shortest chain within the closure.
+  const Fixture f(
+      {
+          Contact::make(0, 1, 0.0, 5.0),
+          Contact::make(1, 2, 0.0, 5.0),
+          Contact::make(2, 3, 0.0, 5.0),
+          Contact::make(3, 4, 0.0, 5.0),
+          Contact::make(0, 4, 0.0, 5.0),
+      },
+      5, 30.0);
+  EpidemicForwarding epidemic;
+  const auto r = f.run(epidemic, {msg(0, 0, 4, 0.0)});
+  ASSERT_TRUE(r.outcomes[0].delivered);
+  EXPECT_EQ(r.outcomes[0].hops, 1u);  // direct 0-4 beats 0-1-2-3-4.
+}
+
+TEST(Epidemic, HopLevelsAccumulateAcrossSteps) {
+  // The flood spreads 0 -> {1} in step 0, {0,1} -> {2} in step 2 (via the
+  // 1-2 contact), and delivers from 2 in step 4; the delivering copy's
+  // level must count hops from the original source across steps.
+  const Fixture f(
+      {
+          Contact::make(0, 1, 0.0, 5.0),
+          Contact::make(1, 2, 20.0, 25.0),
+          Contact::make(2, 3, 40.0, 45.0),
+          Contact::make(0, 3, 41.0, 44.0),  // dest also meets source late
+      },
+      4, 60.0);
+  EpidemicForwarding epidemic;
+  const auto r = f.run(epidemic, {msg(0, 0, 3, 0.0)});
+  ASSERT_TRUE(r.outcomes[0].delivered);
+  EXPECT_DOUBLE_EQ(r.outcomes[0].delay, 50.0);
+  // In step 4 the component is {0, 2, 3}: the source delivers directly.
+  EXPECT_EQ(r.outcomes[0].hops, 1u);
+}
+
+TEST(Simulator, RelayTruncationIsCountedNotSilent) {
+  // With max_relay_passes = 1, the one allowed pass still makes progress
+  // (the 0-1 delivery), so the fixpoint is never verified: the step must
+  // be counted as truncated rather than silently cut off.
+  const Fixture f({Contact::make(0, 1, 0.0, 5.0)}, 2, 30.0);
+  FreshForwarding fresh;  // generic (non-flooding) path
+  SimulatorConfig config;
+  config.max_relay_passes = 1;
+  const auto truncated =
+      simulate(fresh, f.graph, f.trace, {msg(0, 0, 1, 0.0)}, config);
+  EXPECT_TRUE(truncated.outcomes[0].delivered);
+  EXPECT_EQ(truncated.truncated_relay_steps, 1u);
+
+  // With the default bound the fixpoint converges and nothing truncates.
+  const auto converged = f.run(fresh, {msg(0, 0, 1, 0.0)});
+  EXPECT_TRUE(converged.outcomes[0].delivered);
+  EXPECT_EQ(converged.truncated_relay_steps, 0u);
 }
 
 TEST(Direct, OnlySourceMeetingDestinationDelivers) {

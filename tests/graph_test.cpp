@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include <vector>
 
 #include "psn/graph/components.hpp"
@@ -112,10 +114,53 @@ TEST(SpaceTimeGraph, StepEndTimes) {
   EXPECT_DOUBLE_EQ(g.step_end(4), 50.0);
 }
 
-TEST(SpaceTimeGraph, RejectsTooManyNodes) {
-  std::vector<Contact> cs{Contact::make(0, 1, 0.0, 1.0)};
+TEST(SpaceTimeGraph, SupportsPopulationsBeyond128Nodes) {
+  // The historical Bitset128 ceiling rejected >128-node traces at
+  // construction; with dynamic NodeSets the graph must just work.
+  std::vector<Contact> cs{
+      Contact::make(0, 1, 0.0, 1.0),
+      Contact::make(150, 199, 2.0, 4.0),
+      Contact::make(1, 199, 2.0, 4.0),
+  };
   const ContactTrace trace(cs, 200, 10.0);
-  EXPECT_THROW(SpaceTimeGraph(trace, 10.0), std::invalid_argument);
+  const SpaceTimeGraph g(trace, 10.0);
+  EXPECT_EQ(g.num_nodes(), 200u);
+  EXPECT_TRUE(g.in_contact(0, 150, 199));
+  EXPECT_TRUE(g.in_contact(0, 199, 1));
+  ASSERT_EQ(g.neighbors(0, 199).size(), 2u);
+  EXPECT_EQ(g.neighbors(0, 199)[0], 1u);    // sorted ascending
+  EXPECT_EQ(g.neighbors(0, 199)[1], 150u);
+}
+
+TEST(SpaceTimeGraph, ArenaEdgesAndAdjacencyAgree) {
+  // CSR arena invariant: for every step, edges(s) and neighbors(s, v)
+  // describe the same symmetric graph.
+  const auto trace = make_trace(
+      {
+          Contact::make(0, 1, 0.0, 20.0),
+          Contact::make(1, 2, 0.0, 5.0),
+          Contact::make(0, 1, 3.0, 6.0),  // duplicate pair within step 0
+          Contact::make(2, 3, 12.0, 18.0),
+      },
+      5, 30.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  for (Step s = 0; s < g.num_steps(); ++s) {
+    std::size_t degree_sum = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto nb = g.neighbors(s, v);
+      degree_sum += nb.size();
+      EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+      for (const NodeId w : nb) EXPECT_TRUE(g.in_contact(s, w, v));
+    }
+    EXPECT_EQ(degree_sum, 2 * g.edges(s).size());
+    // Per-step edges are deduplicated and sorted by (a, b).
+    const auto es = g.edges(s);
+    for (std::size_t i = 1; i < es.size(); ++i) {
+      EXPECT_TRUE(es[i - 1].a < es[i].a ||
+                  (es[i - 1].a == es[i].a && es[i - 1].b < es[i].b));
+    }
+  }
+  EXPECT_EQ(g.edges(0).size(), 2u);  // 0-1 deduplicated, 1-2
 }
 
 TEST(SpaceTimeGraph, RejectsNonPositiveDelta) {

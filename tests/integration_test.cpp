@@ -9,6 +9,8 @@
 
 #include "psn/core/forwarding_study.hpp"
 #include "psn/core/path_study.hpp"
+#include "psn/engine/scenario_registry.hpp"
+#include "psn/engine/sweep.hpp"
 #include "psn/stats/cdf.hpp"
 #include "psn/synth/conference.hpp"
 
@@ -101,9 +103,14 @@ TEST(Integration, AlgorithmSimilarityHeadline) {
 
   const double epidemic_s = result.algorithms[0].overall.success_rate;
   ASSERT_GT(epidemic_s, 0.3);
-  for (const auto& study : result.algorithms)
+  for (const auto& study : result.algorithms) {
     EXPECT_LE(study.overall.success_rate, epidemic_s + 1e-12)
         << study.overall.algorithm;
+    // No forwarding chain may be silently truncated at paper scale.
+    EXPECT_EQ(study.truncated_relay_steps, 0u) << study.overall.algorithm;
+  }
+  // The epidemic hop fix: delivered floods carry real hop counts.
+  EXPECT_GT(result.algorithms[0].overall.average_hops, 0.0);
 
   // Pair-type effect: for Epidemic itself, in-in success should beat
   // out-out success (delivery to rarely-seen nodes is the hard case).
@@ -125,6 +132,41 @@ TEST(Integration, CostExtensionHeadline) {
   const double epidemic_cost = result.algorithms[0].cost_per_message;
   const double fresh_cost = result.algorithms[1].cost_per_message;
   EXPECT_GT(epidemic_cost, 4.0 * std::max(fresh_cost, 0.5));
+  for (const auto& study : result.algorithms)
+    EXPECT_EQ(study.truncated_relay_steps, 0u) << study.overall.algorithm;
+}
+
+TEST(Integration, CityScaleSweepRunsEndToEnd) {
+  // The scale-up acceptance check: a 2048-node scenario through run_sweep,
+  // epidemic plus a single-copy scheme, end to end. Sixteen times the
+  // historical 128-node ceiling.
+  const auto scenario = engine::make_scenario_by_name("city_2048");
+  ASSERT_EQ(scenario.dataset->trace.num_nodes(), 2048u);
+  ASSERT_GT(scenario.dataset->trace.size(), 10000u);
+
+  engine::PlanConfig config;
+  config.runs = 1;
+  config.master_seed = 11;
+  config.message_rate = 0.002;  // ~14 messages; scale is in N, not load.
+  const auto plan =
+      engine::make_plan({scenario}, {"Epidemic", "FRESH"}, config);
+
+  engine::SweepOptions options;
+  options.threads = 2;
+  const auto result = engine::run_sweep(plan, options);
+  ASSERT_EQ(result.cells.size(), 2u);
+
+  const auto& epidemic = result.cells[0];
+  const auto& fresh = result.cells[1];
+  // The flood is the upper bound and must actually deliver at this scale.
+  EXPECT_GT(epidemic.overall.delivered, 0u);
+  EXPECT_GE(epidemic.overall.success_rate,
+            fresh.overall.success_rate - 1e-12);
+  // Delivered floods carry real hop counts through the closure.
+  EXPECT_GT(epidemic.overall.average_hops, 0.0);
+  // No silent relay truncation, even at city scale.
+  EXPECT_EQ(epidemic.truncated_relay_steps, 0u);
+  EXPECT_EQ(fresh.truncated_relay_steps, 0u);
 }
 
 }  // namespace

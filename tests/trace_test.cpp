@@ -121,6 +121,40 @@ TEST(ContactTrace, ContactsOverlappingQuery) {
   EXPECT_EQ(trace.contacts_overlapping(0.0, 100.0).size(), 3u);
   EXPECT_EQ(trace.contacts_overlapping(25.0, 55.0).size(), 2u);
   EXPECT_EQ(trace.contacts_overlapping(11.0, 19.0).size(), 0u);
+  // Boundary semantics: the window is half-open, a contact touching only
+  // the window edges does not overlap.
+  EXPECT_EQ(trace.contacts_overlapping(10.0, 20.0).size(), 0u);
+  EXPECT_EQ(trace.contacts_overlapping(30.0, 50.0).size(), 0u);
+  EXPECT_EQ(trace.contacts_overlapping(29.999, 50.001).size(), 2u);
+}
+
+TEST(ContactTrace, ContactsOverlappingFindsLongEarlyContacts) {
+  // An early-starting, long-running contact must be found by late windows
+  // even though many later-starting contacts have already ended — the
+  // binary search is over the running maximum of end times, not starts.
+  std::vector<Contact> cs{
+      Contact::make(0, 1, 0.0, 950.0),  // spans almost the whole trace
+      Contact::make(1, 2, 5.0, 6.0),
+      Contact::make(2, 3, 100.0, 110.0),
+      Contact::make(0, 3, 400.0, 410.0),
+      Contact::make(1, 3, 800.0, 820.0),
+  };
+  const ContactTrace trace(cs, 4, 1000.0);
+  const auto late = trace.contacts_overlapping(700.0, 750.0);
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_EQ(late[0].b, 1u);  // the long 0-1 contact
+  const auto later = trace.contacts_overlapping(790.0, 900.0);
+  EXPECT_EQ(later.size(), 2u);  // long 0-1 plus the 800-820 contact
+  EXPECT_EQ(trace.contacts_overlapping(960.0, 1000.0).size(), 0u);
+  // Agreement with a brute-force scan on every decade window.
+  for (double lo = 0.0; lo < 1000.0; lo += 100.0) {
+    const double hi = lo + 100.0;
+    std::size_t brute = 0;
+    for (const Contact& c : trace.contacts())
+      if (c.overlaps(lo, hi)) ++brute;
+    EXPECT_EQ(trace.contacts_overlapping(lo, hi).size(), brute)
+        << "window [" << lo << ", " << hi << ")";
+  }
 }
 
 TEST(ContactTrace, TotalContactTime) {

@@ -1,13 +1,16 @@
-// Tests for psn::util: the Rng engine and the 128-bit node set.
+// Tests for psn::util: the Rng engine and the dynamic node set.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <iterator>
 #include <set>
+#include <utility>
 #include <vector>
 
-#include "psn/util/bitset128.hpp"
+#include "psn/util/node_set.hpp"
 #include "psn/util/rng.hpp"
 
 namespace psn::util {
@@ -149,70 +152,194 @@ TEST(Rng, ShufflePreservesElements) {
   EXPECT_EQ(v, w);
 }
 
-TEST(Bitset128, EmptyByDefault) {
-  Bitset128 s;
+TEST(NodeSet, EmptyByDefault) {
+  NodeSet s;
   EXPECT_TRUE(s.empty());
   EXPECT_EQ(s.count(), 0u);
-  for (unsigned b = 0; b < 128; ++b) EXPECT_FALSE(s.test(b));
+  for (std::uint32_t b = 0; b < 128; ++b) EXPECT_FALSE(s.test(b));
+  // Probing past the backing storage is safe and false.
+  EXPECT_FALSE(s.test(100000));
 }
 
-TEST(Bitset128, SetTestReset) {
-  Bitset128 s;
-  for (unsigned b : {0u, 1u, 63u, 64u, 65u, 127u}) {
+TEST(NodeSet, SetTestResetAcrossWordBoundaries) {
+  NodeSet s(1000);
+  for (std::uint32_t b : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 511u, 999u}) {
     s.set(b);
     EXPECT_TRUE(s.test(b));
   }
-  EXPECT_EQ(s.count(), 6u);
+  EXPECT_EQ(s.count(), 9u);
   s.reset(64);
   EXPECT_FALSE(s.test(64));
-  EXPECT_EQ(s.count(), 5u);
+  s.reset(511);
+  EXPECT_FALSE(s.test(511));
+  EXPECT_EQ(s.count(), 7u);
+  // Resetting beyond storage is a no-op.
+  s.reset(100000);
+  EXPECT_EQ(s.count(), 7u);
 }
 
-TEST(Bitset128, SingleFactory) {
-  const auto s = Bitset128::single(97);
+TEST(NodeSet, SingleFactory) {
+  const auto s = NodeSet::single(97);
   EXPECT_EQ(s.count(), 1u);
   EXPECT_TRUE(s.test(97));
+  const auto big = NodeSet::single(2048, 1733);
+  EXPECT_EQ(big.count(), 1u);
+  EXPECT_TRUE(big.test(1733));
 }
 
-TEST(Bitset128, UnionAndIntersection) {
-  Bitset128 a;
+TEST(NodeSet, GrowsOnDemandBeyondConstructionCapacity) {
+  NodeSet s(64);
+  s.set(700);  // far past the declared capacity
+  EXPECT_TRUE(s.test(700));
+  s.set(3);
+  EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(NodeSet, UnionAndIntersection) {
+  NodeSet a(256);
   a.set(3);
   a.set(70);
-  Bitset128 b;
+  a.set(200);
+  NodeSet b(256);
   b.set(70);
   b.set(100);
+  b.set(200);
   const auto u = a | b;
-  EXPECT_EQ(u.count(), 3u);
+  EXPECT_EQ(u.count(), 4u);
   const auto i = a & b;
-  EXPECT_EQ(i.count(), 1u);
+  EXPECT_EQ(i.count(), 2u);
   EXPECT_TRUE(i.test(70));
+  EXPECT_TRUE(i.test(200));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_EQ(a.intersect_count(b), 2u);
+  NodeSet c;
+  c.set(5);
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_EQ(a.intersect_count(c), 0u);
 }
 
-TEST(Bitset128, EqualityAndHash) {
-  Bitset128 a;
+TEST(NodeSet, EqualityAndHashIgnoreCapacity) {
+  NodeSet a(64);
   a.set(5);
   a.set(99);
-  Bitset128 b;
+  NodeSet b(4096);
   b.set(99);
   b.set(5);
+  // Same members, very different backing storage: equal, equal hashes.
   EXPECT_EQ(a, b);
-  EXPECT_EQ(Bitset128Hash{}(a), Bitset128Hash{}(b));
+  EXPECT_EQ(NodeSetHash{}(a), NodeSetHash{}(b));
   b.set(1);
   EXPECT_NE(a, b);
 }
 
-TEST(Bitset128, ToStringListsMembers) {
-  Bitset128 s;
+TEST(NodeSet, ToStringListsMembers) {
+  NodeSet s;
   s.set(2);
   s.set(64);
   EXPECT_EQ(s.to_string(), "{2, 64}");
 }
 
-TEST(Bitset128, HashSpreadsOverBuckets) {
+TEST(NodeSet, HashSpreadsOverBuckets) {
   std::set<std::size_t> hashes;
-  for (unsigned b = 0; b < 128; ++b)
-    hashes.insert(Bitset128Hash{}(Bitset128::single(b)));
-  EXPECT_EQ(hashes.size(), 128u);
+  for (std::uint32_t b = 0; b < 2048; ++b)
+    hashes.insert(NodeSetHash{}(NodeSet::single(b)));
+  EXPECT_EQ(hashes.size(), 2048u);
+}
+
+TEST(NodeSet, CopyAndMoveSemantics) {
+  NodeSet big(1024);
+  big.set(7);
+  big.set(900);
+  NodeSet copy = big;
+  EXPECT_EQ(copy, big);
+  copy.set(11);
+  EXPECT_FALSE(big.test(11));  // deep copy
+
+  NodeSet moved = std::move(copy);
+  EXPECT_TRUE(moved.test(900));
+  EXPECT_TRUE(moved.test(11));
+  // Moved-from set is valid and empty.
+  EXPECT_TRUE(copy.empty());  // NOLINT(bugprone-use-after-move)
+  copy.set(2);
+  EXPECT_EQ(copy.count(), 1u);
+}
+
+// The load-bearing property test: NodeSet against a std::set<NodeId>
+// reference model across word boundaries — set/reset/test, or/and, count,
+// and ascending iteration must all agree under random op sequences.
+TEST(NodeSet, MatchesReferenceModelUnderRandomOps) {
+  Rng rng(0xDECADE);
+  for (const std::uint32_t capacity :
+       {30u, 63u, 64u, 65u, 127u, 128u, 129u, 192u, 320u, 1000u, 2048u}) {
+    NodeSet s(capacity);
+    std::set<std::uint32_t> ref;
+    for (int op = 0; op < 3000; ++op) {
+      const auto bit = static_cast<std::uint32_t>(rng.uniform_index(capacity));
+      switch (rng.uniform_index(4)) {
+        case 0:
+        case 1:  // bias toward set so the sets fill up
+          s.set(bit);
+          ref.insert(bit);
+          break;
+        case 2:
+          s.reset(bit);
+          ref.erase(bit);
+          break;
+        case 3:
+          ASSERT_EQ(s.test(bit), ref.contains(bit))
+              << "capacity=" << capacity << " bit=" << bit;
+          break;
+      }
+      if (op % 500 == 0) {
+        ASSERT_EQ(s.count(), ref.size()) << "capacity=" << capacity;
+        ASSERT_EQ(s.empty(), ref.empty());
+      }
+    }
+    // Full-membership check and ascending iteration.
+    ASSERT_EQ(s.count(), ref.size()) << "capacity=" << capacity;
+    std::vector<std::uint32_t> iterated;
+    s.for_each([&](std::uint32_t b) { iterated.push_back(b); });
+    ASSERT_EQ(iterated, std::vector<std::uint32_t>(ref.begin(), ref.end()))
+        << "capacity=" << capacity;
+
+    // Union / intersection against the model, with a second random set of
+    // a *different* capacity so mixed-width operands are exercised.
+    const std::uint32_t other_capacity = capacity / 2 + 17;
+    NodeSet t(other_capacity);
+    std::set<std::uint32_t> tref;
+    for (int i = 0; i < 200; ++i) {
+      const auto bit =
+          static_cast<std::uint32_t>(rng.uniform_index(other_capacity));
+      t.set(bit);
+      tref.insert(bit);
+    }
+    std::set<std::uint32_t> uref;
+    std::set_union(ref.begin(), ref.end(), tref.begin(), tref.end(),
+                   std::inserter(uref, uref.begin()));
+    std::set<std::uint32_t> iref;
+    std::set_intersection(ref.begin(), ref.end(), tref.begin(), tref.end(),
+                          std::inserter(iref, iref.begin()));
+    const NodeSet u = s | t;
+    const NodeSet i = s & t;
+    ASSERT_EQ(u.count(), uref.size()) << "capacity=" << capacity;
+    ASSERT_EQ(i.count(), iref.size()) << "capacity=" << capacity;
+    ASSERT_EQ(s.intersect_count(t), iref.size());
+    ASSERT_EQ(s.intersects(t), !iref.empty());
+    std::vector<std::uint32_t> umembers;
+    u.for_each([&](std::uint32_t b) { umembers.push_back(b); });
+    ASSERT_EQ(umembers, std::vector<std::uint32_t>(uref.begin(), uref.end()));
+    std::vector<std::uint32_t> imembers;
+    i.for_each([&](std::uint32_t b) { imembers.push_back(b); });
+    ASSERT_EQ(imembers, std::vector<std::uint32_t>(iref.begin(), iref.end()));
+
+    // In-place variants agree with the functional ones.
+    NodeSet su = s;
+    su |= t;
+    EXPECT_EQ(su, u);
+    NodeSet si = s;
+    si &= t;
+    EXPECT_EQ(si, i);
+  }
 }
 
 }  // namespace
