@@ -4,17 +4,22 @@
 // benchmarks that write machine-readable BENCH_sweep.json so successive
 // PRs have a perf trajectory:
 //  * the thread-scaling matrix (wall time and runs/sec per thread count
-//    on the paper-scale dataset), and
+//    on the paper-scale dataset),
 //  * the node-count scaling series (per-run wall times for epidemic and a
 //    single-copy scheme on the registry's town_128 / campus_512 /
-//    city_2048 tiers).
+//    city_2048 tiers), and
+//  * the event-timeline comparison (dense step-by-step replay vs the
+//    sparse active-step timeline, per-run wall seconds on the large
+//    sparse tiers).
 //
 // Knobs: PSN_BENCH_RUNS (matrix repetitions, default 3),
 // PSN_BENCH_SWEEP_THREADS (comma list, default "1,2,4,8"),
 // PSN_BENCH_SWEEP_JSON (output path, default BENCH_sweep.json; empty
-// string disables both sweep sections), PSN_BENCH_SCALING_SCENARIOS
+// string disables all sweep sections), PSN_BENCH_SCALING_SCENARIOS
 // (comma list, default "town_128,campus_512,city_2048"; empty disables
-// the scaling series), PSN_BENCH_SCALING_RUNS (default 2).
+// the scaling series), PSN_BENCH_SCALING_RUNS (default 2), and
+// PSN_BENCH_TIMELINE_SCENARIOS (comma list, default
+// "campus_512,city_2048"; empty disables the timeline comparison).
 
 #include <benchmark/benchmark.h>
 
@@ -25,12 +30,14 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "psn/core/dataset.hpp"
 #include "psn/core/workload.hpp"
 #include "psn/engine/run_spec.hpp"
+#include "psn/engine/scenario_context.hpp"
 #include "psn/engine/scenario_registry.hpp"
 #include "psn/engine/sweep.hpp"
 #include "psn/engine/thread_pool.hpp"
@@ -154,7 +161,8 @@ std::vector<std::size_t> sweep_thread_counts() {
 }
 
 struct MatrixPoint {
-  std::size_t threads;
+  std::size_t threads_requested;
+  std::size_t threads_used;  ///< the sweep's actual pool worker count.
   double wall_seconds;
   double runs_per_sec;
   double run_wall_seconds;  ///< summed per-run work time.
@@ -203,8 +211,9 @@ MatrixResult run_sweep_matrix_bench() {
   std::cout << "\nsweep matrix: " << plan.algorithms.size()
             << " algorithms x 1 scenario x " << pc.runs << " runs = "
             << plan.total_runs() << " runs ("
-            << psn::engine::ThreadPool::hardware_threads()
-            << " hardware threads)\n";
+            << std::thread::hardware_concurrency()
+            << " hardware threads, pool default "
+            << psn::engine::ThreadPool::hardware_threads() << ")\n";
 
   MatrixResult matrix;
   matrix.dataset = ds.name;
@@ -219,7 +228,8 @@ MatrixResult run_sweep_matrix_bench() {
     const auto result = psn::engine::run_sweep(plan, options);
     const double wall = seconds_since(start);
     MatrixPoint point;
-    point.threads = threads;
+    point.threads_requested = threads;
+    point.threads_used = result.threads;
     point.wall_seconds = wall;
     point.runs_per_sec =
         wall > 0.0 ? static_cast<double>(plan.total_runs()) / wall : 0.0;
@@ -236,15 +246,21 @@ MatrixResult run_sweep_matrix_bench() {
 // --- Node-count scaling series: the registry's town/campus/city tiers,
 // --- epidemic + one single-copy scheme, per-run wall times.
 
-std::vector<std::string> scaling_scenario_names() {
-  std::string raw = "town_128,campus_512,city_2048";
-  if (const char* env = std::getenv("PSN_BENCH_SCALING_SCENARIOS")) raw = env;
+std::vector<std::string> names_from_env(const char* var,
+                                        const char* fallback) {
+  std::string raw = fallback;
+  if (const char* env = std::getenv(var)) raw = env;
   std::vector<std::string> names;
   std::stringstream stream(raw);
   std::string token;
   while (std::getline(stream, token, ','))
     if (!token.empty()) names.push_back(token);
   return names;
+}
+
+std::vector<std::string> scaling_scenario_names() {
+  return names_from_env("PSN_BENCH_SCALING_SCENARIOS",
+                        "town_128,campus_512,city_2048");
 }
 
 std::size_t scaling_runs() {
@@ -322,9 +338,96 @@ std::vector<ScalePoint> run_scaling_bench() {
   return points;
 }
 
+// --- Event-timeline comparison: dense step-by-step replay vs the sparse
+// --- active-step timeline, per-run wall seconds on the large sparse
+// --- tiers. The shared ScenarioContext means both modes replay the
+// --- identical dataset + graph, built once.
+
+struct TimelinePoint {
+  std::string scenario;
+  psn::trace::NodeId nodes = 0;
+  std::size_t total_steps = 0;
+  std::size_t active_steps = 0;
+  struct AlgorithmRuns {
+    std::string name;
+    std::vector<double> dense_run_walls;   ///< per-run wall times, run order.
+    std::vector<double> sparse_run_walls;  ///< per-run wall times, run order.
+  };
+  std::vector<AlgorithmRuns> algorithms;
+};
+
+std::vector<std::string> timeline_scenario_names() {
+  return names_from_env("PSN_BENCH_TIMELINE_SCENARIOS",
+                        "campus_512,city_2048");
+}
+
+std::vector<TimelinePoint> run_event_timeline_bench() {
+  const auto names = timeline_scenario_names();
+  std::vector<TimelinePoint> points;
+  if (names.empty()) return points;
+
+  const std::size_t runs = scaling_runs();
+  std::cout << "\nevent-timeline comparison (dense vs sparse replay): "
+            << "{epidemic, FRESH} x " << runs << " runs per tier\n";
+  for (const auto& name : names) {
+    psn::engine::Scenario scenario;
+    try {
+      scenario = psn::engine::make_scenario_by_name(name);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "perf_microbench: skipping timeline scenario: " << e.what()
+                << '\n';
+      continue;
+    }
+    // Hold the context so both replay modes share one dataset + graph.
+    const auto context =
+        psn::engine::ScenarioContextCache::instance().acquire(scenario);
+
+    TimelinePoint point;
+    point.scenario = name;
+    point.nodes = context->dataset->trace.num_nodes();
+    point.total_steps = context->graph->num_steps();
+    point.active_steps = context->graph->num_active_steps();
+
+    psn::engine::PlanConfig pc;
+    pc.runs = runs;
+    pc.master_seed = 7;
+    pc.message_rate = 0.01;
+    const auto plan =
+        psn::engine::make_plan({scenario}, {"Epidemic", "FRESH"}, pc);
+
+    psn::engine::SweepOptions options;
+    options.keep_delays = false;
+    options.replay = psn::forward::ReplayMode::kDense;
+    const auto dense = psn::engine::run_sweep(plan, options);
+    options.replay = psn::forward::ReplayMode::kSparse;
+    const auto sparse = psn::engine::run_sweep(plan, options);
+
+    std::cout << "  " << name << ": steps=" << point.total_steps
+              << " active=" << point.active_steps;
+    for (std::size_t c = 0; c < dense.cells.size(); ++c) {
+      TimelinePoint::AlgorithmRuns algo;
+      algo.name = dense.cells[c].algorithm;
+      algo.dense_run_walls = dense.cells[c].run_walls;
+      algo.sparse_run_walls = sparse.cells[c].run_walls;
+      double dense_sum = 0.0;
+      for (const double w : algo.dense_run_walls) dense_sum += w;
+      double sparse_sum = 0.0;
+      for (const double w : algo.sparse_run_walls) sparse_sum += w;
+      const double r = static_cast<double>(runs);
+      std::cout << "  " << algo.name << " dense=" << dense_sum / r
+                << "s/run sparse=" << sparse_sum / r << "s/run";
+      point.algorithms.push_back(std::move(algo));
+    }
+    std::cout << '\n';
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
 void write_bench_json(const std::string& json_path,
                       const MatrixResult& matrix,
-                      const std::vector<ScalePoint>& scaling) {
+                      const std::vector<ScalePoint>& scaling,
+                      const std::vector<TimelinePoint>& timeline) {
   std::ofstream out(json_path);
   if (!out) {
     std::cerr << "perf_microbench: cannot write " << json_path << '\n';
@@ -337,12 +440,17 @@ void write_bench_json(const std::string& json_path,
       << "  \"algorithms\": " << matrix.algorithms << ",\n"
       << "  \"runs_per_algorithm\": " << matrix.runs_per_algorithm << ",\n"
       << "  \"total_runs\": " << matrix.total_runs << ",\n"
-      << "  \"hardware_threads\": "
+      // Both views of parallelism: what the host reports and what the
+      // sweep pool would default to (>= 1 even when the host reports 0).
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "  \"pool_default_threads\": "
       << psn::engine::ThreadPool::hardware_threads() << ",\n"
       << "  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& p = points[i];
-    out << "    {\"threads\": " << p.threads
+    out << "    {\"threads_requested\": " << p.threads_requested
+        << ", \"threads_used\": " << p.threads_used
         << ", \"wall_seconds\": " << p.wall_seconds
         << ", \"runs_per_sec\": " << p.runs_per_sec
         << ", \"run_wall_seconds\": " << p.run_wall_seconds << "}"
@@ -367,6 +475,28 @@ void write_bench_json(const std::string& json_path,
     }
     out << "]}" << (i + 1 < scaling.size() ? "," : "") << '\n';
   }
+  out << "  ],\n"
+      << "  \"event_timeline\": [\n";
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const auto& p = timeline[i];
+    out << "    {\"scenario\": \"" << p.scenario << "\", \"nodes\": "
+        << p.nodes << ", \"total_steps\": " << p.total_steps
+        << ", \"active_steps\": " << p.active_steps
+        << ", \"algorithms\": [";
+    for (std::size_t a = 0; a < p.algorithms.size(); ++a) {
+      const auto& algo = p.algorithms[a];
+      out << "{\"name\": \"" << algo.name << "\", \"dense_run_wall_seconds\": [";
+      for (std::size_t r = 0; r < algo.dense_run_walls.size(); ++r)
+        out << algo.dense_run_walls[r]
+            << (r + 1 < algo.dense_run_walls.size() ? ", " : "");
+      out << "], \"sparse_run_wall_seconds\": [";
+      for (std::size_t r = 0; r < algo.sparse_run_walls.size(); ++r)
+        out << algo.sparse_run_walls[r]
+            << (r + 1 < algo.sparse_run_walls.size() ? ", " : "");
+      out << "]}" << (a + 1 < p.algorithms.size() ? ", " : "");
+    }
+    out << "]}" << (i + 1 < timeline.size() ? "," : "") << '\n';
+  }
   out << "  ]\n}\n";
   std::cout << "wrote " << json_path << '\n';
 }
@@ -384,6 +514,7 @@ int main(int argc, char** argv) {
   if (json_path.empty()) return 0;
   const auto matrix = run_sweep_matrix_bench();
   const auto scaling = run_scaling_bench();
-  write_bench_json(json_path, matrix, scaling);
+  const auto timeline = run_event_timeline_bench();
+  write_bench_json(json_path, matrix, scaling, timeline);
   return 0;
 }

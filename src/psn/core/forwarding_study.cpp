@@ -25,6 +25,7 @@ ForwardingStudyResult run_forwarding_study(
 
   engine::SweepOptions options;
   options.threads = config.threads;
+  options.replay = config.replay;
   auto sweep = engine::run_sweep(plan, options);
 
   ForwardingStudyResult result;

@@ -24,6 +24,9 @@ struct ForwardingStudyConfig {
   /// Worker threads for the underlying engine sweep; 0 means one per
   /// hardware thread. Results are identical at every thread count.
   std::size_t threads = 0;
+  /// Simulator step sequence (bit-identical either way; kDense is the
+  /// validation oracle — see forward::ReplayMode).
+  forward::ReplayMode replay = forward::ReplayMode::kSparse;
 };
 
 /// Per-algorithm study output.

@@ -1,0 +1,59 @@
+#include "psn/engine/scenario_context.hpp"
+
+#include <stdexcept>
+
+namespace psn::engine {
+
+ScenarioContextCache& ScenarioContextCache::instance() {
+  static ScenarioContextCache cache;
+  return cache;
+}
+
+std::shared_ptr<const ScenarioContext> ScenarioContextCache::acquire(
+    const Scenario& scenario) {
+  if (!scenario.dataset)
+    throw std::invalid_argument(
+        "ScenarioContextCache::acquire: scenario without dataset");
+
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard lock(mu_);
+    // Opportunistic pruning keeps the map proportional to live contexts
+    // instead of growing with every scenario ever seen. Only erase
+    // entries nobody else holds: an expired entry with use_count > 1 is
+    // mid-build in another acquire() (which published its copy under
+    // mu_, and no new copies can appear while we hold mu_) — erasing it
+    // would let a third caller duplicate the build.
+    if (entries_.size() > 64) {
+      std::erase_if(entries_, [](const auto& kv) {
+        return kv.second.use_count() == 1 && kv.second->context.expired();
+      });
+    }
+    auto& slot = entries_[{scenario.dataset.get(), scenario.delta}];
+    if (!slot) slot = std::make_shared<Entry>();
+    entry = slot;
+  }
+
+  // Build (or revive) outside the map lock: distinct scenarios proceed in
+  // parallel; same-key callers serialize here and all but one find the
+  // context already present.
+  std::lock_guard lock(entry->mu);
+  if (auto context = entry->context.lock()) return context;
+
+  auto context = std::make_shared<ScenarioContext>();
+  context->name = scenario.name;
+  context->dataset = scenario.dataset;
+  context->delta = scenario.delta;
+  context->graph = std::make_shared<const graph::SpaceTimeGraph>(
+      scenario.dataset->trace, scenario.delta);
+  graphs_built_.fetch_add(1, std::memory_order_relaxed);
+  entry->context = context;
+  return context;
+}
+
+void ScenarioContextCache::clear() {
+  std::lock_guard lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace psn::engine

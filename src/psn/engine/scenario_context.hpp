@@ -1,0 +1,86 @@
+// ScenarioContext: the immutable, shareable simulation context of one
+// scenario — its dataset plus the discretized space-time graph — and a
+// process-wide cache that memoizes graph construction.
+//
+// Ownership / thread-safety model (DESIGN.md §4):
+//  * A context is immutable after construction and holds shared ownership
+//    of its dataset, so any number of runs on any number of threads can
+//    read it concurrently with no synchronization.
+//  * The cache keys on (dataset identity, delta) and stores weak
+//    references: a context lives exactly as long as someone holds it, and
+//    an expired entry is rebuilt on demand. Holding a context across
+//    several run_sweep() calls (as the bench drivers do) therefore makes
+//    every sweep over that scenario reuse one graph build.
+//  * acquire() serializes per entry, not globally: two scenarios build
+//    their graphs in parallel, while two threads asking for the same
+//    scenario perform exactly one build between them.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "psn/engine/run_spec.hpp"
+#include "psn/graph/space_time_graph.hpp"
+
+namespace psn::engine {
+
+/// One scenario's shared read-only inputs: dataset + space-time graph.
+struct ScenarioContext {
+  std::string name;
+  std::shared_ptr<const core::Dataset> dataset;
+  trace::Seconds delta = 10.0;
+  std::shared_ptr<const graph::SpaceTimeGraph> graph;
+};
+
+/// Process-wide memoization of ScenarioContexts (see file comment).
+class ScenarioContextCache {
+ public:
+  /// The process-wide cache instance.
+  [[nodiscard]] static ScenarioContextCache& instance();
+
+  /// The context for `scenario`, building its graph on first use (or
+  /// after all previous holders released it). Thread-safe.
+  [[nodiscard]] std::shared_ptr<const ScenarioContext> acquire(
+      const Scenario& scenario);
+
+  /// Number of SpaceTimeGraph constructions acquire() has performed — the
+  /// build-count probe engine_test uses to assert a sweep builds each
+  /// cell's graph exactly once.
+  [[nodiscard]] std::uint64_t graphs_built() const noexcept {
+    return graphs_built_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every cache entry (live contexts stay valid; only the
+  /// memoization is forgotten). Intended for tests.
+  void clear();
+
+  ScenarioContextCache(const ScenarioContextCache&) = delete;
+  ScenarioContextCache& operator=(const ScenarioContextCache&) = delete;
+
+ private:
+  ScenarioContextCache() = default;
+
+  /// Identity of a context: the dataset instance and the discretization.
+  /// The dataset pointer cannot alias a *different* dataset while its
+  /// entry is lockable, because a live context keeps the dataset alive.
+  using Key = std::pair<const core::Dataset*, trace::Seconds>;
+
+  /// Per-key slot with its own mutex so distinct scenarios build
+  /// concurrently while same-key builds collapse into one.
+  struct Entry {
+    std::mutex mu;
+    std::weak_ptr<const ScenarioContext> context;
+  };
+
+  std::mutex mu_;  ///< guards entries_ (the map), not the builds.
+  std::map<Key, std::shared_ptr<Entry>> entries_;
+  std::atomic<std::uint64_t> graphs_built_{0};
+};
+
+}  // namespace psn::engine

@@ -1,6 +1,10 @@
 #include "psn/engine/scenario_registry.hpp"
 
+#include <atomic>
+#include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -12,11 +16,35 @@ namespace psn::engine {
 
 namespace {
 
-Scenario own_dataset(std::string name, core::Dataset dataset,
-                     trace::Seconds delta = 10.0) {
+std::atomic<std::uint64_t> datasets_built{0};
+
+/// Name-keyed memoization of the registry's datasets. Weak entries: a
+/// dataset is shared among every scenario (and every ScenarioContext)
+/// holding it and is regenerated only after all holders release it, so
+/// repeated make_scenario_by_name calls inside one driver — e.g. the
+/// dense-vs-sparse event-timeline bench building city_2048 twice — pay
+/// for one generation. Builds are deterministic (fixed per-family
+/// seeds), so sharing is indistinguishable from rebuilding.
+std::shared_ptr<const core::Dataset> cached_dataset(
+    const std::string& name,
+    const std::function<core::Dataset()>& build) {
+  static std::mutex mu;
+  static std::map<std::string, std::weak_ptr<const core::Dataset>> cache;
+  std::lock_guard lock(mu);
+  if (const auto it = cache.find(name); it != cache.end())
+    if (auto dataset = it->second.lock()) return dataset;
+  auto dataset = std::make_shared<const core::Dataset>(build());
+  datasets_built.fetch_add(1, std::memory_order_relaxed);
+  cache[name] = dataset;
+  return dataset;
+}
+
+Scenario shared_dataset_scenario(const std::string& name,
+                                 const std::function<core::Dataset()>& build,
+                                 trace::Seconds delta = 10.0) {
   Scenario scenario;
-  scenario.name = std::move(name);
-  scenario.dataset = std::make_shared<const core::Dataset>(std::move(dataset));
+  scenario.name = name;
+  scenario.dataset = cached_dataset(name, build);
   scenario.delta = delta;
   return scenario;
 }
@@ -61,22 +89,33 @@ std::vector<std::string> scenario_names() {
   return {"conference_small", "town_128", "campus_512", "city_2048"};
 }
 
+std::uint64_t scenario_datasets_built() noexcept {
+  return datasets_built.load(std::memory_order_relaxed);
+}
+
 Scenario make_scenario_by_name(std::string_view name) {
   if (name == "conference_small")
-    return own_dataset("conference_small",
-                       core::DatasetFactory::paper_dataset(0));
+    return shared_dataset_scenario(
+        "conference_small", [] { return core::DatasetFactory::paper_dataset(0); });
   if (name == "town_128")
-    return own_dataset(
-        "town_128", conference_at_scale("town_128", 108, 20, 0.020, 0x128));
+    return shared_dataset_scenario("town_128", [] {
+      return conference_at_scale("town_128", 108, 20, 0.020, 0x128);
+    });
   if (name == "campus_512")
-    return own_dataset(
-        "campus_512", conference_at_scale("campus_512", 480, 32, 0.016, 0x512));
+    return shared_dataset_scenario("campus_512", [] {
+      return conference_at_scale("campus_512", 480, 32, 0.016, 0x512);
+    });
   if (name == "city_2048")
-    return own_dataset(
-        "city_2048",
-        conference_at_scale("city_2048", 2000, 48, 0.012, 0x2048));
-  throw std::invalid_argument("make_scenario_by_name: unknown scenario '" +
-                              std::string(name) + "'");
+    return shared_dataset_scenario("city_2048", [] {
+      return conference_at_scale("city_2048", 2000, 48, 0.012, 0x2048);
+    });
+  // Unknown names list the registry so a typo'd sweep config is
+  // self-diagnosing instead of opaque.
+  std::string message = "make_scenario_by_name: unknown scenario '" +
+                        std::string(name) + "'; registered scenarios:";
+  for (const std::string& known : scenario_names())
+    message += " " + known;
+  throw std::invalid_argument(message);
 }
 
 }  // namespace psn::engine

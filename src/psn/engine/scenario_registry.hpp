@@ -17,6 +17,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,13 +27,22 @@
 namespace psn::engine {
 
 /// Names of the registered scenario families, smallest population first.
-/// These are the valid inputs of make_scenario_by_name.
+/// These are the valid inputs of make_scenario_by_name; unknown-name
+/// errors enumerate this list.
 [[nodiscard]] std::vector<std::string> scenario_names();
 
 /// Builds the named scenario, generating and owning its dataset (unlike
-/// make_scenario, which aliases a caller-owned one). Each call generates a
-/// fresh dataset; the fixed per-family seeds make repeated builds
-/// identical. Throws std::invalid_argument for unknown names.
+/// make_scenario, which aliases a caller-owned one). Datasets are
+/// memoized by name while any holder keeps them alive, so repeated calls
+/// within one driver share a single generation; builds are deterministic
+/// in their fixed per-family seeds, making a shared and a regenerated
+/// dataset indistinguishable. Throws std::invalid_argument listing the
+/// registered scenario names for unknown names.
 [[nodiscard]] Scenario make_scenario_by_name(std::string_view name);
+
+/// Number of dataset generations the registry has performed — the probe
+/// engine_test uses to assert that repeated scenario builds are shared
+/// rather than regenerated while a holder keeps the dataset alive.
+[[nodiscard]] std::uint64_t scenario_datasets_built() noexcept;
 
 }  // namespace psn::engine

@@ -9,6 +9,7 @@
 
 #include "psn/core/workload.hpp"
 #include "psn/engine/result_store.hpp"
+#include "psn/engine/scenario_context.hpp"
 #include "psn/engine/thread_pool.hpp"
 #include "psn/forward/algorithm_registry.hpp"
 #include "psn/forward/simulator.hpp"
@@ -56,19 +57,20 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
   ThreadPool pool(threads);
   ErrorSlot errors;
 
-  // Phase 1: shared read-only inputs, built in parallel — one space-time
-  // graph per scenario, and one workload per (scenario, run). Workloads
-  // are algorithm-independent by construction (paired comparisons), so
-  // generating them here does the work once instead of once per
-  // algorithm; tasks copy them into their records.
-  std::vector<std::unique_ptr<const graph::SpaceTimeGraph>> graphs(
+  // Phase 1: shared read-only inputs, built in parallel — one immutable
+  // ScenarioContext (dataset + space-time graph) per scenario from the
+  // process-wide cache (built exactly once per cell; reused outright when
+  // a caller already holds the scenario's context), and one workload per
+  // (scenario, run). Workloads are algorithm-independent by construction
+  // (paired comparisons), so generating them here does the work once
+  // instead of once per algorithm; tasks copy them into their records.
+  std::vector<std::shared_ptr<const ScenarioContext>> contexts(
       plan.scenarios.size());
   for (std::size_t s = 0; s < plan.scenarios.size(); ++s) {
-    pool.submit([&plan, &graphs, &errors, s] {
+    pool.submit([&plan, &contexts, &errors, s] {
       try {
-        const Scenario& scenario = plan.scenarios[s];
-        graphs[s] = std::make_unique<const graph::SpaceTimeGraph>(
-            scenario.dataset->trace, scenario.delta);
+        contexts[s] =
+            ScenarioContextCache::instance().acquire(plan.scenarios[s]);
       } catch (...) {
         errors.capture();
       }
@@ -104,7 +106,7 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
   // its plan slot, so nothing here depends on scheduling order.
   ResultStore store(plan.total_runs());
   for (std::size_t slot = 0; slot < plan.runs.size(); ++slot) {
-    pool.submit([&plan, &graphs, &workloads, &store, &errors,
+    pool.submit([&plan, &options, &contexts, &workloads, &store, &errors,
                  &canonical_spec, slot] {
       try {
         const RunSpec& spec = plan.runs[slot];
@@ -135,9 +137,17 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
             forward::make_algorithm(plan.algorithms[spec.algorithm]);
         forward::SimulatorConfig sc;
         sc.seed = spec.sim_seed;
+        sc.replay = options.replay;
+        // One workspace per worker thread, reused across every run the
+        // thread executes: the sweep's steady state simulates without
+        // heap allocation. Workspaces never influence results (asserted
+        // by forward_test's workspace-reuse equivalence).
+        thread_local forward::SimulatorWorkspace workspace;
+        const ScenarioContext& context = *contexts[spec.scenario];
         record.run.result =
-            forward::simulate(*algorithm, *graphs[spec.scenario],
-                              scenario.dataset->trace, record.run.messages, sc);
+            forward::simulate(*algorithm, *context.graph,
+                              context.dataset->trace, record.run.messages, sc,
+                              workspace);
 
         record.wall_seconds = seconds_since(run_start);
         store.put(slot, std::move(record));
@@ -153,7 +163,7 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
   SweepResult result;
   result.num_scenarios = plan.scenarios.size();
   result.num_algorithms = plan.algorithms.size();
-  result.threads = threads;
+  result.threads = pool.size();  // actual worker count, after clamping.
   result.total_runs = plan.total_runs();
   result.cells.reserve(result.num_scenarios * result.num_algorithms);
   for (std::size_t s = 0; s < plan.scenarios.size(); ++s) {

@@ -16,6 +16,7 @@
 
 #include "psn/engine/run_spec.hpp"
 #include "psn/forward/metrics.hpp"
+#include "psn/forward/simulator.hpp"
 
 namespace psn::engine {
 
@@ -38,7 +39,7 @@ struct SweepResult {
   std::vector<CellSummary> cells;  ///< scenario-major, algorithm-minor.
   std::size_t num_scenarios = 0;
   std::size_t num_algorithms = 0;
-  std::size_t threads = 1;
+  std::size_t threads = 1;  ///< actual pool worker count used.
   std::size_t total_runs = 0;
   double wall_seconds = 0.0;  ///< end-to-end sweep wall time (telemetry).
 
@@ -54,11 +55,21 @@ struct SweepOptions {
   /// Retain pooled delay vectors in the cells (Fig. 10 style drivers need
   /// them; large sweeps can switch them off to bound memory).
   bool keep_delays = true;
+  /// Simulator step sequence. kSparse (default) replays only the graph's
+  /// event timeline; kDense replays every step — the modes are
+  /// bit-identical, and kDense exists for the equivalence harness and the
+  /// perf_microbench dense-vs-sparse comparison.
+  forward::ReplayMode replay = forward::ReplayMode::kSparse;
 };
 
-/// Executes the plan. Scenario graphs are built once (in parallel) and
-/// shared read-only; each run then simulates one algorithm over one
-/// scenario's workload on the pool. Throws if any run threw.
+/// Executes the plan. Each scenario's immutable context (dataset +
+/// space-time graph) is acquired from the process-wide
+/// ScenarioContextCache — built exactly once per cell, in parallel across
+/// scenarios, and shared read-only by every run and thread (and by later
+/// sweeps, while a caller still holds the scenario's dataset context).
+/// Each worker thread owns a reusable forward::SimulatorWorkspace, so the
+/// steady state of a sweep simulates without heap allocation. Throws if
+/// any run threw.
 [[nodiscard]] SweepResult run_sweep(const SweepPlan& plan,
                                     const SweepOptions& options = {});
 

@@ -1,8 +1,9 @@
 // The forwarding-algorithm interface.
 //
-// The trace-driven simulator (simulator.hpp) walks the space-time graph
-// step by step and consults the algorithm on every contact. Algorithms see
-// three kinds of events:
+// The trace-driven simulator (simulator.hpp) walks the space-time graph's
+// event timeline — only steps that carry at least one contact edge — and
+// consults the algorithm on every contact. Algorithms see three kinds of
+// events:
 //
 //  * prepare()          — once per run, with the whole trace: oracles
 //                         (Greedy Total, Dynamic Programming) precompute
@@ -18,6 +19,14 @@
 //
 // Delivery itself is never delegated: the simulator enforces minimal
 // progress (a holder meeting the destination always delivers).
+//
+// Gap-skipping contract: steps with no contacts are never surfaced — an
+// algorithm is not called at all while the trace is silent, so history
+// state must be keyed by the step values actually observed (timestamps,
+// counters), never by "one call per step" assumptions. Step ids passed to
+// observe_contact()/should_forward() are the true wall-clock step indices,
+// so age- and recency-based schemes (FRESH, PRoPHET's decay) behave
+// identically whether or not the replay skipped the gap in between.
 
 #pragma once
 
@@ -61,6 +70,13 @@ class ForwardingAlgorithm {
     (void)s;
     (void)new_contact;
   }
+
+  /// True if the algorithm consumes observe_contact() events. Oracles and
+  /// history-free schemes return false, and the simulator then skips
+  /// contact observation for the whole run. The default is true (always
+  /// correct); only override to false together with *not* overriding
+  /// observe_contact().
+  [[nodiscard]] virtual bool observes_contacts() const { return true; }
 
   /// Decision: should `holder` hand a message for `dest` to `peer`?
   /// `holder_copies` is the holder's remaining copy budget (used by

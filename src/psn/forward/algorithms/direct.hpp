@@ -13,6 +13,7 @@ class DirectDelivery final : public ForwardingAlgorithm {
  public:
   [[nodiscard]] std::string name() const override { return "Direct"; }
   [[nodiscard]] bool replicates() const override { return false; }
+  [[nodiscard]] bool observes_contacts() const override { return false; }
 
   [[nodiscard]] bool should_forward(NodeId, NodeId, NodeId, Step,
                                     std::uint32_t) override {

@@ -17,6 +17,7 @@ class GreedyTotalForwarding final : public ForwardingAlgorithm {
  public:
   [[nodiscard]] std::string name() const override { return "Greedy Total"; }
   [[nodiscard]] bool replicates() const override { return false; }
+  [[nodiscard]] bool observes_contacts() const override { return false; }
 
   void prepare(const graph::SpaceTimeGraph& graph,
                const trace::ContactTrace& trace) override;

@@ -19,6 +19,7 @@ class MinExpectedDelayForwarding final : public ForwardingAlgorithm {
     return "Dynamic Programming";
   }
   [[nodiscard]] bool replicates() const override { return false; }
+  [[nodiscard]] bool observes_contacts() const override { return false; }
 
   void prepare(const graph::SpaceTimeGraph& graph,
                const trace::ContactTrace& trace) override;

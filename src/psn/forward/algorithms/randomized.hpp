@@ -18,6 +18,7 @@ class RandomizedForwarding final : public ForwardingAlgorithm {
 
   [[nodiscard]] std::string name() const override { return "Random"; }
   [[nodiscard]] bool replicates() const override { return false; }
+  [[nodiscard]] bool observes_contacts() const override { return false; }
 
   void reset() override { rng_ = util::Rng(seed_); }
 

@@ -1,31 +1,28 @@
 #include "psn/forward/simulator.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
-#include "psn/graph/components.hpp"
-#include "psn/util/node_set.hpp"
 #include "psn/util/rng.hpp"
 
 namespace psn::forward {
-
-namespace {
-
-struct MsgState {
-  util::NodeSet holders;
-  std::vector<std::uint16_t> hops;    ///< per holding node.
-  std::vector<std::uint32_t> copies;  ///< per holding node (quota schemes).
-  bool active = false;
-  bool delivered = false;
-};
-
-}  // namespace
 
 SimulationResult simulate(ForwardingAlgorithm& algorithm,
                           const graph::SpaceTimeGraph& graph,
                           const trace::ContactTrace& trace,
                           const std::vector<Message>& messages,
                           const SimulatorConfig& config) {
+  SimulatorWorkspace workspace;
+  return simulate(algorithm, graph, trace, messages, config, workspace);
+}
+
+SimulationResult simulate(ForwardingAlgorithm& algorithm,
+                          const graph::SpaceTimeGraph& graph,
+                          const trace::ContactTrace& trace,
+                          const std::vector<Message>& messages,
+                          const SimulatorConfig& config,
+                          SimulatorWorkspace& ws) {
   const NodeId n = graph.num_nodes();
   for (const Message& m : messages) {
     if (m.source >= n || m.destination >= n)
@@ -40,7 +37,8 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
   util::Rng rng(config.seed);
 
   // Messages sorted by creation time for activation.
-  std::vector<std::uint32_t> order(messages.size());
+  auto& order = ws.order_;
+  order.resize(messages.size());
   for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(),
             [&](std::uint32_t lhs, std::uint32_t rhs) {
@@ -50,17 +48,28 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
 
   SimulationResult result;
   result.outcomes.assign(messages.size(), {});
-  std::vector<MsgState> state(messages.size());
+
+  // Workspace state is grown, never shrunk: slots beyond this run's needs
+  // keep their capacity for a later, larger run. Only the flags are reset
+  // here — holder sets / hop arrays are (re)initialized at activation.
+  auto& state = ws.states_;
+  if (state.size() < messages.size()) state.resize(messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i)
+    state[i].delivered = false;
 
   // The flooding fast path tracks only holder sets; the generic path also
   // keeps per-node message lists.
   const bool flooding = algorithm.replicates() &&
                         algorithm.initial_copies() == 0;
-  std::vector<std::vector<std::uint32_t>> at_node(n);
-  std::vector<std::uint32_t> active_msgs;  // ids of active, undelivered.
+  auto& at_node = ws.at_node_;
+  if (at_node.size() < n) at_node.resize(n);
+  for (NodeId v = 0; v < n; ++v) at_node[v].clear();
+  auto& active_msgs = ws.active_msgs_;  // ids of active, undelivered.
+  active_msgs.clear();
 
   const std::uint32_t quota = algorithm.initial_copies();
   const bool quota_scheme = quota > 1;
+  const bool observes = algorithm.observes_contacts();
 
   const auto deliver = [&](std::uint32_t id, graph::Step s,
                            std::uint16_t hops) {
@@ -76,26 +85,30 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
   // Scratch for the flooding fast path's hop-level computation: a lazy
   // Dijkstra over one contact component with unit-weight edges and
   // holder-seeded start levels. `mark` is generation-stamped so a BFS
-  // costs O(component), not O(n).
-  std::vector<std::uint32_t> level(flooding ? n : 0, 0);
-  std::vector<std::uint32_t> mark(flooding ? n : 0, 0);
-  std::uint32_t mark_gen = 0;
-  std::vector<std::pair<std::uint32_t, NodeId>> heap;
-  const auto heap_cmp = [](const std::pair<std::uint32_t, NodeId>& lhs,
-                           const std::pair<std::uint32_t, NodeId>& rhs) {
-    return lhs.first > rhs.first;  // min-heap on level.
-  };
+  // costs O(component), not O(n); the generation survives workspace reuse
+  // (monotone, never reset), so a warm workspace needs no re-zeroing.
+  auto& level = ws.level_;
+  auto& mark = ws.mark_;
+  if (flooding && level.size() < n) {
+    level.resize(n, 0);
+    mark.resize(n, 0);
+  }
+  auto& buckets = ws.buckets_;
   // Settles hop levels for the component `mask` at step s, seeded by the
   // message's holders at their current hop counts. If `stop_at` is inside
   // the component, returns as soon as its level is known; otherwise
   // settles the whole component (level[] is valid where mark[] ==
   // mark_gen). Hop counts are minimal over all holder-to-node chains
-  // within the step, matching the zero-weight closure of §4.1.
-  const auto settle_component = [&](graph::Step s, const util::NodeSet& mask,
-                                    const MsgState& st, NodeId stop_at,
-                                    bool has_stop) -> std::uint32_t {
-    ++mark_gen;
-    heap.clear();
+  // within the step, matching the zero-weight closure of §4.1. A bucket
+  // queue (Dial's algorithm over unit-weight edges) replaces the earlier
+  // binary heap: minimal levels are unique, so the values — the only
+  // observable output — are unchanged while the log factor disappears.
+  const auto settle_component =
+      [&](graph::Step s, const util::NodeSet& mask,
+          const SimulatorWorkspace::MessageState& st, NodeId stop_at,
+          bool has_stop) -> std::uint32_t {
+    const std::uint64_t gen = ++ws.mark_gen_;
+    std::uint32_t top = 0;  // highest bucket index in use.
     const std::uint32_t words = std::min(mask.num_words(),
                                          st.holders.num_words());
     for (std::uint32_t w = 0; w < words; ++w) {
@@ -104,37 +117,129 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
         const auto v = static_cast<NodeId>(
             w * 64 + static_cast<std::uint32_t>(std::countr_zero(bits)));
         bits &= bits - 1;
-        heap.emplace_back(st.hops[v], v);
+        const std::uint32_t lvl = st.hops[v];
+        if (lvl >= buckets.size()) buckets.resize(lvl + 1);
+        buckets[lvl].push_back(v);
+        top = std::max(top, lvl);
       }
     }
-    std::make_heap(heap.begin(), heap.end(), heap_cmp);
-    while (!heap.empty()) {
-      std::pop_heap(heap.begin(), heap.end(), heap_cmp);
-      const auto [lvl, v] = heap.back();
-      heap.pop_back();
-      if (mark[v] == mark_gen) continue;  // already settled at <= lvl.
-      mark[v] = mark_gen;
-      level[v] = lvl;
-      if (has_stop && v == stop_at) return lvl;
-      for (const NodeId w : graph.neighbors(s, v)) {
-        if (mark[w] != mark_gen) {
-          heap.emplace_back(lvl + 1, w);
-          std::push_heap(heap.begin(), heap.end(), heap_cmp);
+    const auto drain = [&](std::uint32_t from) {
+      for (std::uint32_t l = from; l <= top; ++l) buckets[l].clear();
+    };
+    for (std::uint32_t lvl = 0; lvl <= top; ++lvl) {
+      // Indexed access throughout: pushing into buckets[lvl + 1] may
+      // resize the outer vector, invalidating any held reference.
+      for (std::size_t i = 0; i < buckets[lvl].size(); ++i) {
+        const NodeId v = buckets[lvl][i];
+        if (mark[v] == gen) continue;  // already settled at <= lvl.
+        mark[v] = gen;
+        level[v] = lvl;
+        if (has_stop && v == stop_at) {
+          drain(lvl);
+          return lvl;
+        }
+        for (const NodeId w : graph.neighbors(s, v)) {
+          if (mark[w] != gen) {
+            if (lvl + 1 >= buckets.size()) buckets.resize(lvl + 2);
+            buckets[lvl + 1].push_back(w);
+            top = std::max(top, lvl + 1);
+          }
         }
       }
+      buckets[lvl].clear();
     }
     return 0;
   };
 
-  std::vector<graph::StepEdge> edges;
-  for (graph::Step s = 0; s < graph.num_steps(); ++s) {
-    // Activate messages created during this step.
+  // One flooding step: spread every live flood through its step's contact
+  // components and deliver where the destination is reached.
+  const auto flood_step = [&](graph::Step s,
+                              std::span<const graph::StepEdge> step_edges) {
+    // Component masks, one per contact component (every such component
+    // consists entirely of edge endpoints), in first-edge order. Built by
+    // BFS over the step's adjacency from edge endpoints, so the cost is
+    // O(step edges), not O(population) — membership and ordering are
+    // identical to a canonical components_at() labeling restricted to
+    // components with edges. Masks come from the workspace pool (cleared,
+    // capacity kept).
+    auto& masks = ws.masks_;
+    std::size_t num_masks = 0;
+    {
+      const std::uint64_t gen = ++ws.stamp_gen_;
+      auto& stamp = ws.node_stamp_;
+      if (stamp.size() < n) stamp.resize(n, 0);
+      auto& queue = ws.bfs_queue_;
+      for (const graph::StepEdge& e : step_edges) {
+        if (stamp[e.a] == gen) continue;  // component already masked.
+        if (num_masks == masks.size())
+          masks.emplace_back(n);
+        else
+          masks[num_masks].clear();
+        auto& mask = masks[num_masks];
+        ++num_masks;
+        queue.clear();
+        queue.push_back(e.a);
+        stamp[e.a] = gen;
+        while (!queue.empty()) {
+          const NodeId v = queue.back();
+          queue.pop_back();
+          mask.set(v);
+          for (const NodeId w : graph.neighbors(s, v)) {
+            if (stamp[w] != gen) {
+              stamp[w] = gen;
+              queue.push_back(w);
+            }
+          }
+        }
+      }
+    }
+    for (const std::uint32_t id : active_msgs) {
+      auto& st = state[id];
+      if (st.delivered) continue;
+      const NodeId dest = messages[id].destination;
+      for (std::size_t mi = 0; mi < num_masks; ++mi) {
+        const auto& mask = masks[mi];
+        const unsigned held = st.holders.intersect_count(mask);
+        if (held == 0) continue;
+        if (mask.test(dest)) {
+          // Copies made inside the component before reaching the
+          // destination are part of the flood's cost too.
+          result.transmissions += mask.count() - held - 1;
+          const std::uint32_t hops = settle_component(s, mask, st, dest, true);
+          deliver(id, s, static_cast<std::uint16_t>(
+                             std::min<std::uint32_t>(hops, 0xFFFF)));
+          break;
+        }
+        const unsigned total = mask.count();
+        // Fully flooded components have nothing left to spread; skipping
+        // them also skips the (comparatively expensive) hop settle.
+        if (held == total) continue;
+        settle_component(s, mask, st, 0, false);
+        mask.for_each([&](std::uint32_t v) {
+          if (!st.holders.test(v))
+            st.hops[v] = static_cast<std::uint16_t>(
+                std::min<std::uint32_t>(level[v], 0xFFFF));
+        });
+        st.holders |= mask;
+        result.transmissions += total - held;
+      }
+    }
+  };
+
+  // One step of the replay. Identical work in both modes; the mode only
+  // selects which step ids this is invoked for.
+  const auto process_step = [&](graph::Step s) {
+    // Activate messages created at or before this step. Under the sparse
+    // timeline a message created inside a skipped gap activates here, at
+    // the first active step after its creation — indistinguishable from
+    // dense activation, because holder state is only read where contact
+    // edges exist.
     while (next_activation < order.size()) {
       const std::uint32_t id = order[next_activation];
       if (graph.step_of(messages[id].created) > s) break;
       auto& st = state[id];
-      st.active = true;
-      st.holders = util::NodeSet::single(n, messages[id].source);
+      st.holders.clear();
+      st.holders.set(messages[id].source);
       st.hops.assign(n, 0);
       if (quota_scheme) {
         st.copies.assign(n, 0);
@@ -146,12 +251,17 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
     }
 
     const auto step_edges = graph.edges(s);
-    if (step_edges.empty()) continue;
+    if (step_edges.empty()) return;  // dense mode only: a gap step.
 
-    // History observation, in deterministic trace order.
-    for (const graph::StepEdge& e : step_edges) {
-      const bool new_contact = s == 0 || !graph.in_contact(s - 1, e.a, e.b);
-      algorithm.observe_contact(e.a, e.b, s, new_contact);
+    // History observation, in deterministic trace order, consuming the
+    // graph's precomputed new-contact flags (a pure graph property —
+    // computing it per run was wasted work). Skipped outright for
+    // algorithms that declare they keep no contact history.
+    if (observes) {
+      const auto new_flags = graph.new_edge_flags(s);
+      for (std::size_t i = 0; i < step_edges.size(); ++i)
+        algorithm.observe_contact(step_edges[i].a, step_edges[i].b, s,
+                                  new_flags[i] != 0);
     }
 
     if (flooding) {
@@ -160,57 +270,22 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
       // destination is in the component. Hop levels come from the
       // component settle so epidemic deliveries carry real hop counts
       // (Fig. 14-style statistics) instead of the historical 0.
-      const auto labels = graph::components_at(graph, s);
-      // Component masks for components that actually have edges.
-      std::vector<util::NodeSet> masks;
-      {
-        std::vector<int> mask_of(n, -1);
-        for (const graph::StepEdge& e : step_edges) {
-          const NodeId label = labels[e.a];
-          if (mask_of[label] < 0) {
-            mask_of[label] = static_cast<int>(masks.size());
-            masks.emplace_back(n);
-          }
-        }
-        for (NodeId v = 0; v < n; ++v) {
-          const int idx = mask_of[labels[v]];
-          if (idx >= 0) masks[static_cast<std::size_t>(idx)].set(v);
-        }
-      }
+      //
+      // With no live (activated, undelivered) flood, nothing this step
+      // could change — skip the component BFS and the mask scan outright.
+      // The flooding path draws no randomness, so the skip is invisible.
+      bool live = false;
       for (const std::uint32_t id : active_msgs) {
-        auto& st = state[id];
-        if (st.delivered) continue;
-        const NodeId dest = messages[id].destination;
-        for (const auto& mask : masks) {
-          const unsigned held = st.holders.intersect_count(mask);
-          if (held == 0) continue;
-          if (mask.test(dest)) {
-            // Copies made inside the component before reaching the
-            // destination are part of the flood's cost too.
-            result.transmissions += mask.count() - held - 1;
-            const std::uint32_t hops =
-                settle_component(s, mask, st, dest, true);
-            deliver(id, s, static_cast<std::uint16_t>(
-                               std::min<std::uint32_t>(hops, 0xFFFF)));
-            break;
-          }
-          const unsigned total = mask.count();
-          // Fully flooded components have nothing left to spread; skipping
-          // them also skips the (comparatively expensive) hop settle.
-          if (held == total) continue;
-          settle_component(s, mask, st, 0, false);
-          mask.for_each([&](std::uint32_t v) {
-            if (!st.holders.test(v))
-              st.hops[v] = static_cast<std::uint16_t>(
-                  std::min<std::uint32_t>(level[v], 0xFFFF));
-          });
-          st.holders |= mask;
-          result.transmissions += total - held;
+        if (!state[id].delivered) {
+          live = true;
+          break;
         }
       }
+      if (live) flood_step(s, step_edges);
     } else {
       // Generic path: relay across edges to a fixpoint so forwarding
       // chains can cross several contacts within one step.
+      auto& edges = ws.edges_;
       edges.assign(step_edges.begin(), step_edges.end());
       rng.shuffle(edges);
 
@@ -277,8 +352,10 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
       for (std::uint32_t pass = 0; pass < config.max_relay_passes; ++pass) {
         bool changed = false;
         for (const graph::StepEdge& e : edges) {
-          if (relay(e.a, e.b)) changed = true;
-          if (relay(e.b, e.a)) changed = true;
+          // Empty-list hoist: relay() on a holder-less endpoint is a
+          // no-op, and most endpoints hold nothing — skip the call.
+          if (!at_node[e.a].empty() && relay(e.a, e.b)) changed = true;
+          if (!at_node[e.b].empty() && relay(e.b, e.a)) changed = true;
         }
         if (!changed) {
           converged = true;
@@ -295,6 +372,15 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
         return state[id].delivered;
       });
     }
+  };
+
+  if (config.replay == ReplayMode::kDense) {
+    for (graph::Step s = 0; s < graph.num_steps(); ++s) process_step(s);
+  } else {
+    // Sparse event timeline: only steps carrying contact edges are
+    // visited. Messages created after the last contact simply never
+    // activate — nothing could happen to them anyway.
+    for (const graph::Step s : graph.active_steps()) process_step(s);
   }
 
   return result;

@@ -1,9 +1,20 @@
 // Trace-driven forwarding simulator (paper §6.1).
 //
-// The simulator replays a space-time graph step by step. Within one step
-// it relays to a fixpoint: a forwarding chain can cross several contact
-// edges in one step (the zero-weight closure of §4.1), which is what makes
-// Epidemic achieve exactly the optimal delivery time T(sigma, delta, t1).
+// The simulator replays the space-time graph's *event timeline*: only
+// steps carrying at least one contact edge (graph::SpaceTimeGraph's
+// active-step index) are visited, so per-run cost is proportional to
+// contact events rather than to wall-clock steps. Messages created inside
+// a skipped gap are activated lazily at the next active step — before any
+// contact is processed there — which is observationally identical to the
+// historical dense replay, since holder state is only ever read when a
+// contact edge exists. The dense step-by-step replay is retained as
+// ReplayMode::kDense, the equivalence oracle the tests diff the sparse
+// path against (bit-identical outcomes, delays, hops, transmissions).
+//
+// Within one step the simulator relays to a fixpoint: a forwarding chain
+// can cross several contact edges in one step (the zero-weight closure of
+// §4.1), which is what makes Epidemic achieve exactly the optimal
+// delivery time T(sigma, delta, t1).
 //
 // Modeling choices mirror the paper: infinite buffers (copies are held to
 // the end of the run), zero transmission time, symmetric contacts, and
@@ -13,12 +24,22 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "psn/forward/algorithm.hpp"
 #include "psn/forward/message.hpp"
+#include "psn/util/node_set.hpp"
 
 namespace psn::forward {
+
+/// Which step sequence the replay visits. Results are bit-identical; the
+/// dense mode exists as the validation oracle and for benchmarking the
+/// timeline win (perf_microbench's event_timeline section).
+enum class ReplayMode : std::uint8_t {
+  kSparse,  ///< only the graph's active steps (the default).
+  kDense,   ///< every discretized step (pre-timeline reference semantics).
+};
 
 struct SimulatorConfig {
   /// Maximum relay passes within one step (a safety bound on the fixpoint
@@ -27,6 +48,65 @@ struct SimulatorConfig {
   /// Seed for the per-step shuffle of edge processing order, which breaks
   /// ties among simultaneous forwarding opportunities.
   std::uint64_t seed = 1;
+  /// Step sequence to replay (see ReplayMode).
+  ReplayMode replay = ReplayMode::kSparse;
+};
+
+/// Reusable simulator scratch: per-message holder sets and hop arrays,
+/// per-node message lists, the flooding path's Dijkstra heap and
+/// generation-stamped marks, component labels/masks, and the per-step edge
+/// shuffle buffer. A workspace warmed by one run lets subsequent runs
+/// execute without heap allocation (capacities are retained, never
+/// shrunk), which is why the sweep engine owns one per worker thread.
+///
+/// Not thread-safe: one workspace serves one simulate() call at a time.
+/// Any population/workload size is accepted — the workspace grows to the
+/// largest run it has served. Contents are internal to simulate().
+class SimulatorWorkspace {
+ public:
+  SimulatorWorkspace() = default;
+  SimulatorWorkspace(const SimulatorWorkspace&) = delete;
+  SimulatorWorkspace& operator=(const SimulatorWorkspace&) = delete;
+  SimulatorWorkspace(SimulatorWorkspace&&) = default;
+  SimulatorWorkspace& operator=(SimulatorWorkspace&&) = default;
+
+ private:
+  friend SimulationResult simulate(ForwardingAlgorithm& algorithm,
+                                   const graph::SpaceTimeGraph& graph,
+                                   const trace::ContactTrace& trace,
+                                   const std::vector<Message>& messages,
+                                   const SimulatorConfig& config,
+                                   SimulatorWorkspace& workspace);
+
+  struct MessageState {
+    util::NodeSet holders;
+    std::vector<std::uint16_t> hops;    ///< per holding node.
+    std::vector<std::uint32_t> copies;  ///< per holding node (quota schemes).
+    bool delivered = false;
+  };
+
+  std::vector<MessageState> states_;
+  std::vector<std::uint32_t> order_;  ///< message ids by creation time.
+  std::vector<std::vector<std::uint32_t>> at_node_;  ///< generic-path lists.
+  std::vector<std::uint32_t> active_msgs_;
+  /// Flooding hop-settle scratch. `mark_` entries equal `mark_gen_` only
+  /// for nodes settled in the current generation; the generation counter
+  /// is never reset, so stale runs can't alias (64-bit: no wraparound).
+  std::vector<std::uint32_t> level_;
+  std::vector<std::uint64_t> mark_;
+  std::uint64_t mark_gen_ = 0;
+  /// Bucket queue for the hop settle (levels are small, so Dial's
+  /// algorithm beats a binary heap); buckets_[l] holds the level-l
+  /// frontier and is left empty between settles.
+  std::vector<std::vector<NodeId>> buckets_;
+  std::vector<graph::StepEdge> edges_;  ///< per-step shuffle buffer.
+  std::vector<util::NodeSet> masks_;    ///< component-mask pool.
+  /// Component-BFS scratch (flooding path): generation stamps mark nodes
+  /// already absorbed into a mask this step; the queue is the BFS
+  /// frontier. Same never-reset generation discipline as mark_.
+  std::vector<std::uint64_t> node_stamp_;
+  std::uint64_t stamp_gen_ = 0;
+  std::vector<NodeId> bfs_queue_;
 };
 
 /// Runs `algorithm` over the graph for the given messages.
@@ -37,5 +117,14 @@ struct SimulatorConfig {
                                         const trace::ContactTrace& trace,
                                         const std::vector<Message>& messages,
                                         const SimulatorConfig& config = {});
+
+/// As above, reusing the caller's workspace so repeated runs (a sweep's
+/// steady state) allocate nothing once the workspace is warm.
+[[nodiscard]] SimulationResult simulate(ForwardingAlgorithm& algorithm,
+                                        const graph::SpaceTimeGraph& graph,
+                                        const trace::ContactTrace& trace,
+                                        const std::vector<Message>& messages,
+                                        const SimulatorConfig& config,
+                                        SimulatorWorkspace& workspace);
 
 }  // namespace psn::forward

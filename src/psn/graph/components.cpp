@@ -5,7 +5,11 @@
 
 namespace psn::graph {
 
-UnionFind::UnionFind(NodeId n) : parent_(n), rank_(n, 0) {
+UnionFind::UnionFind(NodeId n) { reset(n); }
+
+void UnionFind::reset(NodeId n) {
+  parent_.resize(n);
+  rank_.assign(n, 0);
   for (NodeId i = 0; i < n; ++i) parent_[i] = i;
 }
 
@@ -28,18 +32,26 @@ bool UnionFind::unite(NodeId x, NodeId y) noexcept {
 }
 
 std::vector<NodeId> components_at(const SpaceTimeGraph& graph, Step s) {
-  UnionFind uf(graph.num_nodes());
+  ComponentScratch scratch;
+  std::vector<NodeId> labels;
+  components_at(graph, s, scratch, labels);
+  return labels;
+}
+
+void components_at(const SpaceTimeGraph& graph, Step s,
+                   ComponentScratch& scratch, std::vector<NodeId>& labels) {
+  const NodeId n = graph.num_nodes();
+  UnionFind& uf = scratch.uf;
+  uf.reset(n);
   for (const StepEdge& e : graph.edges(s)) uf.unite(e.a, e.b);
   // Canonicalize: label = smallest node id in the component.
-  std::vector<NodeId> labels(graph.num_nodes());
-  std::vector<NodeId> smallest(graph.num_nodes(), graph.num_nodes());
-  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+  labels.resize(n);
+  scratch.smallest.assign(n, n);
+  for (NodeId v = 0; v < n; ++v) {
     const NodeId root = uf.find(v);
-    smallest[root] = std::min(smallest[root], v);
+    scratch.smallest[root] = std::min(scratch.smallest[root], v);
   }
-  for (NodeId v = 0; v < graph.num_nodes(); ++v)
-    labels[v] = smallest[uf.find(v)];
-  return labels;
+  for (NodeId v = 0; v < n; ++v) labels[v] = scratch.smallest[uf.find(v)];
 }
 
 std::vector<std::pair<NodeId, NodeId>> component_sizes_at(

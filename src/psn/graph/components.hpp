@@ -18,6 +18,9 @@ class UnionFind {
  public:
   explicit UnionFind(NodeId n);
 
+  /// Reinitializes to n singleton sets, reusing the backing storage.
+  void reset(NodeId n);
+
   [[nodiscard]] NodeId find(NodeId x) noexcept;
   /// Returns true if the two sets were distinct (and are now merged).
   bool unite(NodeId x, NodeId y) noexcept;
@@ -27,10 +30,22 @@ class UnionFind {
   std::vector<std::uint8_t> rank_;
 };
 
+/// Reusable storage for the scratch overload of components_at(), so
+/// per-step labeling in hot replay loops allocates nothing once warm.
+struct ComponentScratch {
+  UnionFind uf{0};
+  std::vector<NodeId> smallest;
+};
+
 /// Component labels of every node during step s of the graph. Isolated
 /// nodes get singleton labels; labels are canonical (smallest member id).
 [[nodiscard]] std::vector<NodeId> components_at(const SpaceTimeGraph& graph,
                                                 Step s);
+
+/// As above, but writes into `labels` (resized to num_nodes) using the
+/// caller's scratch. Produces identical labels to the allocating overload.
+void components_at(const SpaceTimeGraph& graph, Step s,
+                   ComponentScratch& scratch, std::vector<NodeId>& labels);
 
 /// Sizes of the components at step s, keyed by canonical label, returned as
 /// (label, size) pairs sorted by label.

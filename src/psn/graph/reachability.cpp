@@ -16,16 +16,23 @@ ReachabilityResult earliest_delivery(const SpaceTimeGraph& graph,
   reached[source] = true;
   NodeId reached_count = 1;
 
-  for (Step s = start; s < graph.num_steps(); ++s) {
+  // Reachability only changes at steps with contact edges, so the sweep
+  // walks the graph's event timeline: next_active_step() skips the empty
+  // gaps a sparse trace is mostly made of. Labeling scratch is reused
+  // across steps.
+  ComponentScratch scratch;
+  std::vector<NodeId> labels;
+  std::vector<std::uint8_t> hot(graph.num_nodes());
+  for (Step s = graph.next_active_step(start); s < graph.num_steps();
+       s = graph.next_active_step(s + 1)) {
     if (reached_count == graph.num_nodes()) break;
-    if (graph.edges(s).empty()) continue;
-    const auto labels = components_at(graph, s);
+    components_at(graph, s, scratch, labels);
 
     // A component is "hot" if it contains a reached node; then every member
     // becomes reached this step (zero-weight closure).
-    std::vector<bool> hot(graph.num_nodes(), false);
+    std::fill(hot.begin(), hot.end(), std::uint8_t{0});
     for (NodeId v = 0; v < graph.num_nodes(); ++v)
-      if (reached[v]) hot[labels[v]] = true;
+      if (reached[v]) hot[labels[v]] = 1;
     for (NodeId v = 0; v < graph.num_nodes(); ++v) {
       if (!reached[v] && hot[labels[v]]) {
         reached[v] = true;

@@ -84,6 +84,28 @@ SpaceTimeGraph::SpaceTimeGraph(const trace::ContactTrace& trace,
     edges_.shrink_to_fit();
   }
 
+  // The active-step index: after compaction, a step is on the event
+  // timeline iff its edge range is non-empty.
+  for (Step s = 0; s < steps; ++s)
+    if (edge_offsets_[s + 1] > edge_offsets_[s]) active_steps_.push_back(s);
+  active_steps_.shrink_to_fit();
+
+  // New-contact flags: a step's edges and the previous step's edges are
+  // both (a, b)-sorted, so one two-pointer merge per step marks exactly
+  // the edges absent from step s-1 — the flat-array equivalent of
+  // `s == 0 || !in_contact(s-1, a, b)`.
+  new_edge_.assign(edges_.size(), 1);
+  for (Step s = 1; s < steps; ++s) {
+    std::size_t prev = edge_offsets_[s - 1];
+    const std::size_t prev_end = edge_offsets_[s];
+    for (std::size_t i = edge_offsets_[s]; i < edge_offsets_[s + 1]; ++i) {
+      while (prev < prev_end && edge_less(edges_[prev], edges_[i])) ++prev;
+      if (prev < prev_end && edges_[prev].a == edges_[i].a &&
+          edges_[prev].b == edges_[i].b)
+        new_edge_[i] = 0;
+    }
+  }
+
   // Pass 4: CSR adjacency over the whole space-time arena. Degree counts
   // land one slot past their (step, node) row position, so one global
   // prefix sum turns them into start offsets, with each step's row
@@ -122,6 +144,12 @@ Step SpaceTimeGraph::step_of(Seconds t) const noexcept {
   if (t <= 0.0) return 0;
   const auto s = static_cast<Step>(std::floor(t / delta_));
   return std::min<Step>(s, num_steps() - 1);
+}
+
+Step SpaceTimeGraph::next_active_step(Step s) const noexcept {
+  const auto it =
+      std::lower_bound(active_steps_.begin(), active_steps_.end(), s);
+  return it == active_steps_.end() ? num_steps_ : *it;
 }
 
 bool SpaceTimeGraph::in_contact(Step s, NodeId a, NodeId b) const noexcept {

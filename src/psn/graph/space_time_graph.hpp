@@ -18,10 +18,19 @@
 // vectors. There is no architectural node-count ceiling: membership sets
 // are dynamic (util::NodeSet), and populations in the thousands are
 // exercised by the scenario registry's campus/city tiers.
+//
+// Alongside the arena the graph keeps an *active-step index*: the ordered
+// list of steps carrying at least one contact edge, with a
+// next_active_step() cursor. Sparse traces leave most steps empty, and
+// contact-driven consumers (the forwarding simulator's sparse event
+// timeline, the reachability sweep) iterate only active steps, making
+// their per-run cost proportional to contact events rather than to
+// wall-clock steps (DESIGN.md §4).
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -69,6 +78,18 @@ class SpaceTimeGraph {
             edges_.data() + edge_offsets_[s + 1]};
   }
 
+  /// Flags parallel to edges(s): flag[i] != 0 iff edges(s)[i] was *not*
+  /// active during step s-1, i.e. the step where a contact interval
+  /// begins. Precomputed once at construction (equal to
+  /// `s == 0 || !in_contact(s-1, a, b)`) so replay loops consume a flat
+  /// array instead of re-deriving new-contact events with per-edge
+  /// binary searches on every run.
+  [[nodiscard]] std::span<const std::uint8_t> new_edge_flags(
+      Step s) const noexcept {
+    return {new_edge_.data() + edge_offsets_[s],
+            new_edge_.data() + edge_offsets_[s + 1]};
+  }
+
   /// Neighbors of `node` during step s (nodes it shares a contact edge
   /// with). Sorted ascending.
   [[nodiscard]] std::span<const NodeId> neighbors(Step s,
@@ -81,6 +102,24 @@ class SpaceTimeGraph {
 
   /// True if a and b share a contact edge during step s.
   [[nodiscard]] bool in_contact(Step s, NodeId a, NodeId b) const noexcept;
+
+  /// The event timeline: steps with at least one contact edge, ascending.
+  /// In sparse traces most steps are empty, so consumers that only react
+  /// to contacts (the forwarding simulator, the reachability sweep)
+  /// iterate this list instead of scanning every step.
+  [[nodiscard]] std::span<const Step> active_steps() const noexcept {
+    return active_steps_;
+  }
+
+  /// Number of steps that carry at least one contact edge.
+  [[nodiscard]] std::size_t num_active_steps() const noexcept {
+    return active_steps_.size();
+  }
+
+  /// The first active step >= s, or num_steps() when no contact occurs at
+  /// or after s — the cursor form of the event timeline, for consumers
+  /// that advance from an arbitrary step rather than walking the list.
+  [[nodiscard]] Step next_active_step(Step s) const noexcept;
 
   /// Total number of (step, edge) pairs; a size measure for benchmarks.
   [[nodiscard]] std::size_t total_edges() const noexcept {
@@ -95,12 +134,16 @@ class SpaceTimeGraph {
   /// edge_offsets_[s + 1]), per-step sorted by (a, b) and deduplicated.
   std::vector<std::size_t> edge_offsets_;  ///< size num_steps_ + 1.
   std::vector<StepEdge> edges_;
+  std::vector<std::uint8_t> new_edge_;  ///< parallel to edges_ (see above).
   /// Adjacency arena: neighbors of (s, v) are adjacency_[adj_offsets_[s *
   /// (num_nodes_+1) + v], adj_offsets_[s * (num_nodes_+1) + v + 1]), sorted
   /// ascending. Offsets are global indices into adjacency_ (size_t, like
   /// edge_offsets_: the arena must not introduce a silent size ceiling).
   std::vector<std::size_t> adj_offsets_;  ///< size num_steps_*(num_nodes_+1).
   std::vector<NodeId> adjacency_;
+  /// Active-step index: steps with >= 1 edge, ascending (the timeline the
+  /// sparse replay iterates).
+  std::vector<Step> active_steps_;
 };
 
 }  // namespace psn::graph

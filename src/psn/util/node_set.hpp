@@ -95,6 +95,14 @@ class NodeSet {
     return (word_value >> (bit & 63)) & 1U;
   }
 
+  /// Removes every member, keeping the backing storage. This is what lets
+  /// reusable scratch (forward::SimulatorWorkspace) recycle holder sets and
+  /// component masks without reallocating.
+  void clear() noexcept {
+    std::uint64_t* d = data();
+    for (std::uint32_t i = 0; i < num_words_; ++i) d[i] = 0;
+  }
+
   [[nodiscard]] bool empty() const noexcept {
     const std::uint64_t* d = data();
     for (std::uint32_t i = 0; i < num_words_; ++i)

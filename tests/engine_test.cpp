@@ -14,6 +14,7 @@
 #include "psn/core/forwarding_study.hpp"
 #include "psn/engine/result_store.hpp"
 #include "psn/engine/run_spec.hpp"
+#include "psn/engine/scenario_context.hpp"
 #include "psn/engine/scenario_registry.hpp"
 #include "psn/engine/sweep.hpp"
 #include "psn/engine/thread_pool.hpp"
@@ -224,6 +225,30 @@ TEST(Sweep, MultiScenarioDeterminismAndSeedModes) {
   EXPECT_EQ(&lhs.cell(1, 1), &lhs.cells[3]);
 }
 
+TEST(ScenarioRegistry, UnknownNameErrorListsRegisteredScenarios) {
+  // A typo'd scenario must be self-diagnosing: the error carries every
+  // registered name, sourced from scenario_names().
+  try {
+    (void)make_scenario_by_name("no-such-scenario");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-scenario"), std::string::npos);
+    for (const std::string& name : scenario_names())
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(ScenarioRegistry, DatasetsAreSharedWhileHeld) {
+  // The registry memoizes datasets by name: while a holder keeps one
+  // alive, repeated builds return the same object without regenerating.
+  const auto held = make_scenario_by_name("town_128");
+  const auto before = scenario_datasets_built();
+  const auto again = make_scenario_by_name("town_128");
+  EXPECT_EQ(scenario_datasets_built(), before);
+  EXPECT_EQ(held.dataset.get(), again.dataset.get());
+}
+
 TEST(ScenarioRegistry, NamesAreBuildableAndUnknownThrows) {
   const auto names = scenario_names();
   ASSERT_GE(names.size(), 4u);
@@ -287,6 +312,132 @@ TEST(Sweep, Campus512BitIdenticalAcrossThreadCounts) {
   }
   // The flood must actually spread at this scale.
   EXPECT_GT(lhs.cells[0].overall.delivered, 0u);
+}
+
+// Bit-identical cell comparison (no tolerance on doubles).
+void expect_cells_identical(const SweepResult& lhs, const SweepResult& rhs) {
+  ASSERT_EQ(lhs.cells.size(), rhs.cells.size());
+  for (std::size_t c = 0; c < lhs.cells.size(); ++c) {
+    const auto& a = lhs.cells[c];
+    const auto& b = rhs.cells[c];
+    EXPECT_EQ(a.scenario, b.scenario);
+    EXPECT_EQ(a.algorithm, b.algorithm);
+    EXPECT_EQ(a.overall.messages, b.overall.messages);
+    EXPECT_EQ(a.overall.delivered, b.overall.delivered);
+    EXPECT_EQ(a.overall.success_rate, b.overall.success_rate);
+    EXPECT_EQ(a.overall.average_delay, b.overall.average_delay);
+    EXPECT_EQ(a.overall.average_hops, b.overall.average_hops);
+    EXPECT_EQ(a.cost_per_message, b.cost_per_message);
+    EXPECT_EQ(a.delays, b.delays);
+    EXPECT_EQ(a.truncated_relay_steps, b.truncated_relay_steps);
+    for (std::size_t t = 0; t < 4; ++t) {
+      EXPECT_EQ(a.by_pair_type.per_type[t].success_rate,
+                b.by_pair_type.per_type[t].success_rate);
+      EXPECT_EQ(a.by_pair_type.per_type[t].average_delay,
+                b.by_pair_type.per_type[t].average_delay);
+    }
+  }
+}
+
+// The tentpole guarantee: run_sweep builds each cell's graph exactly once
+// — one build per scenario regardless of algorithms, runs, or threads,
+// and zero builds when a caller already holds the scenario's context.
+TEST(Sweep, BuildsEachScenarioGraphExactlyOnce) {
+  const auto ds = small_dataset(31);
+  auto& cache = ScenarioContextCache::instance();
+  PlanConfig config;
+  config.runs = 3;
+  config.message_rate = 0.02;
+  const auto plan = make_plan({make_scenario(ds)},
+                              {"Epidemic", "FRESH", "Greedy"}, config);
+
+  // Cold cache: 9 runs on 8 threads perform exactly one graph build.
+  {
+    const auto before = cache.graphs_built();
+    SweepOptions options;
+    options.threads = 8;
+    (void)run_sweep(plan, options);
+    EXPECT_EQ(cache.graphs_built(), before + 1);
+  }
+
+  // Held context: further sweeps at any thread count build nothing.
+  {
+    const auto held = cache.acquire(plan.scenarios[0]);
+    const auto before = cache.graphs_built();
+    for (const std::size_t threads : {1u, 8u}) {
+      SweepOptions options;
+      options.threads = threads;
+      (void)run_sweep(plan, options);
+    }
+    EXPECT_EQ(cache.graphs_built(), before);
+    EXPECT_EQ(held->dataset.get(), plan.scenarios[0].dataset.get());
+  }
+}
+
+TEST(ScenarioContextCache, SameScenarioYieldsSameContext) {
+  const auto ds = small_dataset(37);
+  const auto scenario = make_scenario(ds);
+  auto& cache = ScenarioContextCache::instance();
+  const auto a = cache.acquire(scenario);
+  const auto before = cache.graphs_built();
+  const auto b = cache.acquire(scenario);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.graphs_built(), before);
+  // A different delta is a different context (and a fresh build).
+  auto other = make_scenario(ds, 30.0);
+  const auto c = cache.acquire(other);
+  EXPECT_NE(c.get(), a.get());
+  EXPECT_EQ(cache.graphs_built(), before + 1);
+  EXPECT_EQ(c->graph->delta(), 30.0);
+}
+
+// The equivalence harness at sweep level: the sparse event timeline must
+// reproduce the dense replay bit for bit on the infocom06 stand-in
+// (conference_small) across the full paper algorithm matrix, at 1 and 8
+// threads.
+TEST(Sweep, SparseTimelineMatchesDenseOnInfocomMatrix) {
+  const auto scenario = make_scenario_by_name("conference_small");
+  PlanConfig config;
+  config.runs = 2;
+  config.master_seed = 7;
+  config.message_rate = 0.01;
+  const auto plan =
+      make_plan({scenario}, forward::paper_algorithm_names(), config);
+
+  for (const std::size_t threads : {1u, 8u}) {
+    SweepOptions dense;
+    dense.threads = threads;
+    dense.replay = forward::ReplayMode::kDense;
+    SweepOptions sparse;
+    sparse.threads = threads;
+    sparse.replay = forward::ReplayMode::kSparse;
+    const auto lhs = run_sweep(plan, dense);
+    const auto rhs = run_sweep(plan, sparse);
+    expect_cells_identical(lhs, rhs);
+  }
+}
+
+// Tier coverage for the same equivalence: town_128 and campus_512 (the
+// sparse exponential-gap tiers the timeline refactor targets);
+// conference_small is covered above and city_2048 by integration_test.
+TEST(Sweep, SparseTimelineMatchesDenseAcrossScaleTiers) {
+  for (const char* name : {"town_128", "campus_512"}) {
+    const auto scenario = make_scenario_by_name(name);
+    PlanConfig config;
+    config.runs = 2;
+    config.master_seed = 17;
+    config.message_rate = 0.005;
+    const auto plan = make_plan({scenario}, {"Epidemic", "FRESH"}, config);
+    for (const std::size_t threads : {1u, 8u}) {
+      SweepOptions dense;
+      dense.threads = threads;
+      dense.replay = forward::ReplayMode::kDense;
+      SweepOptions sparse;
+      sparse.threads = threads;
+      sparse.replay = forward::ReplayMode::kSparse;
+      expect_cells_identical(run_sweep(plan, dense), run_sweep(plan, sparse));
+    }
+  }
 }
 
 // The refactored forwarding study rides the engine; its output must not

@@ -516,6 +516,148 @@ TEST(Simulator, EmptyMessageListIsFine) {
   EXPECT_EQ(r.transmissions, 0u);
 }
 
+// --- Sparse event timeline vs dense replay: the equivalence harness. ---
+// The sparse path must be bit-identical to the pre-timeline dense replay
+// for every algorithm — same outcomes, delays, hops, transmissions, and
+// truncation counters.
+
+void expect_sparse_matches_dense(const Fixture& f,
+                                 const std::vector<Message>& msgs) {
+  for (auto& alg : make_extended_algorithms()) {
+    SimulatorConfig dense;
+    dense.replay = ReplayMode::kDense;
+    SimulatorConfig sparse;
+    sparse.replay = ReplayMode::kSparse;
+    const auto a = simulate(*alg, f.graph, f.trace, msgs, dense);
+    const auto b = simulate(*alg, f.graph, f.trace, msgs, sparse);
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size()) << alg->name();
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+      EXPECT_EQ(a.outcomes[i].delivered, b.outcomes[i].delivered)
+          << alg->name() << " message " << i;
+      EXPECT_EQ(a.outcomes[i].delay, b.outcomes[i].delay)
+          << alg->name() << " message " << i;
+      EXPECT_EQ(a.outcomes[i].hops, b.outcomes[i].hops)
+          << alg->name() << " message " << i;
+    }
+    EXPECT_EQ(a.transmissions, b.transmissions) << alg->name();
+    EXPECT_EQ(a.truncated_relay_steps, b.truncated_relay_steps)
+        << alg->name();
+  }
+}
+
+TEST(SimulatorTimeline, EmptyTraceMatchesDense) {
+  // No contacts at all: the sparse replay visits zero steps, the dense
+  // replay scans six empty ones; both must report the same (undelivered)
+  // outcomes for messages created anywhere in the window.
+  const Fixture f({}, 3, 60.0);
+  EXPECT_TRUE(f.graph.active_steps().empty());
+  expect_sparse_matches_dense(
+      f, {msg(0, 0, 1, 0.0), msg(1, 1, 2, 35.0), msg(2, 2, 0, 59.0)});
+}
+
+TEST(SimulatorTimeline, SingleContactAtStepZeroMatchesDense) {
+  const Fixture f({Contact::make(0, 1, 0.0, 4.0)}, 3, 60.0);
+  ASSERT_EQ(f.graph.num_active_steps(), 1u);
+  ASSERT_EQ(f.graph.active_steps()[0], 0u);
+  expect_sparse_matches_dense(f, {msg(0, 0, 1, 0.0),   // delivered at 0.
+                                  msg(1, 0, 2, 0.0),   // never deliverable.
+                                  msg(2, 1, 0, 30.0)});  // created after.
+}
+
+TEST(SimulatorTimeline, MessageCreatedAfterLastContactMatchesDense) {
+  // Created after the final contact: dense activates it on a late empty
+  // step, sparse never activates it — the outcome (undelivered) must be
+  // identical.
+  const Fixture f({Contact::make(0, 1, 10.0, 15.0)}, 3, 200.0);
+  expect_sparse_matches_dense(f, {msg(0, 0, 1, 30.0), msg(1, 0, 1, 199.0)});
+}
+
+TEST(SimulatorTimeline, MessagesCreatedInsideSkippedGapMatchDense) {
+  // Contacts in steps 0-1 and 9-10 with an 8-step silent gap in between;
+  // messages created inside the gap must activate at the next active step
+  // under the sparse timeline and behave exactly as under dense replay.
+  const Fixture f(
+      {
+          Contact::make(0, 1, 5.0, 12.0),
+          Contact::make(1, 2, 95.0, 105.0),
+          Contact::make(0, 2, 98.0, 102.0),
+      },
+      4, 200.0);
+  ASSERT_LT(f.graph.num_active_steps(), f.graph.num_steps());
+  expect_sparse_matches_dense(f, {
+                                     msg(0, 0, 2, 30.0),  // mid-gap creation.
+                                     msg(1, 1, 0, 45.0),  // mid-gap creation.
+                                     msg(2, 2, 3, 50.0),  // undeliverable.
+                                     msg(3, 0, 1, 0.0),   // pre-gap creation.
+                                 });
+}
+
+TEST(SimulatorTimeline, GapSpanningScenarioMatchesDenseForAllAlgorithms) {
+  // A longer mixed scenario: bursts of contacts separated by gaps, with
+  // messages created before, inside, and after gaps. Covers the relay
+  // fixpoint, quota schemes, and oracle algorithms in one sweep.
+  std::vector<Contact> cs;
+  for (int burst = 0; burst < 5; ++burst) {
+    const double t0 = burst * 200.0;
+    cs.push_back(Contact::make(0, 1, t0 + 5.0, t0 + 15.0));
+    cs.push_back(Contact::make(1, 2, t0 + 8.0, t0 + 18.0));
+    cs.push_back(Contact::make(2, 3, t0 + 30.0, t0 + 42.0));
+    cs.push_back(Contact::make(3, 4, t0 + 31.0, t0 + 41.0));
+  }
+  const Fixture f(std::move(cs), 6, 1000.0);
+  ASSERT_LT(f.graph.num_active_steps(), f.graph.num_steps());
+  std::vector<Message> msgs;
+  for (std::uint32_t i = 0; i < 12; ++i)
+    msgs.push_back(msg(i, static_cast<NodeId>(i % 5),
+                       static_cast<NodeId>((i + 2) % 5), i * 80.0));
+  expect_sparse_matches_dense(f, msgs);
+}
+
+TEST(Simulator, WorkspaceReuseIsBitIdentical) {
+  // One workspace serving many runs (different algorithms, message
+  // counts, and an interleaved larger population) must produce exactly
+  // what fresh per-run workspaces produce.
+  const Fixture small(
+      {
+          Contact::make(0, 1, 5.0, 12.0),
+          Contact::make(1, 2, 95.0, 105.0),
+          Contact::make(0, 2, 150.0, 160.0),
+      },
+      4, 300.0);
+  std::vector<Contact> big_cs;
+  for (int i = 0; i < 40; ++i)
+    big_cs.push_back(Contact::make(static_cast<NodeId>(i % 9),
+                                   static_cast<NodeId>(i % 9 + 1), i * 12.0,
+                                   i * 12.0 + 6.0));
+  const Fixture big(std::move(big_cs), 10, 600.0);
+
+  std::vector<Message> small_msgs = {msg(0, 0, 2, 0.0), msg(1, 1, 0, 30.0)};
+  std::vector<Message> big_msgs;
+  for (std::uint32_t i = 0; i < 8; ++i)
+    big_msgs.push_back(msg(i, static_cast<NodeId>(i),
+                           static_cast<NodeId>((i + 4) % 10), i * 40.0));
+
+  SimulatorWorkspace shared;
+  for (auto& alg : make_extended_algorithms()) {
+    for (const auto* fx : {&small, &big, &small}) {
+      const auto& msgs = fx == &big ? big_msgs : small_msgs;
+      const auto fresh = simulate(*alg, fx->graph, fx->trace, msgs);
+      const auto reused =
+          simulate(*alg, fx->graph, fx->trace, msgs, {}, shared);
+      ASSERT_EQ(fresh.outcomes.size(), reused.outcomes.size()) << alg->name();
+      for (std::size_t i = 0; i < fresh.outcomes.size(); ++i) {
+        EXPECT_EQ(fresh.outcomes[i].delivered, reused.outcomes[i].delivered)
+            << alg->name();
+        EXPECT_EQ(fresh.outcomes[i].delay, reused.outcomes[i].delay)
+            << alg->name();
+        EXPECT_EQ(fresh.outcomes[i].hops, reused.outcomes[i].hops)
+            << alg->name();
+      }
+      EXPECT_EQ(fresh.transmissions, reused.transmissions) << alg->name();
+    }
+  }
+}
+
 TEST(SimulationResultTest, Aggregates) {
   SimulationResult r;
   r.outcomes = {{true, 10.0, 1}, {false, 0.0, 0}, {true, 30.0, 2}};

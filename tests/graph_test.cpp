@@ -251,6 +251,66 @@ TEST(Reachability, DirectContactDelivers) {
   EXPECT_DOUBLE_EQ(*d, 20.0);  // end of step 1.
 }
 
+TEST(SpaceTimeGraph, ActiveStepIndexListsOnlyStepsWithEdges) {
+  // Contacts land in steps 1 and 5 of a 10-step window; everything else
+  // is a gap the event timeline must skip.
+  const auto trace = make_trace(
+      {
+          Contact::make(0, 1, 12.0, 15.0),
+          Contact::make(1, 2, 52.0, 55.0),
+      },
+      3, 100.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  ASSERT_EQ(g.num_steps(), 10u);
+  const auto active = g.active_steps();
+  ASSERT_EQ(g.num_active_steps(), 2u);
+  EXPECT_EQ(active[0], 1u);
+  EXPECT_EQ(active[1], 5u);
+}
+
+TEST(SpaceTimeGraph, NextActiveStepCursor) {
+  const auto trace = make_trace(
+      {
+          Contact::make(0, 1, 12.0, 15.0),
+          Contact::make(1, 2, 52.0, 55.0),
+      },
+      3, 100.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  EXPECT_EQ(g.next_active_step(0), 1u);
+  EXPECT_EQ(g.next_active_step(1), 1u);  // active steps return themselves.
+  EXPECT_EQ(g.next_active_step(2), 5u);
+  EXPECT_EQ(g.next_active_step(5), 5u);
+  // Past the last contact the cursor reports the end of the replay.
+  EXPECT_EQ(g.next_active_step(6), g.num_steps());
+  EXPECT_EQ(g.next_active_step(9), g.num_steps());
+}
+
+TEST(SpaceTimeGraph, ActiveStepIndexOnEmptyTrace) {
+  const auto trace = make_trace({}, 3, 50.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  EXPECT_EQ(g.num_active_steps(), 0u);
+  EXPECT_TRUE(g.active_steps().empty());
+  EXPECT_EQ(g.next_active_step(0), g.num_steps());
+}
+
+TEST(SpaceTimeGraph, ActiveStepIndexMatchesEdgeRanges) {
+  // Cross-check the index against edges(s) on a denser example.
+  const auto trace = make_trace(
+      {
+          Contact::make(0, 1, 0.0, 25.0),
+          Contact::make(2, 3, 40.0, 45.0),
+          Contact::make(1, 3, 41.0, 44.0),
+      },
+      4, 60.0);
+  const SpaceTimeGraph g(trace, 10.0);
+  std::vector<Step> expected;
+  for (Step s = 0; s < g.num_steps(); ++s)
+    if (!g.edges(s).empty()) expected.push_back(s);
+  const auto active = g.active_steps();
+  ASSERT_EQ(active.size(), expected.size());
+  EXPECT_TRUE(std::equal(active.begin(), active.end(), expected.begin()));
+}
+
 TEST(Reachability, MultiHopOverTime) {
   const auto trace = make_trace(
       {
