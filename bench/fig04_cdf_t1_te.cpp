@@ -20,6 +20,7 @@ int main() {
   core::PathStudyConfig config;
   config.messages = bench::bench_messages();
   config.k = bench::bench_k();
+  config.threads = bench::bench_threads();
 
   std::vector<std::string> names;
   std::vector<stats::EmpiricalCdf> t1_cdfs;

@@ -19,6 +19,7 @@ int main() {
   core::PathStudyConfig config;
   config.messages = bench::bench_messages();
   config.k = bench::bench_k();
+  config.threads = bench::bench_threads();
   const auto result = run_path_study(ds, config);
 
   stats::TablePrinter table({"src", "dst", "T1 (s)", "TE (s)"});

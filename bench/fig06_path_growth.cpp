@@ -23,6 +23,7 @@ int main() {
   core::PathStudyConfig config;
   config.messages = bench::bench_messages();
   config.k = bench::bench_k();
+  config.threads = bench::bench_threads();
   const auto result = run_path_study(ds, config);
 
   // The paper filters to TE >= 150 s. Our synthetic traces can explode
@@ -62,6 +63,27 @@ int main() {
     table.add_row({stats::TablePrinter::fmt(arrivals.bin_left(b), 0),
                    stats::TablePrinter::fmt(arrivals.count(b), 0)});
   table.print(std::cout);
+
+  // Enumeration effort over the whole sample: how much work the sparse
+  // event-timeline replay performed per message.
+  {
+    std::uint64_t steps = 0;
+    std::uint64_t peak = 0;
+    std::uint64_t truncated = 0;
+    for (const auto& rec : result.records) {
+      steps += rec.effort.steps_replayed;
+      peak = std::max(peak, rec.effort.peak_stored_paths);
+      truncated += rec.effort.truncated_candidates;
+    }
+    const auto n = static_cast<double>(result.records.size());
+    std::cout << "\nEnumeration effort (" << result.records.size()
+              << " messages):\n";
+    stats::TablePrinter effort(
+        {"mean steps replayed", "peak stored paths", "k-truncated candidates"});
+    effort.add_row({stats::TablePrinter::fmt(static_cast<double>(steps) / n, 1),
+                    std::to_string(peak), std::to_string(truncated)});
+    effort.print(std::cout);
+  }
 
   std::cout << "\nShape check (paper: approximately exponential growth):\n";
   std::cout << "  messages with TE >= " << slow_te << "s: " << slow_messages

@@ -23,6 +23,7 @@ int main() {
   core::PathStudyConfig config;
   config.messages = bench::bench_messages() * 2;  // quadrants need samples.
   config.k = bench::bench_k();
+  config.threads = bench::bench_threads();
   const auto result = run_path_study(ds, config);
 
   for (std::size_t q = 0; q < 4; ++q) {

@@ -10,7 +10,8 @@
 #include "bench_common.hpp"
 #include "psn/core/path_study.hpp"
 #include "psn/core/workload.hpp"
-#include "psn/graph/space_time_graph.hpp"
+#include "psn/engine/path_sweep.hpp"
+#include "psn/engine/scenario_context.hpp"
 #include "psn/paths/enumerator.hpp"
 #include "psn/stats/histogram.hpp"
 #include "psn/stats/table.hpp"
@@ -21,21 +22,21 @@ int main() {
                       "cumulative reception times of near-optimal paths");
 
   const auto ds = core::DatasetFactory::paper_dataset(0);
-  const graph::SpaceTimeGraph graph(ds.trace, 10.0);
+  const auto context = engine::ScenarioContextCache::instance().acquire(
+      engine::make_scenario(ds));
   const auto messages = core::uniform_message_sample(
       ds.trace.num_nodes(), bench::bench_messages(), ds.message_horizon, 42);
 
   paths::EnumeratorConfig ec;
   ec.k = bench::bench_k();
   ec.record_paths = false;
-  const paths::KPathEnumerator enumerator(graph, ec);
+  const auto results = engine::enumerate_sample(*context->graph, messages, ec,
+                                                bench::bench_threads());
 
   stats::Histogram receptions(0.0, ds.trace.t_max(), 36);  // 5-min bins.
-  for (const auto& m : messages) {
-    const auto r = enumerator.enumerate(m.source, m.destination, m.t_start);
+  for (const auto& r : results)
     for (const auto& d : r.deliveries)
       receptions.add(d.arrival, static_cast<double>(d.count));
-  }
 
   const auto cumulative = receptions.cumulative();
   stats::TablePrinter table(

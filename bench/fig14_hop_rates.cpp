@@ -8,7 +8,8 @@
 #include "bench_common.hpp"
 #include "psn/core/dataset.hpp"
 #include "psn/core/workload.hpp"
-#include "psn/graph/space_time_graph.hpp"
+#include "psn/engine/path_sweep.hpp"
+#include "psn/engine/scenario_context.hpp"
 #include "psn/paths/hop_profile.hpp"
 #include "psn/stats/table.hpp"
 
@@ -18,18 +19,19 @@ int main() {
                       "mean contact rates of nodes at each hop (99% CI)");
 
   const auto ds = core::DatasetFactory::paper_dataset(0);
-  const graph::SpaceTimeGraph graph(ds.trace, 10.0);
+  const auto context = engine::ScenarioContextCache::instance().acquire(
+      engine::make_scenario(ds));
   const auto messages = core::uniform_message_sample(
       ds.trace.num_nodes(), bench::bench_messages(), ds.message_horizon, 21);
 
   paths::EnumeratorConfig ec;
   ec.k = bench::bench_k();
   ec.record_paths = true;
-  const paths::KPathEnumerator enumerator(graph, ec);
+  const auto results = engine::enumerate_sample(*context->graph, messages, ec,
+                                                bench::bench_threads());
 
   paths::HopProfileCollector collector(ds.trace.contact_rates(), 10);
-  for (const auto& m : messages)
-    collector.add(enumerator.enumerate(m.source, m.destination, m.t_start));
+  for (const auto& r : results) collector.add(r);
 
   const auto profile = collector.rate_profile();
   stats::TablePrinter table(

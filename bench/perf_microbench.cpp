@@ -10,16 +10,25 @@
 //    city_2048 tiers), and
 //  * the event-timeline comparison (dense step-by-step replay vs the
 //    sparse active-step timeline, per-run wall seconds on the large
-//    sparse tiers).
+//    sparse tiers), and
+//  * the path-explosion comparison (dense vs sparse k-path enumeration
+//    through the engine's parallel path sweep, per-tier enumeration
+//    walls and deliveries/s).
 //
 // Knobs: PSN_BENCH_RUNS (matrix repetitions, default 3),
 // PSN_BENCH_SWEEP_THREADS (comma list, default "1,2,4,8"),
 // PSN_BENCH_SWEEP_JSON (output path, default BENCH_sweep.json; empty
 // string disables all sweep sections), PSN_BENCH_SCALING_SCENARIOS
 // (comma list, default "town_128,campus_512,city_2048"; empty disables
-// the scaling series), PSN_BENCH_SCALING_RUNS (default 2), and
+// the scaling series), PSN_BENCH_SCALING_RUNS (default 2),
 // PSN_BENCH_TIMELINE_SCENARIOS (comma list, default
-// "campus_512,city_2048"; empty disables the timeline comparison).
+// "campus_512,city_2048"; empty disables the timeline comparison),
+// PSN_BENCH_PATH_SCENARIOS (comma list, default
+// "conference_small,campus_512,city_2048"; empty disables the
+// path-explosion comparison), PSN_BENCH_PATH_MESSAGES (messages per
+// tier, default 8), and PSN_BENCH_PATH_K (explosion threshold for the
+// bench, default 256 — k=2000 on city_2048 is a long-haul run, not a
+// per-PR trajectory point).
 
 #include <benchmark/benchmark.h>
 
@@ -36,6 +45,7 @@
 #include "bench_common.hpp"
 #include "psn/core/dataset.hpp"
 #include "psn/core/workload.hpp"
+#include "psn/engine/path_sweep.hpp"
 #include "psn/engine/run_spec.hpp"
 #include "psn/engine/scenario_context.hpp"
 #include "psn/engine/scenario_registry.hpp"
@@ -100,9 +110,12 @@ void BM_PathEnumeration(benchmark::State& state) {
   config.k = static_cast<std::size_t>(state.range(0));
   config.record_paths = false;
   const psn::paths::KPathEnumerator enumerator(g, config);
+  // The sweep's production shape: one warm workspace per worker thread.
+  psn::paths::EnumeratorWorkspace workspace;
   psn::graph::NodeId src = 0;
   for (auto _ : state) {
-    const auto r = enumerator.enumerate(src, (src + 7) % g.num_nodes(), 0.0);
+    const auto r = enumerator.enumerate(src, (src + 7) % g.num_nodes(), 0.0,
+                                        workspace);
     benchmark::DoNotOptimize(r.deliveries.size());
     src = (src + 1) % g.num_nodes();
   }
@@ -424,10 +437,110 @@ std::vector<TimelinePoint> run_event_timeline_bench() {
   return points;
 }
 
+// --- Path-explosion comparison: dense vs sparse k-path enumeration
+// --- through the engine's parallel path sweep, per tier. The per-message
+// --- walls are summed work time (thread-count independent up to
+// --- scheduling noise); deliveries/s is the throughput headline.
+
+struct PathPoint {
+  std::string scenario;
+  psn::trace::NodeId nodes = 0;
+  std::size_t total_steps = 0;
+  std::size_t active_steps = 0;
+  std::size_t messages = 0;
+  std::size_t k = 0;
+  double dense_wall_seconds = 0.0;   ///< summed per-message walls, kDense.
+  double sparse_wall_seconds = 0.0;  ///< summed per-message walls, kSparse.
+  std::uint64_t deliveries = 0;      ///< pooled variants delivered (sparse).
+  std::uint64_t dense_steps_replayed = 0;
+  std::uint64_t sparse_steps_replayed = 0;
+  double sparse_deliveries_per_sec = 0.0;
+};
+
+std::vector<std::string> path_scenario_names() {
+  return names_from_env("PSN_BENCH_PATH_SCENARIOS",
+                        "conference_small,campus_512,city_2048");
+}
+
+std::size_t path_messages() {
+  return psn::bench::env_size("PSN_BENCH_PATH_MESSAGES", 8);
+}
+
+std::size_t path_k() { return psn::bench::env_size("PSN_BENCH_PATH_K", 256); }
+
+std::vector<PathPoint> run_path_explosion_bench() {
+  const auto names = path_scenario_names();
+  std::vector<PathPoint> points;
+  if (names.empty()) return points;
+
+  const std::size_t messages = path_messages();
+  const std::size_t k = path_k();
+  std::cout << "\npath-explosion comparison (dense vs sparse enumeration): "
+            << messages << " messages x k=" << k << " per tier\n";
+  for (const auto& name : names) {
+    psn::engine::Scenario scenario;
+    try {
+      scenario = psn::engine::make_scenario_by_name(name);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "perf_microbench: skipping path scenario: " << e.what()
+                << '\n';
+      continue;
+    }
+    // Hold the context so both replay modes share one dataset + graph.
+    const auto context =
+        psn::engine::ScenarioContextCache::instance().acquire(scenario);
+
+    PathPoint point;
+    point.scenario = name;
+    point.nodes = context->dataset->trace.num_nodes();
+    point.total_steps = context->graph->num_steps();
+    point.active_steps = context->graph->num_active_steps();
+    point.messages = messages;
+    point.k = k;
+
+    psn::engine::PathSweepPlan plan;
+    plan.scenarios = {scenario};
+    plan.config.messages = messages;
+    plan.config.k = k;
+    plan.config.seed = 42;
+    plan.config.record_paths = false;
+
+    psn::engine::PathSweepOptions options;
+    options.keep_results = false;
+    options.replay = psn::paths::ReplayMode::kDense;
+    const auto dense = psn::engine::run_path_sweep(plan, options);
+    options.replay = psn::paths::ReplayMode::kSparse;
+    const auto sparse = psn::engine::run_path_sweep(plan, options);
+
+    point.dense_wall_seconds = dense.cells[0].enumeration_wall_seconds;
+    point.sparse_wall_seconds = sparse.cells[0].enumeration_wall_seconds;
+    for (const auto& rec : dense.cells[0].records)
+      point.dense_steps_replayed += rec.effort.steps_replayed;
+    for (const auto& rec : sparse.cells[0].records) {
+      point.sparse_steps_replayed += rec.effort.steps_replayed;
+      point.deliveries += rec.total_paths;
+    }
+    point.sparse_deliveries_per_sec =
+        point.sparse_wall_seconds > 0.0
+            ? static_cast<double>(point.deliveries) / point.sparse_wall_seconds
+            : 0.0;
+
+    std::cout << "  " << name << ": N=" << point.nodes
+              << "  steps=" << point.total_steps
+              << " active=" << point.active_steps
+              << "  dense=" << point.dense_wall_seconds
+              << "s sparse=" << point.sparse_wall_seconds << "s  "
+              << point.sparse_deliveries_per_sec << " deliveries/s\n";
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
 void write_bench_json(const std::string& json_path,
                       const MatrixResult& matrix,
                       const std::vector<ScalePoint>& scaling,
-                      const std::vector<TimelinePoint>& timeline) {
+                      const std::vector<TimelinePoint>& timeline,
+                      const std::vector<PathPoint>& paths) {
   std::ofstream out(json_path);
   if (!out) {
     std::cerr << "perf_microbench: cannot write " << json_path << '\n';
@@ -497,6 +610,22 @@ void write_bench_json(const std::string& json_path,
     }
     out << "]}" << (i + 1 < timeline.size() ? "," : "") << '\n';
   }
+  out << "  ],\n"
+      << "  \"path_explosion\": [\n";
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const auto& p = paths[i];
+    out << "    {\"scenario\": \"" << p.scenario << "\", \"nodes\": "
+        << p.nodes << ", \"total_steps\": " << p.total_steps
+        << ", \"active_steps\": " << p.active_steps
+        << ", \"messages\": " << p.messages << ", \"k\": " << p.k
+        << ", \"dense_wall_seconds\": " << p.dense_wall_seconds
+        << ", \"sparse_wall_seconds\": " << p.sparse_wall_seconds
+        << ", \"deliveries\": " << p.deliveries
+        << ", \"dense_steps_replayed\": " << p.dense_steps_replayed
+        << ", \"sparse_steps_replayed\": " << p.sparse_steps_replayed
+        << ", \"sparse_deliveries_per_sec\": " << p.sparse_deliveries_per_sec
+        << "}" << (i + 1 < paths.size() ? "," : "") << '\n';
+  }
   out << "  ]\n}\n";
   std::cout << "wrote " << json_path << '\n';
 }
@@ -515,6 +644,7 @@ int main(int argc, char** argv) {
   const auto matrix = run_sweep_matrix_bench();
   const auto scaling = run_scaling_bench();
   const auto timeline = run_event_timeline_bench();
-  write_bench_json(json_path, matrix, scaling, timeline);
+  const auto paths = run_path_explosion_bench();
+  write_bench_json(json_path, matrix, scaling, timeline, paths);
   return 0;
 }

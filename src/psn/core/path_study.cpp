@@ -1,6 +1,7 @@
 #include "psn/core/path_study.hpp"
 
-#include "psn/core/workload.hpp"
+#include "psn/engine/path_sweep.hpp"
+#include "psn/engine/run_spec.hpp"
 
 namespace psn::core {
 
@@ -20,13 +21,26 @@ std::vector<double> PathStudyResult::times_to_explosion() const {
 
 PathStudyResult run_path_study(const Dataset& dataset,
                                const PathStudyConfig& config) {
-  const graph::SpaceTimeGraph graph(dataset.trace, config.delta);
-  const auto messages =
-      uniform_message_sample(dataset.trace.num_nodes(), config.messages,
-                             dataset.message_horizon, config.seed);
+  // The study is a single-scenario path sweep: the graph comes from the
+  // shared ScenarioContextCache (one build per dataset, reused while any
+  // holder is alive), and the engine draws the same message-sample stream
+  // the serial implementation used, so records are bit-identical to the
+  // pre-engine study at every thread count.
+  engine::PathSweepPlan plan;
+  plan.scenarios = {engine::make_scenario(dataset, config.delta)};
+  plan.config.messages = config.messages;
+  plan.config.k = config.k;
+  plan.config.seed = config.seed;
+  plan.config.record_paths = false;
+
+  engine::PathSweepOptions options;
+  options.threads = config.threads;
+  options.replay = config.replay;
+  options.keep_results = false;  // T1/TE records are all the study needs.
+  auto sweep = engine::run_path_sweep(plan, options);
 
   PathStudyResult result;
-  result.records = paths::run_explosion_study(graph, messages, config.k);
+  result.records = std::move(sweep.cells.front().records);
   result.quadrants = group_by_quadrant(result.records, dataset.rates);
   return result;
 }

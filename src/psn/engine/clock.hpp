@@ -1,0 +1,17 @@
+// Wall-clock telemetry helper shared by the forwarding sweep (sweep.cpp)
+// and the path sweep (path_sweep.cpp). Telemetry only: run results never
+// depend on these readings.
+
+#pragma once
+
+#include <chrono>
+
+namespace psn::engine {
+
+using Clock = std::chrono::steady_clock;
+
+inline double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace psn::engine

@@ -1,0 +1,30 @@
+// ErrorSlot: first-exception capture for thread-pool fan-outs. Tasks call
+// capture() from a catch-all; the submitting thread rethrows after
+// wait_idle(). Shared by the forwarding sweep (sweep.cpp) and the path
+// sweep (path_sweep.cpp).
+
+#pragma once
+
+#include <exception>
+#include <mutex>
+
+namespace psn::engine {
+
+/// First exception thrown by any task, kept for rethrow on the caller.
+class ErrorSlot {
+ public:
+  void capture() noexcept {
+    std::lock_guard lock(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+  void rethrow_if_set() {
+    std::lock_guard lock(mu_);
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::exception_ptr error_;
+};
+
+}  // namespace psn::engine

@@ -1,0 +1,99 @@
+// The path-study sweep: message-level fan-out of k-path enumeration over
+// the engine's thread pool, mirroring run_sweep's slot-addressed,
+// deterministically aggregated design — the parallel production path
+// behind core::run_path_study and the path-figure drivers (Figs. 4-6, 8,
+// 11-12, 14-15).
+//
+// Determinism guarantee: for a fixed plan, run_path_sweep produces
+// bit-identical per-message results at any thread count. Each scenario's
+// message sample is drawn once from the study's isolated workload stream
+// (core::uniform_message_sample, the exact stream the serial study used),
+// enumeration of one message is a pure function of (graph, message,
+// config) — the enumerator consumes no randomness and its workspace
+// cannot influence results (paths/enumerator.hpp) — and every outcome
+// lands in the slot addressed by its (scenario, message) index, walked in
+// plan order by the aggregation. Only wall-clock telemetry varies between
+// executions.
+//
+// Each scenario's immutable context (dataset + space-time graph) comes
+// from the process-wide ScenarioContextCache — built exactly once per
+// cell, shared read-only by every message and thread. Each worker thread
+// owns a reusable paths::EnumeratorWorkspace, so the steady state of a
+// sweep enumerates without heap allocation.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psn/engine/run_spec.hpp"
+#include "psn/paths/explosion.hpp"
+
+namespace psn::engine {
+
+/// The message-sample axis of a path sweep (the scenario axis is the
+/// plan's scenario list).
+struct PathPlanConfig {
+  std::size_t messages = 120;  ///< enumeration sample size per scenario.
+  std::size_t k = 2000;        ///< explosion threshold (paper: 2000).
+  std::uint64_t seed = 42;     ///< message-sample stream seed.
+  /// Retain full Path objects on deliveries (hop-profile figures need
+  /// them; T1/TE studies do not).
+  bool record_paths = false;
+};
+
+/// A fully specified path sweep: scenarios x the message sample.
+struct PathSweepPlan {
+  std::vector<Scenario> scenarios;
+  PathPlanConfig config;
+};
+
+struct PathSweepOptions {
+  /// Worker threads; 0 means one per hardware thread.
+  std::size_t threads = 0;
+  /// Step sequence each enumeration replays. kSparse (default) walks only
+  /// the graph's event timeline; kDense replays every step — bit-identical
+  /// modes, kDense being the equivalence oracle.
+  paths::ReplayMode replay = paths::ReplayMode::kSparse;
+  /// Retain the raw EnumerationResults (drivers that read deliveries or
+  /// recorded paths need them; T1/TE studies keep only the records and
+  /// switch this off to bound memory on large sweeps).
+  bool keep_results = true;
+};
+
+/// Aggregated outcome of one scenario of the sweep. All vectors are in
+/// message (slot) order.
+struct PathCell {
+  std::string scenario;
+  std::vector<paths::MessageSpec> messages;
+  /// Raw enumeration outcomes; empty when keep_results was off.
+  std::vector<paths::EnumerationResult> results;
+  /// Explosion records derived with the plan's k.
+  std::vector<paths::ExplosionRecord> records;
+  double enumeration_wall_seconds = 0.0;  ///< summed per-message walls.
+};
+
+struct PathSweepResult {
+  std::vector<PathCell> cells;  ///< scenario order.
+  std::size_t threads = 1;      ///< actual pool worker count used.
+  std::size_t total_messages = 0;
+  double wall_seconds = 0.0;  ///< end-to-end sweep wall time (telemetry).
+};
+
+/// Executes the plan (see file comment). Throws if any enumeration threw.
+[[nodiscard]] PathSweepResult run_path_sweep(
+    const PathSweepPlan& plan, const PathSweepOptions& options = {});
+
+/// The message fan-out core on an existing graph: enumerates every
+/// message of `messages` in parallel (slot-addressed, so the output order
+/// and contents are thread-count invariant) with one reusable workspace
+/// per worker thread. For drivers that already hold a graph and a custom
+/// sample; run_path_sweep composes this with scenario contexts.
+[[nodiscard]] std::vector<paths::EnumerationResult> enumerate_sample(
+    const graph::SpaceTimeGraph& graph,
+    const std::vector<paths::MessageSpec>& messages,
+    const paths::EnumeratorConfig& config, std::size_t threads = 0);
+
+}  // namespace psn::engine

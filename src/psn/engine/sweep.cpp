@@ -1,13 +1,12 @@
 #include "psn/engine/sweep.hpp"
 
-#include <chrono>
-#include <exception>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
 #include "psn/core/workload.hpp"
+#include "psn/engine/clock.hpp"
+#include "psn/engine/error_slot.hpp"
 #include "psn/engine/result_store.hpp"
 #include "psn/engine/scenario_context.hpp"
 #include "psn/engine/thread_pool.hpp"
@@ -16,33 +15,6 @@
 #include "psn/graph/space_time_graph.hpp"
 
 namespace psn::engine {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/// First exception thrown by any task, kept for rethrow on the caller.
-class ErrorSlot {
- public:
-  void capture() noexcept {
-    std::lock_guard lock(mu_);
-    if (!error_) error_ = std::current_exception();
-  }
-  void rethrow_if_set() {
-    std::lock_guard lock(mu_);
-    if (error_) std::rethrow_exception(error_);
-  }
-
- private:
-  std::mutex mu_;
-  std::exception_ptr error_;
-};
-
-}  // namespace
 
 SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
   if (plan.scenarios.empty() || plan.algorithms.empty())

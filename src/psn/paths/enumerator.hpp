@@ -1,10 +1,18 @@
 // k-shortest valid path enumeration (paper Fig. 3).
 //
-// For a message (sigma, delta_node, t1) the enumerator sweeps the space-time
-// graph step by step, maintaining at every node the (up to) k shortest
-// (fewest-hop) valid paths from the source. At each step every stored path
-// is extended through the step's zero-weight contact closure; extensions
-// reaching the destination are emitted as deliveries in arrival order.
+// For a message (sigma, delta_node, t1) the enumerator replays the
+// space-time graph's *event timeline* — only steps carrying at least one
+// contact edge (graph::SpaceTimeGraph's active-step index) are visited,
+// which is exact for enumeration: no path can extend during a contact-free
+// step, so skipped gaps contribute nothing (DESIGN.md §6). The historical
+// dense step-by-step sweep is retained as ReplayMode::kDense, the
+// equivalence oracle the tests diff the sparse replay against.
+//
+// At every node the enumerator maintains the (up to) k shortest
+// (fewest-hop) valid paths from the source. At each replayed step every
+// stored path is extended through the step's zero-weight contact closure;
+// extensions reaching the destination are emitted as deliveries in
+// arrival order.
 //
 // Validity rules enforced (paper §4.1):
 //  * loop avoidance — a path never revisits a node (O(1) via NodeSet);
@@ -16,17 +24,38 @@
 //
 // Truncation: as in the paper, each node stores at most k paths by hop
 // count; a candidate whose hop count does not beat the node's current k-th
-// shortest is rejected (and not extended further within the step).
+// shortest is rejected (and not extended further within the step). The
+// rejected volume is surfaced in EnumerationEffort.
+//
+// All scratch lives in an EnumeratorWorkspace (per-node path-table pools,
+// generation-stamped marks, frontier scratch) that is grown, never shrunk:
+// a workspace warmed by one message lets subsequent messages enumerate
+// with zero steady-state allocation, which is why the engine's path sweep
+// owns one per worker thread. Workspaces never influence results: every
+// iteration the enumerator performs walks insertion-ordered entry pools
+// (the hash indexes are probed, never iterated), so the outcome is a pure
+// function of (graph, message, config) regardless of what the workspace
+// served before — the property that makes the parallel message fan-out
+// bit-identical at any thread count.
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "psn/paths/path.hpp"
 
 namespace psn::paths {
+
+/// Which step sequence the replay visits. Results are bit-identical; the
+/// dense mode exists as the validation oracle and for benchmarking the
+/// timeline win (perf_microbench's path_explosion section).
+enum class ReplayMode : std::uint8_t {
+  kSparse,  ///< only the graph's active steps (the default).
+  kDense,   ///< every discretized step (pre-timeline reference semantics).
+};
 
 struct EnumeratorConfig {
   /// Per-node storage bound AND the delivery target: enumeration stops at
@@ -36,6 +65,8 @@ struct EnumeratorConfig {
   /// If false, delivered Path objects are dropped after recording time and
   /// hop count, saving memory for large sweeps.
   bool record_paths = true;
+  /// Step sequence to replay (see ReplayMode).
+  ReplayMode replay = ReplayMode::kSparse;
 };
 
 /// One path arrival at the destination.
@@ -52,24 +83,51 @@ struct Delivery {
   Path path;  ///< representative path; valid() only if record_paths was set.
 };
 
+/// How much work one enumeration performed — the telemetry behind
+/// fig06's effort summary and perf_microbench's path_explosion section.
+/// All fields except steps_replayed are replay-mode invariant (a skipped
+/// gap performs no work), so the dense/sparse oracle can compare them.
+struct EnumerationEffort {
+  /// Step bodies executed. Under kSparse this is at most the number of
+  /// active steps in the window; under kDense it counts every step,
+  /// including contact-free ones.
+  std::uint64_t steps_replayed = 0;
+  /// Contact-interval starts among the replayed steps (the graph's
+  /// precomputed new_edge_flags) — the event count the sparse replay's
+  /// cost is proportional to.
+  std::uint64_t contact_events = 0;
+  /// Peak of the network-wide stored path multiplicity (sum over nodes),
+  /// sampled at step ends.
+  std::uint64_t peak_stored_paths = 0;
+  /// Path multiplicity rejected by the per-node k-truncation: candidates
+  /// refused because a saturated node would not retain them, admissions
+  /// denied by the per-step budget, and multiplicity shed by the
+  /// end-of-step k-shortest trim.
+  std::uint64_t truncated_candidates = 0;
+};
+
 /// The enumeration outcome for one message.
 struct EnumerationResult {
   NodeId source = 0;
   NodeId destination = 0;
   Seconds t_start = 0.0;
   /// Deliveries in arrival order (step ascending; within a step, hops
-  /// ascending). Size <= max(k, deliveries in the final step).
+  /// ascending, ties in deterministic discovery order). Size <= max(k,
+  /// deliveries in the final step).
   std::vector<Delivery> deliveries;
   /// True if enumeration stopped because k deliveries were reached (rather
   /// than because the trace window ended).
   bool reached_k = false;
+  EnumerationEffort effort;
 
   [[nodiscard]] bool delivered() const noexcept {
     return !deliveries.empty();
   }
 
   /// Duration of the n-th path (1-based): T_n - t_start of §4.2, or no
-  /// value if fewer than n paths arrived.
+  /// value if fewer than n paths arrived. Pooled time-variants count
+  /// individually: when the n-th path falls strictly inside a pooled
+  /// delivery, its arrival time is that delivery's.
   [[nodiscard]] std::optional<Seconds> duration_of(std::size_t n) const;
 
   /// Optimal path duration T1 - t_start; no value if undelivered.
@@ -82,16 +140,105 @@ struct EnumerationResult {
   [[nodiscard]] std::optional<Seconds> time_to_explosion(std::size_t k) const;
 };
 
-/// The enumerator. Stateless across calls; safe to reuse for many messages
-/// on the same graph.
+/// Reusable enumeration scratch: per-node path tables (insertion-ordered
+/// entry pools whose NodeSet/Path slots are recycled in place, plus
+/// open-addressed membership indexes that are probed but never iterated),
+/// the destination-contact marks, the zero-weight-closure frontier, and
+/// the per-step delivery buffer. Capacities are retained, never shrunk;
+/// stale state is made unreadable by 64-bit generation stamps instead of
+/// being cleared, so starting the next message costs O(nodes touched by
+/// the previous one).
+///
+/// Not thread-safe: one workspace serves one enumerate() call at a time.
+/// Any graph size is accepted — the workspace grows to the largest
+/// population it has served. Contents are internal to KPathEnumerator.
+class EnumeratorWorkspace {
+ public:
+  EnumeratorWorkspace() = default;
+  EnumeratorWorkspace(const EnumeratorWorkspace&) = delete;
+  EnumeratorWorkspace& operator=(const EnumeratorWorkspace&) = delete;
+  EnumeratorWorkspace(EnumeratorWorkspace&&) = default;
+  EnumeratorWorkspace& operator=(EnumeratorWorkspace&&) = default;
+
+ private:
+  friend class KPathEnumerator;
+  friend struct EnumerationRun;  ///< the per-call driver (enumerator.cpp).
+
+  /// One pooled path class at a node: every loop-free path with this
+  /// membership set (they are interchangeable — see enumerator.cpp).
+  struct Entry {
+    util::NodeSet members;
+    Path repr;  ///< representative path; valid() only when recording.
+    std::uint64_t mult = 0;
+    /// Multiplicity already propagated to neighbors during the current
+    /// step (stored entries) or closure round (fresh entries).
+    std::uint64_t propagated = 0;
+    std::uint16_t hops = 0;  ///< |members| - 1, cached.
+  };
+
+  /// Open-addressed membership -> entry-slot map (linear probing over a
+  /// power-of-two slot array). Lookups compare against the entries pool;
+  /// the index itself is never iterated, so its layout cannot influence
+  /// enumeration order or results.
+  struct EntryIndex {
+    std::vector<std::uint32_t> slots;
+    std::size_t size = 0;
+  };
+
+  struct NodeTable {
+    std::vector<Entry> stored;  ///< live prefix [0, stored_size).
+    std::vector<Entry> fresh;   ///< live prefix [0, fresh_size).
+    std::size_t stored_size = 0;
+    std::size_t fresh_size = 0;
+    EntryIndex stored_index;
+    EntryIndex fresh_index;
+    std::uint64_t stored_mult = 0;  ///< sum of stored multiplicities.
+    std::uint64_t fresh_mult = 0;   ///< sum of fresh multiplicities.
+    std::uint16_t worst_hops = 0;   ///< max hops among stored+fresh.
+    /// New membership sets this node may still admit during the current
+    /// step (see enumerator.cpp).
+    std::uint32_t admission_budget = 0;
+    // Generation stamps; matching the current generation is the flag.
+    std::uint64_t touched_stamp = 0;    ///< node used by current message.
+    std::uint64_t budget_stamp = 0;     ///< admission budget is current.
+    std::uint64_t meets_dst_stamp = 0;  ///< in contact with dst this step.
+    std::uint64_t queued_stamp = 0;     ///< in the closure worklist.
+    std::uint64_t freshened_stamp = 0;  ///< gained fresh entries this step.
+    std::uint64_t active_stamp = 0;     ///< currently in the active list.
+  };
+
+  std::vector<NodeTable> nodes_;
+  std::vector<NodeId> touched_;      ///< nodes to lazily reset next message.
+  std::vector<NodeId> active_;       ///< nodes holding stored entries.
+  std::vector<NodeId> fresh_nodes_;  ///< nodes freshened this step.
+  std::vector<NodeId> worklist_;     ///< closure FIFO (head index below).
+  std::size_t worklist_head_ = 0;
+  std::vector<Delivery> step_deliveries_;
+  std::vector<std::uint32_t> trim_order_;  ///< trim sort scratch.
+  util::NodeSet dst_mask_;  ///< nodes in contact with dst this step.
+  util::NodeSet probe_;     ///< candidate-membership scratch for offers.
+  std::uint64_t stamp_ = 0;          ///< per-step generation, never reset.
+  std::uint64_t message_stamp_ = 0;  ///< per-message generation, never reset.
+};
+
+/// The enumerator. Stateless across calls; safe to share between threads
+/// for many messages on the same graph (each call needs its own
+/// workspace).
 class KPathEnumerator {
  public:
   explicit KPathEnumerator(const graph::SpaceTimeGraph& graph,
                            EnumeratorConfig config = {});
 
-  /// Enumerates valid paths for the message (source, destination, t_start).
+  /// Enumerates valid paths for the message (source, destination, t_start)
+  /// using a private workspace.
   [[nodiscard]] EnumerationResult enumerate(NodeId source, NodeId destination,
                                             Seconds t_start) const;
+
+  /// As above, reusing the caller's workspace so repeated messages (a path
+  /// sweep's steady state) allocate nothing once the workspace is warm.
+  [[nodiscard]] EnumerationResult enumerate(NodeId source, NodeId destination,
+                                            Seconds t_start,
+                                            EnumeratorWorkspace& workspace) const;
 
  private:
   const graph::SpaceTimeGraph* graph_;

@@ -9,6 +9,7 @@ ExplosionRecord make_explosion_record(const EnumerationResult& result,
   rec.destination = result.destination;
   rec.t_start = result.t_start;
   rec.delivered = result.delivered();
+  rec.effort = result.effort;
 
   if (!rec.delivered) return rec;
 
@@ -41,12 +42,13 @@ std::vector<ExplosionRecord> run_explosion_study(
   config.k = k;
   config.record_paths = false;
   const KPathEnumerator enumerator(graph, config);
+  EnumeratorWorkspace workspace;  // warmed by the first message, then reused.
 
   std::vector<ExplosionRecord> records;
   records.reserve(msgs.size());
   for (const MessageSpec& m : msgs) {
     const auto result =
-        enumerator.enumerate(m.source, m.destination, m.t_start);
+        enumerator.enumerate(m.source, m.destination, m.t_start, workspace);
     records.push_back(make_explosion_record(result, k));
   }
   return records;

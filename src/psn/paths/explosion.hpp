@@ -2,6 +2,13 @@
 // path duration), TE (time to explosion = T_k - T_1), and the growth curve
 // of delivered paths over time, plus a study driver that enumerates a
 // sample of messages over a space-time graph.
+//
+// run_explosion_study below is the *serial reference*: one message after
+// another on a single reused workspace. Production callers — the figure
+// drivers and core::run_path_study — fan the message sample out over the
+// sweep engine's thread pool instead (engine::run_path_sweep /
+// engine::enumerate_sample), which produces bit-identical records at any
+// thread count.
 
 #pragma once
 
@@ -32,6 +39,10 @@ struct ExplosionRecord {
   Seconds time_to_explosion = 0.0;  ///< T_k - T_1; valid if exploded.
   std::uint64_t total_paths = 0;    ///< paths delivered before stopping.
   std::vector<GrowthPoint> growth;  ///< cumulative arrivals since T1.
+  /// How much work the enumeration performed (steps replayed, peak stored
+  /// paths, k-truncation rejections) — fig06's effort summary and the
+  /// path_explosion bench section read this.
+  EnumerationEffort effort;
 };
 
 /// Builds the record from an enumeration result, using explosion threshold
@@ -46,9 +57,10 @@ struct MessageSpec {
   Seconds t_start = 0.0;
 };
 
-/// Runs the enumerator over a batch of messages and collects records.
-/// `record_paths=false` variants are used by large sweeps that only need
-/// T1/TE; hop-profile analyses need the full paths.
+/// Runs the enumerator over a batch of messages and collects records —
+/// serially, on one reused workspace (see file comment for the parallel
+/// production path). `record_paths=false` variants are used by large
+/// sweeps that only need T1/TE; hop-profile analyses need the full paths.
 [[nodiscard]] std::vector<ExplosionRecord> run_explosion_study(
     const graph::SpaceTimeGraph& graph, const std::vector<MessageSpec>& msgs,
     std::size_t k);

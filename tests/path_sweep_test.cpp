@@ -1,0 +1,325 @@
+// Tests for the engine's path-study sweep: determinism of the parallel
+// message fan-out (bit-identical records at 1 vs 8 threads), the
+// dense/sparse enumeration oracle at sweep level (conference matrix and
+// gap-engineered traces), and the ScenarioContextCache probe for
+// core::run_path_study.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "psn/core/dataset.hpp"
+#include "psn/core/path_study.hpp"
+#include "psn/core/workload.hpp"
+#include "psn/engine/path_sweep.hpp"
+#include "psn/engine/scenario_context.hpp"
+#include "psn/engine/scenario_registry.hpp"
+#include "psn/synth/pairwise_poisson.hpp"
+#include "psn/trace/trace_stats.hpp"
+
+namespace psn::engine {
+namespace {
+
+using trace::Contact;
+using trace::ContactTrace;
+
+// A small but non-trivial dataset: 24 nodes, 45 minutes, heterogeneous
+// weights.
+core::Dataset small_dataset(std::uint64_t seed) {
+  synth::PairwisePoissonConfig config;
+  config.num_nodes = 24;
+  config.t_max = 2700.0;
+  config.mean_node_rate = 0.08;
+  config.seed = seed;
+  auto generated = synth::generate_pairwise_poisson(config);
+
+  core::Dataset dataset;
+  dataset.name = "path-sweep-test";
+  dataset.trace = std::move(generated.trace);
+  dataset.rates = trace::classify_rates(dataset.trace);
+  dataset.message_horizon = 1800.0;
+  dataset.ground_truth_rates = std::move(generated.node_rates);
+  return dataset;
+}
+
+// A trace whose contacts cluster into two bursts separated by a huge
+// contact-free gap: thousands of discretized steps, a handful active.
+core::Dataset gap_dataset() {
+  std::vector<Contact> cs;
+  const double bursts[] = {0.0, 9000.0};
+  for (const double base : bursts) {
+    cs.push_back(Contact::make(0, 1, base + 0.0, base + 15.0));
+    cs.push_back(Contact::make(1, 2, base + 10.0, base + 25.0));
+    cs.push_back(Contact::make(2, 3, base + 20.0, base + 35.0));
+    cs.push_back(Contact::make(0, 4, base + 5.0, base + 12.0));
+    cs.push_back(Contact::make(4, 3, base + 30.0, base + 41.0));
+  }
+  core::Dataset dataset;
+  dataset.name = "gap-engineered";
+  dataset.trace = ContactTrace(std::move(cs), 5, 18000.0);
+  dataset.rates = trace::classify_rates(dataset.trace);
+  dataset.message_horizon = 9600.0;
+  return dataset;
+}
+
+// Bit-identical delivery comparison (no tolerance on doubles), plus the
+// replay-mode-invariant effort fields. steps_replayed is intentionally
+// excluded: it differs between kDense and kSparse by design.
+void expect_results_identical(const paths::EnumerationResult& lhs,
+                              const paths::EnumerationResult& rhs) {
+  EXPECT_EQ(lhs.source, rhs.source);
+  EXPECT_EQ(lhs.destination, rhs.destination);
+  EXPECT_EQ(lhs.t_start, rhs.t_start);
+  EXPECT_EQ(lhs.reached_k, rhs.reached_k);
+  ASSERT_EQ(lhs.deliveries.size(), rhs.deliveries.size());
+  for (std::size_t i = 0; i < lhs.deliveries.size(); ++i) {
+    EXPECT_EQ(lhs.deliveries[i].arrival, rhs.deliveries[i].arrival);
+    EXPECT_EQ(lhs.deliveries[i].step, rhs.deliveries[i].step);
+    EXPECT_EQ(lhs.deliveries[i].hops, rhs.deliveries[i].hops);
+    EXPECT_EQ(lhs.deliveries[i].count, rhs.deliveries[i].count);
+    // Representative paths (when recorded) must match node for node —
+    // the fig14/15 reproducibility claim rests on this.
+    EXPECT_EQ(lhs.deliveries[i].path.valid(), rhs.deliveries[i].path.valid());
+    if (lhs.deliveries[i].path.valid() && rhs.deliveries[i].path.valid()) {
+      EXPECT_EQ(lhs.deliveries[i].path.sequence(),
+                rhs.deliveries[i].path.sequence());
+    }
+  }
+  EXPECT_EQ(lhs.effort.contact_events, rhs.effort.contact_events);
+  EXPECT_EQ(lhs.effort.peak_stored_paths, rhs.effort.peak_stored_paths);
+  EXPECT_EQ(lhs.effort.truncated_candidates,
+            rhs.effort.truncated_candidates);
+}
+
+void expect_records_identical(const paths::ExplosionRecord& lhs,
+                              const paths::ExplosionRecord& rhs) {
+  EXPECT_EQ(lhs.source, rhs.source);
+  EXPECT_EQ(lhs.destination, rhs.destination);
+  EXPECT_EQ(lhs.t_start, rhs.t_start);
+  EXPECT_EQ(lhs.delivered, rhs.delivered);
+  EXPECT_EQ(lhs.exploded, rhs.exploded);
+  EXPECT_EQ(lhs.optimal_duration, rhs.optimal_duration);
+  EXPECT_EQ(lhs.time_to_explosion, rhs.time_to_explosion);
+  EXPECT_EQ(lhs.total_paths, rhs.total_paths);
+  ASSERT_EQ(lhs.growth.size(), rhs.growth.size());
+  for (std::size_t i = 0; i < lhs.growth.size(); ++i) {
+    EXPECT_EQ(lhs.growth[i].offset, rhs.growth[i].offset);
+    EXPECT_EQ(lhs.growth[i].cumulative, rhs.growth[i].cumulative);
+  }
+}
+
+void expect_sweeps_identical(const PathSweepResult& lhs,
+                             const PathSweepResult& rhs) {
+  ASSERT_EQ(lhs.cells.size(), rhs.cells.size());
+  for (std::size_t c = 0; c < lhs.cells.size(); ++c) {
+    const auto& a = lhs.cells[c];
+    const auto& b = rhs.cells[c];
+    EXPECT_EQ(a.scenario, b.scenario);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i)
+      expect_records_identical(a.records[i], b.records[i]);
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t i = 0; i < a.results.size(); ++i)
+      expect_results_identical(a.results[i], b.results[i]);
+  }
+}
+
+TEST(PathSweep, RejectsBadPlans) {
+  PathSweepPlan plan;
+  EXPECT_THROW((void)run_path_sweep(plan), std::invalid_argument);
+  const auto ds = small_dataset(3);
+  plan.scenarios = {make_scenario(ds)};
+  plan.config.messages = 0;
+  EXPECT_THROW((void)run_path_sweep(plan), std::invalid_argument);
+}
+
+// The headline guarantee: bit-identical per-message outcomes at 1 and 8
+// threads, with raw results retained.
+TEST(PathSweep, BitIdenticalAcrossThreadCounts) {
+  const auto ds = small_dataset(41);
+  PathSweepPlan plan;
+  plan.scenarios = {make_scenario(ds)};
+  plan.config.messages = 40;
+  plan.config.k = 60;
+  plan.config.seed = 9;
+
+  PathSweepOptions serial;
+  serial.threads = 1;
+  PathSweepOptions wide;
+  wide.threads = 8;
+  const auto lhs = run_path_sweep(plan, serial);
+  const auto rhs = run_path_sweep(plan, wide);
+  EXPECT_EQ(lhs.threads, 1u);
+  EXPECT_EQ(rhs.threads, 8u);
+  EXPECT_EQ(lhs.total_messages, 40u);
+  expect_sweeps_identical(lhs, rhs);
+
+  // Something non-trivial actually happened.
+  std::size_t delivered = 0;
+  for (const auto& rec : lhs.cells[0].records) delivered += rec.delivered;
+  EXPECT_GT(delivered, 0u);
+}
+
+// The dense/sparse oracle at sweep level on the paper-scale scenario,
+// with and without recorded paths, at 1 and 8 threads.
+TEST(PathSweep, SparseMatchesDenseOnConferenceMatrix) {
+  const auto scenario = make_scenario_by_name("conference_small");
+  for (const bool record_paths : {false, true}) {
+    PathSweepPlan plan;
+    plan.scenarios = {scenario};
+    plan.config.messages = 10;
+    plan.config.k = 120;
+    plan.config.seed = 42;
+    plan.config.record_paths = record_paths;
+    for (const std::size_t threads : {1u, 8u}) {
+      PathSweepOptions dense;
+      dense.threads = threads;
+      dense.replay = paths::ReplayMode::kDense;
+      PathSweepOptions sparse;
+      sparse.threads = threads;
+      sparse.replay = paths::ReplayMode::kSparse;
+      expect_sweeps_identical(run_path_sweep(plan, dense),
+                              run_path_sweep(plan, sparse));
+    }
+  }
+}
+
+// Gap-engineered trace: most steps are contact-free; the sparse replay
+// must skip them without changing any outcome, and its per-message step
+// work must be bounded by the number of active steps.
+TEST(PathSweep, SparseMatchesDenseAcrossGaps) {
+  const auto ds = gap_dataset();
+  const graph::SpaceTimeGraph probe_graph(ds.trace, 10.0);
+  ASSERT_GT(probe_graph.num_steps(), 1000u);
+  ASSERT_LT(probe_graph.num_active_steps(), 20u);
+
+  PathSweepPlan plan;
+  plan.scenarios = {make_scenario(ds)};
+  plan.config.messages = 30;
+  plan.config.k = 50;
+  plan.config.seed = 5;
+
+  PathSweepOptions dense;
+  dense.threads = 8;
+  dense.replay = paths::ReplayMode::kDense;
+  PathSweepOptions sparse;
+  sparse.threads = 8;
+  sparse.replay = paths::ReplayMode::kSparse;
+  const auto reference = run_path_sweep(plan, dense);
+  const auto timeline = run_path_sweep(plan, sparse);
+  expect_sweeps_identical(reference, timeline);
+
+  std::uint64_t dense_steps = 0;
+  std::uint64_t sparse_steps = 0;
+  for (std::size_t i = 0; i < reference.cells[0].records.size(); ++i) {
+    dense_steps += reference.cells[0].records[i].effort.steps_replayed;
+    sparse_steps += timeline.cells[0].records[i].effort.steps_replayed;
+    EXPECT_LE(timeline.cells[0].records[i].effort.steps_replayed,
+              probe_graph.num_active_steps());
+  }
+  // The timeline win on this trace is massive, not marginal.
+  EXPECT_GT(dense_steps, 10u * std::max<std::uint64_t>(sparse_steps, 1u));
+}
+
+// enumerate_sample (the fig-driver fan-out core) is slot-addressed: the
+// output order is the message order, independent of the thread count.
+TEST(PathSweep, EnumerateSampleIsThreadCountInvariant) {
+  const auto ds = small_dataset(43);
+  const graph::SpaceTimeGraph graph(ds.trace, 10.0);
+  const auto messages = core::uniform_message_sample(
+      ds.trace.num_nodes(), 30, ds.message_horizon, 13);
+
+  paths::EnumeratorConfig config;
+  config.k = 40;
+  config.record_paths = true;
+  const auto serial = enumerate_sample(graph, messages, config, 1);
+  const auto wide = enumerate_sample(graph, messages, config, 8);
+  ASSERT_EQ(serial.size(), messages.size());
+  ASSERT_EQ(wide.size(), messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_EQ(serial[i].source, messages[i].source);
+    EXPECT_EQ(serial[i].destination, messages[i].destination);
+    expect_results_identical(serial[i], wide[i]);
+  }
+}
+
+// The build-count probe: run_path_study fetches its graph through the
+// process-wide ScenarioContextCache — one build cold, zero builds while a
+// caller holds the scenario's context (like PR 3's forwarding probe).
+TEST(PathStudy, FetchesGraphThroughScenarioContextCache) {
+  const auto ds = small_dataset(47);
+  auto& cache = ScenarioContextCache::instance();
+  core::PathStudyConfig config;
+  config.messages = 10;
+  config.k = 30;
+  config.threads = 4;
+
+  // Cold cache: the study performs exactly one graph build.
+  {
+    const auto before = cache.graphs_built();
+    (void)core::run_path_study(ds, config);
+    EXPECT_EQ(cache.graphs_built(), before + 1);
+  }
+
+  // Held context: further studies at any thread count build nothing.
+  {
+    const auto held = cache.acquire(make_scenario(ds, config.delta));
+    const auto before = cache.graphs_built();
+    for (const std::size_t threads : {1u, 8u}) {
+      config.threads = threads;
+      (void)core::run_path_study(ds, config);
+    }
+    EXPECT_EQ(cache.graphs_built(), before);
+  }
+}
+
+// run_path_study itself is thread-count invariant (the engine propagates
+// its determinism guarantee to the study layer), and the dense replay
+// reproduces the sparse study bit for bit.
+TEST(PathStudy, ThreadCountAndReplayModeInvariant) {
+  const auto ds = small_dataset(53);
+  core::PathStudyConfig config;
+  config.messages = 30;
+  config.k = 40;
+  config.seed = 17;
+
+  config.threads = 1;
+  const auto serial = core::run_path_study(ds, config);
+  config.threads = 8;
+  const auto wide = core::run_path_study(ds, config);
+  config.replay = paths::ReplayMode::kDense;
+  const auto dense = core::run_path_study(ds, config);
+
+  ASSERT_EQ(serial.records.size(), wide.records.size());
+  ASSERT_EQ(serial.records.size(), dense.records.size());
+  for (std::size_t i = 0; i < serial.records.size(); ++i) {
+    expect_records_identical(serial.records[i], wide.records[i]);
+    expect_records_identical(serial.records[i], dense.records[i]);
+  }
+}
+
+// Multi-scenario sweeps aggregate in plan order and stay deterministic.
+TEST(PathSweep, MultiScenarioDeterministic) {
+  const auto ds_a = small_dataset(59);
+  const auto ds_b = gap_dataset();
+  PathSweepPlan plan;
+  plan.scenarios = {make_scenario(ds_a), make_scenario(ds_b)};
+  plan.config.messages = 15;
+  plan.config.k = 30;
+
+  PathSweepOptions serial;
+  serial.threads = 1;
+  PathSweepOptions wide;
+  wide.threads = 8;
+  const auto lhs = run_path_sweep(plan, serial);
+  const auto rhs = run_path_sweep(plan, wide);
+  ASSERT_EQ(lhs.cells.size(), 2u);
+  EXPECT_EQ(lhs.cells[0].scenario, ds_a.name);
+  EXPECT_EQ(lhs.cells[1].scenario, ds_b.name);
+  expect_sweeps_identical(lhs, rhs);
+}
+
+}  // namespace
+}  // namespace psn::engine

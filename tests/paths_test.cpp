@@ -444,6 +444,139 @@ TEST(Enumerator, GrowthCumulativeNonDecreasing) {
   }
 }
 
+// Bit-identical semantic comparison of two enumeration outcomes.
+// steps_replayed is excluded: it legitimately differs between replay
+// modes (kDense also visits contact-free steps).
+void expect_identical(const EnumerationResult& a, const EnumerationResult& b) {
+  EXPECT_EQ(a.reached_k, b.reached_k);
+  ASSERT_EQ(a.deliveries.size(), b.deliveries.size());
+  for (std::size_t i = 0; i < a.deliveries.size(); ++i) {
+    EXPECT_EQ(a.deliveries[i].arrival, b.deliveries[i].arrival);
+    EXPECT_EQ(a.deliveries[i].step, b.deliveries[i].step);
+    EXPECT_EQ(a.deliveries[i].hops, b.deliveries[i].hops);
+    EXPECT_EQ(a.deliveries[i].count, b.deliveries[i].count);
+    EXPECT_EQ(a.deliveries[i].path.valid(), b.deliveries[i].path.valid());
+    if (a.deliveries[i].path.valid()) {
+      EXPECT_EQ(a.deliveries[i].path.sequence(),
+                b.deliveries[i].path.sequence());
+    }
+  }
+  EXPECT_EQ(a.effort.contact_events, b.effort.contact_events);
+  EXPECT_EQ(a.effort.peak_stored_paths, b.effort.peak_stored_paths);
+  EXPECT_EQ(a.effort.truncated_candidates, b.effort.truncated_candidates);
+}
+
+// A two-burst trace separated by a long contact-free gap: the sparse
+// replay must skip the silence without changing anything.
+graph::SpaceTimeGraph gap_graph() {
+  std::vector<Contact> cs;
+  for (const double base : {0.0, 5000.0}) {
+    cs.push_back(Contact::make(0, 1, base + 0.0, base + 15.0));
+    cs.push_back(Contact::make(1, 2, base + 10.0, base + 25.0));
+    cs.push_back(Contact::make(2, 3, base + 20.0, base + 35.0));
+    cs.push_back(Contact::make(0, 3, base + 40.0, base + 46.0));
+  }
+  return make_graph(std::move(cs), 4, 10000.0);
+}
+
+TEST(Enumerator, SparseMatchesDenseAcrossGaps) {
+  const auto g = gap_graph();
+  ASSERT_GT(g.num_steps(), 900u);
+  ASSERT_LT(g.num_active_steps(), 20u);
+  for (const NodeId dst : {1u, 2u, 3u}) {
+    for (const double t0 : {0.0, 30.0, 2000.0, 5005.0}) {
+      EnumeratorConfig sparse;
+      sparse.record_paths = true;
+      EnumeratorConfig dense = sparse;
+      dense.replay = ReplayMode::kDense;
+      const auto a = KPathEnumerator(g, sparse).enumerate(0, dst, t0);
+      const auto b = KPathEnumerator(g, dense).enumerate(0, dst, t0);
+      expect_identical(a, b);
+      // The sparse replay never visits more steps than the timeline has;
+      // the dense oracle walks the whole remaining window.
+      EXPECT_LE(a.effort.steps_replayed, g.num_active_steps());
+      EXPECT_GE(b.effort.steps_replayed, a.effort.steps_replayed);
+    }
+  }
+}
+
+TEST(Enumerator, WorkspaceHistoryCannotInfluenceResults) {
+  // Enumerate a reference message on a fresh workspace, then drag another
+  // workspace through unrelated messages on *different graphs* and
+  // re-enumerate: bit-identical output is required — this is what makes
+  // the parallel path sweep independent of which thread's (warm)
+  // workspace a message lands on.
+  const auto g = gap_graph();
+  const auto other = make_graph(
+      {
+          Contact::make(0, 1, 0.0, 40.0),
+          Contact::make(1, 2, 10.0, 50.0),
+          Contact::make(2, 3, 20.0, 60.0),
+          Contact::make(0, 3, 30.0, 70.0),
+          Contact::make(1, 3, 50.0, 90.0),
+          Contact::make(4, 5, 0.0, 90.0),
+          Contact::make(3, 4, 35.0, 80.0),
+      },
+      6, 100.0);
+
+  EnumeratorConfig config;
+  config.k = 25;
+  config.record_paths = true;
+  const KPathEnumerator on_gap(g, config);
+  const KPathEnumerator on_other(other, config);
+
+  EnumeratorWorkspace fresh;
+  const auto reference = on_gap.enumerate(0, 3, 0.0, fresh);
+
+  EnumeratorWorkspace dirty;
+  for (const NodeId src : {0u, 1u, 4u}) {
+    for (const NodeId dst : {2u, 3u, 5u}) {
+      if (src != dst) (void)on_other.enumerate(src, dst, 0.0, dirty);
+    }
+  }
+  (void)on_gap.enumerate(2, 1, 4990.0, dirty);
+  const auto warmed = on_gap.enumerate(0, 3, 0.0, dirty);
+
+  expect_identical(reference, warmed);
+  EXPECT_EQ(reference.effort.steps_replayed, warmed.effort.steps_replayed);
+}
+
+TEST(Enumerator, EffortCountsTruncationAndPeakStorage) {
+  // A hub network generating many same-length paths with a tiny k: the
+  // per-node k-truncation must reject candidates, and the peak storage
+  // must exceed the trivial origin entry.
+  std::vector<Contact> cs;
+  for (int step = 0; step < 8; ++step) {
+    for (NodeId relay = 1; relay <= 4; ++relay) {
+      cs.push_back(Contact::make(0, relay, step * 10.0, step * 10.0 + 5.0));
+      for (NodeId peer = relay + 1; peer <= 4; ++peer)
+        cs.push_back(
+            Contact::make(relay, peer, step * 10.0, step * 10.0 + 5.0));
+    }
+  }
+  const auto g = make_graph(std::move(cs), 6, 100.0);
+  const auto r = run(g, 0, 5, 0.0, 2);  // k = 2, destination never met.
+  EXPECT_FALSE(r.delivered());
+  EXPECT_GT(r.effort.truncated_candidates, 0u);
+  EXPECT_GT(r.effort.peak_stored_paths, 1u);
+  EXPECT_GT(r.effort.contact_events, 0u);
+  EXPECT_GT(r.effort.steps_replayed, 0u);
+}
+
+TEST(Enumerator, EffortStepsReplayedBoundedByTimeline) {
+  const auto g = make_graph(
+      {
+          Contact::make(0, 1, 0.0, 5.0),
+          Contact::make(1, 2, 500.0, 505.0),
+      },
+      3, 1000.0);
+  const auto r = run(g, 0, 2, 0.0);
+  ASSERT_TRUE(r.delivered());
+  // Two active steps, and enumeration ends early once nothing is stored.
+  EXPECT_LE(r.effort.steps_replayed, g.num_active_steps());
+  EXPECT_EQ(r.effort.contact_events, 2u);
+}
+
 TEST(StructuralValidity, DetectsViolations) {
   const auto g = make_graph(
       {
