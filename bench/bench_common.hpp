@@ -29,6 +29,11 @@ inline std::size_t env_size(const char* name, std::size_t fallback) {
 inline std::size_t bench_messages() {
   return env_size("PSN_BENCH_MESSAGES", 80);
 }
+/// Jump-process realizations per model-sweep ensemble
+/// (PSN_BENCH_MODEL_REPLICAS; callers pass their own default).
+inline std::size_t bench_model_replicas(std::size_t fallback) {
+  return env_size("PSN_BENCH_MODEL_REPLICAS", fallback);
+}
 inline std::size_t bench_k() { return env_size("PSN_BENCH_K", 2000); }
 inline std::size_t bench_runs() { return env_size("PSN_BENCH_RUNS", 3); }
 inline std::size_t bench_threads() { return env_size("PSN_BENCH_THREADS", 0); }

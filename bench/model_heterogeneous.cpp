@@ -1,11 +1,19 @@
 // §5.2 heterogeneous-rate Monte Carlo: per-quadrant T1 and TE statistics
 // under uniform(0, max) node rates — the model-side counterpart of Fig. 8.
 // Paper hypotheses: T1 follows the source class, TE the destination class.
+//
+// The message sample fans out across the engine's model sweep
+// (engine::run_model_sweep): one SplitMix64 substream per message, the
+// shared population drawn once, results slot-addressed and summarized
+// per quadrant by core::summarize_mc_by_quadrant (NaN-sentinel safe:
+// undelivered messages cannot deflate a mean). PSN_BENCH_THREADS sets
+// the worker count; the table is bit-identical at any.
 
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
-#include "psn/model/heterogeneous_mc.hpp"
+#include "psn/engine/model_sweep.hpp"
 #include "psn/stats/summary.hpp"
 #include "psn/stats/table.hpp"
 
@@ -14,43 +22,43 @@ int main() {
   bench::print_header("Model (5.2)",
                       "heterogeneous subset-explosion Monte Carlo");
 
-  model::HeterogeneousMcConfig config;
-  config.population = 100;
-  config.max_rate = 0.12;
-  config.t_end = 7200.0;
-  config.k = 2000;
-  config.messages = 2000;
-  config.seed = 99;
-
-  const auto results = model::run_heterogeneous_mc(config);
-
-  stats::Accumulator t1[4];
-  stats::Accumulator te[4];
-  std::size_t count[4] = {0, 0, 0, 0};
-  std::size_t exploded[4] = {0, 0, 0, 0};
-  for (const auto& r : results) {
-    const auto q = static_cast<std::size_t>(r.type);
-    ++count[q];
-    if (r.delivered) t1[q].add(r.t1);
-    if (r.exploded) {
-      te[q].add(r.te);
-      ++exploded[q];
-    }
-  }
+  engine::ModelSweepPlan plan;
+  engine::ModelScenario scenario;
+  scenario.name = "heterogeneous";
+  scenario.mc.population = 100;
+  scenario.mc.max_rate = 0.12;
+  scenario.mc.t_end = 7200.0;
+  scenario.mc.k = 2000;
+  scenario.mc.messages = 2000;
+  plan.scenarios = {scenario};
+  plan.config.jump_replicas = 0;  // this bench studies the MC half.
+  plan.config.master_seed = 99;
+  engine::ModelSweepOptions options;
+  options.threads = bench::bench_threads();
+  options.keep_messages = false;  // the quadrant summary is the product.
+  const auto sweep = engine::run_model_sweep(plan, options);
+  const core::McQuadrantSummary& quadrants = sweep.cells[0].quadrants;
 
   stats::TablePrinter table({"pair type", "messages", "mean T1 (s)",
-                             "mean TE (s)", "exploded"});
+                             "T1 99% ci", "mean TE (s)", "exploded"});
   for (std::size_t q = 0; q < 4; ++q) {
+    const auto& t1 = quadrants.t1[q];
+    const auto& te = quadrants.te[q];
     table.add_row(
         {model::pair_type_name(static_cast<model::PairType>(q)),
-         std::to_string(count[q]),
-         t1[q].count() ? stats::TablePrinter::fmt(t1[q].mean(), 0) : "-",
-         te[q].count() ? stats::TablePrinter::fmt(te[q].mean(), 0) : "-",
-         std::to_string(exploded[q])});
+         std::to_string(quadrants.messages[q]),
+         t1.count() ? stats::TablePrinter::fmt(t1.mean(), 0) : "-",
+         t1.count() > 1
+             ? "+/- " + stats::TablePrinter::fmt(ci_halfwidth(t1, 0.99), 0)
+             : "-",
+         te.count() ? stats::TablePrinter::fmt(te.mean(), 0) : "-",
+         std::to_string(quadrants.exploded[q])});
   }
   table.print(std::cout);
 
   std::cout << "\nShape check (paper 5.2): mean T1(in-*) < mean T1(out-*); "
                "mean TE(*-in) < mean TE(*-out).\n";
+  bench::print_sweep_footer(sweep.total_messages, sweep.threads,
+                            sweep.wall_seconds);
   return 0;
 }

@@ -13,7 +13,11 @@
 //    sparse tiers), and
 //  * the path-explosion comparison (dense vs sparse k-path enumeration
 //    through the engine's parallel path sweep, per-tier enumeration
-//    walls and deliveries/s).
+//    walls and deliveries/s), and
+//  * the model scaling series (the §5 jump-process ensemble and the
+//    heterogeneous Monte Carlo through engine::run_model_sweep on the
+//    model_100 … model_100k tiers: per-tier events/s, replicas/s, and
+//    MC messages/s).
 //
 // Knobs: PSN_BENCH_RUNS (matrix repetitions, default 3),
 // PSN_BENCH_SWEEP_THREADS (comma list, default "1,2,4,8"),
@@ -26,9 +30,13 @@
 // PSN_BENCH_PATH_SCENARIOS (comma list, default
 // "conference_small,campus_512,city_2048"; empty disables the
 // path-explosion comparison), PSN_BENCH_PATH_MESSAGES (messages per
-// tier, default 8), and PSN_BENCH_PATH_K (explosion threshold for the
+// tier, default 8), PSN_BENCH_PATH_K (explosion threshold for the
 // bench, default 256 — k=2000 on city_2048 is a long-haul run, not a
-// per-PR trajectory point).
+// per-PR trajectory point), PSN_BENCH_MODEL_SCENARIOS (comma list,
+// default "model_100,model_1k,model_10k,model_100k"; empty disables the
+// model series), PSN_BENCH_MODEL_REPLICAS (jump realizations per tier,
+// default 4), and PSN_BENCH_MODEL_MESSAGES (MC messages per tier,
+// default 0 = each tier's registered budget).
 
 #include <benchmark/benchmark.h>
 
@@ -45,6 +53,7 @@
 #include "bench_common.hpp"
 #include "psn/core/dataset.hpp"
 #include "psn/core/workload.hpp"
+#include "psn/engine/model_sweep.hpp"
 #include "psn/engine/path_sweep.hpp"
 #include "psn/engine/run_spec.hpp"
 #include "psn/engine/scenario_context.hpp"
@@ -536,11 +545,112 @@ std::vector<PathPoint> run_path_explosion_bench() {
   return points;
 }
 
+// --- Model scaling series: the §5 jump-process ensemble and the
+// --- heterogeneous Monte Carlo through engine::run_model_sweep on the
+// --- registered model tiers (N = 100 … 100 000). The walls are summed
+// --- per-unit work time; events/s and messages/s are the throughput
+// --- headlines (the N = 100 000 tier completing here is the ISSUE 5
+// --- acceptance gate).
+
+struct ModelPoint {
+  std::string scenario;
+  std::size_t population = 0;
+  std::size_t jump_replicas = 0;
+  std::size_t jump_samples = 0;
+  std::uint64_t jump_events = 0;
+  double jump_wall_seconds = 0.0;  ///< summed per-replica walls.
+  double jump_events_per_sec = 0.0;
+  double jump_replicas_per_sec = 0.0;
+  std::size_t mc_messages = 0;
+  std::size_t mc_delivered = 0;
+  std::size_t mc_exploded = 0;
+  double mc_wall_seconds = 0.0;  ///< summed per-message walls.
+  double mc_messages_per_sec = 0.0;
+};
+
+std::vector<std::string> model_scenario_names_env() {
+  return names_from_env("PSN_BENCH_MODEL_SCENARIOS",
+                        "model_100,model_1k,model_10k,model_100k");
+}
+
+std::size_t model_replicas() {
+  return psn::bench::env_size("PSN_BENCH_MODEL_REPLICAS", 4);
+}
+
+std::size_t model_messages_override() {
+  // 0 = keep each tier's registered message budget.
+  return psn::bench::env_size("PSN_BENCH_MODEL_MESSAGES", 0);
+}
+
+std::vector<ModelPoint> run_model_bench() {
+  const auto names = model_scenario_names_env();
+  std::vector<ModelPoint> points;
+  if (names.empty()) return points;
+
+  const std::size_t replicas = model_replicas();
+  const std::size_t messages_override = model_messages_override();
+  std::cout << "\nmodel scaling series (jump ensemble + heterogeneous MC): "
+            << replicas << " replicas per tier\n";
+  for (const auto& name : names) {
+    psn::engine::ModelSweepPlan plan;
+    try {
+      plan.scenarios = {psn::engine::make_model_scenario(name)};
+    } catch (const std::invalid_argument& e) {
+      // A typo in PSN_BENCH_MODEL_SCENARIOS must not discard the rest of
+      // the run's results.
+      std::cerr << "perf_microbench: skipping model scenario: " << e.what()
+                << '\n';
+      continue;
+    }
+    if (messages_override > 0)
+      plan.scenarios[0].mc.messages = messages_override;
+    plan.config.jump_replicas = replicas;
+    plan.config.master_seed = 7;
+
+    psn::engine::ModelSweepOptions options;
+    options.keep_messages = false;
+    const auto result = psn::engine::run_model_sweep(plan, options);
+    const auto& cell = result.cells[0];
+
+    ModelPoint point;
+    point.scenario = name;
+    point.population = cell.population;
+    point.jump_replicas = cell.jump_replicas;
+    point.jump_samples = cell.trajectory.size();
+    point.jump_events = cell.jump_events;
+    point.jump_wall_seconds = cell.jump_wall_seconds;
+    if (cell.jump_wall_seconds > 0.0) {
+      point.jump_events_per_sec =
+          static_cast<double>(cell.jump_events) / cell.jump_wall_seconds;
+      point.jump_replicas_per_sec =
+          static_cast<double>(cell.jump_replicas) / cell.jump_wall_seconds;
+    }
+    point.mc_messages = plan.scenarios[0].mc.messages;
+    for (std::size_t q = 0; q < 4; ++q) {
+      point.mc_delivered += cell.quadrants.delivered[q];
+      point.mc_exploded += cell.quadrants.exploded[q];
+    }
+    point.mc_wall_seconds = cell.mc_wall_seconds;
+    if (cell.mc_wall_seconds > 0.0)
+      point.mc_messages_per_sec =
+          static_cast<double>(point.mc_messages) / cell.mc_wall_seconds;
+
+    std::cout << "  " << name << ": N=" << point.population
+              << "  jump=" << point.jump_wall_seconds << "s ("
+              << point.jump_events_per_sec << " events/s)  mc="
+              << point.mc_wall_seconds << "s (" << point.mc_messages
+              << " msgs, " << point.mc_messages_per_sec << " msgs/s)\n";
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
 void write_bench_json(const std::string& json_path,
                       const MatrixResult& matrix,
                       const std::vector<ScalePoint>& scaling,
                       const std::vector<TimelinePoint>& timeline,
-                      const std::vector<PathPoint>& paths) {
+                      const std::vector<PathPoint>& paths,
+                      const std::vector<ModelPoint>& model) {
   std::ofstream out(json_path);
   if (!out) {
     std::cerr << "perf_microbench: cannot write " << json_path << '\n';
@@ -626,6 +736,24 @@ void write_bench_json(const std::string& json_path,
         << ", \"sparse_deliveries_per_sec\": " << p.sparse_deliveries_per_sec
         << "}" << (i + 1 < paths.size() ? "," : "") << '\n';
   }
+  out << "  ],\n"
+      << "  \"model\": [\n";
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    const auto& p = model[i];
+    out << "    {\"scenario\": \"" << p.scenario << "\", \"population\": "
+        << p.population << ", \"jump_replicas\": " << p.jump_replicas
+        << ", \"jump_samples\": " << p.jump_samples
+        << ", \"jump_events\": " << p.jump_events
+        << ", \"jump_wall_seconds\": " << p.jump_wall_seconds
+        << ", \"jump_events_per_sec\": " << p.jump_events_per_sec
+        << ", \"jump_replicas_per_sec\": " << p.jump_replicas_per_sec
+        << ", \"mc_messages\": " << p.mc_messages
+        << ", \"mc_delivered\": " << p.mc_delivered
+        << ", \"mc_exploded\": " << p.mc_exploded
+        << ", \"mc_wall_seconds\": " << p.mc_wall_seconds
+        << ", \"mc_messages_per_sec\": " << p.mc_messages_per_sec << "}"
+        << (i + 1 < model.size() ? "," : "") << '\n';
+  }
   out << "  ]\n}\n";
   std::cout << "wrote " << json_path << '\n';
 }
@@ -645,6 +773,7 @@ int main(int argc, char** argv) {
   const auto scaling = run_scaling_bench();
   const auto timeline = run_event_timeline_bench();
   const auto paths = run_path_explosion_bench();
-  write_bench_json(json_path, matrix, scaling, timeline, paths);
+  const auto model = run_model_bench();
+  write_bench_json(json_path, matrix, scaling, timeline, paths, model);
   return 0;
 }

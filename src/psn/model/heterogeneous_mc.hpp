@@ -13,11 +13,23 @@
 // their rates, the mass-action analogue of the trace generators) and
 // reports per-quadrant T1 / TE statistics so benches can check the
 // hypothesis ordering against both the model and the trace experiments.
+//
+// The experiment splits into a shared population (rates, prefix sums,
+// median split — built once, immutable, read concurrently) and a
+// per-message kernel (simulate_mc_message), so the engine's model sweep
+// can fan messages out across threads; run_heterogeneous_mc composes the
+// two on a single stream, reproducing the historical draw order exactly.
 
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <limits>
 #include <vector>
+
+namespace psn::util {
+class Rng;
+}  // namespace psn::util
 
 namespace psn::model {
 
@@ -38,16 +50,65 @@ enum class PairType { in_in, in_out, out_in, out_out };
 
 [[nodiscard]] const char* pair_type_name(PairType t) noexcept;
 
-/// Result for one simulated message.
+/// Result for one simulated message. The time fields are NaN until their
+/// flag is set: a consumer that forgets to check delivered/exploded gets
+/// a poisoned value that propagates loudly, not a silent 0.0 that
+/// deflates every average (use the checked accessors).
 struct McMessageResult {
   PairType type = PairType::in_in;
   bool delivered = false;
   bool exploded = false;
-  double t1 = 0.0;  ///< first-arrival time.
-  double te = 0.0;  ///< T_k - T_1 when exploded.
+  double t1 = std::numeric_limits<double>::quiet_NaN();  ///< first arrival.
+  double te = std::numeric_limits<double>::quiet_NaN();  ///< T_k - T_1.
+
+  /// First-arrival time; reading it asserts delivery happened.
+  [[nodiscard]] double first_arrival() const noexcept {
+    assert(delivered);
+    return t1;
+  }
+  /// Explosion wait T_k - T_1; reading it asserts the explosion happened.
+  [[nodiscard]] double explosion_wait() const noexcept {
+    assert(exploded);
+    return te;
+  }
 };
 
+/// The shared half of one MC experiment: per-node rates with their
+/// sampling prefix sums and the §5.2 in/out split at the median rate.
+/// Immutable once built; shared read-only across messages and threads.
+struct HeterogeneousPopulation {
+  std::vector<double> rate;
+  std::vector<double> prefix;  ///< inclusive prefix sums of rate.
+  double median = 0.0;
+  double total_rate = 0.0;  ///< sum of rates = aggregate opportunity rate.
+
+  [[nodiscard]] bool is_in(std::size_t node) const {
+    return rate[node] > median;
+  }
+  [[nodiscard]] PairType classify(std::size_t source,
+                                  std::size_t destination) const;
+};
+
+/// Draws the Uniform(0, max_rate) per-node rates — config.population
+/// draws from `rng`, the exact stream prefix run_heterogeneous_mc has
+/// always consumed — and derives prefix sums and the median split.
+[[nodiscard]] HeterogeneousPopulation make_heterogeneous_population(
+    const HeterogeneousMcConfig& config, util::Rng& rng);
+
+/// Simulates one message from `source` to `destination`, with `rng`
+/// driving the event loop. `counts` is the per-node path-count scratch
+/// (model workspace; fully re-initialized here, so the result is a pure
+/// function of (population, config, message, rng stream) regardless of
+/// workspace history).
+[[nodiscard]] McMessageResult simulate_mc_message(
+    const HeterogeneousPopulation& population,
+    const HeterogeneousMcConfig& config, std::size_t source,
+    std::size_t destination, util::Rng& rng, std::vector<double>& counts);
+
 /// Simulates `messages` random messages; deterministic in `config.seed`.
+/// Single-stream serial composition of the pieces above — the historical
+/// behavior, retained as the statistical oracle for the engine's
+/// substreamed parallel fan-out (engine/model_sweep.hpp).
 [[nodiscard]] std::vector<McMessageResult> run_heterogeneous_mc(
     const HeterogeneousMcConfig& config);
 

@@ -7,14 +7,17 @@
 
 namespace psn::model {
 
-std::vector<JumpSample> run_jump_simulation(const JumpSimConfig& config) {
+std::vector<JumpSample> run_jump_simulation(const JumpSimConfig& config,
+                                            ModelWorkspace& workspace,
+                                            JumpRunTelemetry* telemetry) {
   if (config.population < 2)
     throw std::invalid_argument("jump sim needs population >= 2");
 
   util::Rng rng(config.seed);
   const std::size_t n = config.population;
 
-  std::vector<std::uint64_t> s(n, 0);
+  auto& s = workspace.jump_state;
+  s.assign(n, 0);
   s[0] = 1;  // the source holds the single initial path.
 
   // Aggregate contact process: opportunities arrive at rate N * lambda;
@@ -22,6 +25,8 @@ std::vector<JumpSample> run_jump_simulation(const JumpSimConfig& config) {
   const double total_rate = static_cast<double>(n) * config.lambda;
 
   std::vector<JumpSample> out;
+  if (config.samples == 0) return out;
+  out.reserve(config.samples);
   const double sample_every =
       config.samples > 1 ? config.t_end / static_cast<double>(config.samples - 1)
                          : config.t_end;
@@ -55,6 +60,9 @@ std::vector<JumpSample> run_jump_simulation(const JumpSimConfig& config) {
       next_sample += sample_every;
       if (out.size() >= config.samples) break;
     }
+    // Nothing past the last sample is observable: stop simulating instead
+    // of burning events until t_end.
+    if (out.size() >= config.samples) break;
     if (t_next >= config.t_end) break;
     t = t_next;
 
@@ -62,6 +70,7 @@ std::vector<JumpSample> run_jump_simulation(const JumpSimConfig& config) {
     const auto initiator = static_cast<std::size_t>(rng.uniform_index(n));
     auto peer = static_cast<std::size_t>(rng.uniform_index(n - 1));
     if (peer >= initiator) ++peer;
+    if (telemetry != nullptr) ++telemetry->events;
 
     // Transition: S_peer += S_initiator (paths flow with the contact),
     // saturating at count_cap.
@@ -73,11 +82,17 @@ std::vector<JumpSample> run_jump_simulation(const JumpSimConfig& config) {
         s[peer] += gain;
     }
   }
-  while (out.size() < config.samples) {
-    take_sample(next_sample);
-    next_sample += sample_every;
-  }
+  // Catch-up for grids that outlast the event horizon: the state is final,
+  // so the remaining samples repeat it — stamped no later than t_end (the
+  // grid's floating-point accumulation must not leak past the horizon).
+  while (out.size() < config.samples)
+    take_sample(std::min(next_sample, config.t_end));
   return out;
+}
+
+std::vector<JumpSample> run_jump_simulation(const JumpSimConfig& config) {
+  ModelWorkspace workspace;
+  return run_jump_simulation(config, workspace, nullptr);
 }
 
 }  // namespace psn::model

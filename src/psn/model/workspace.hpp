@@ -1,0 +1,24 @@
+// Reusable scratch for the §5 model layer, mirroring the simulator's and
+// enumerator's workspace pattern (DESIGN.md §4/§6): all O(N) state the
+// model kernels need between events lives here, grown but never shrunk,
+// so an ensemble of replicas at N = 10^5 reallocates nothing after the
+// first run on each thread. One workspace serves one kernel call at a
+// time; the model sweep owns one per worker thread. Workspaces must
+// never influence results — every kernel fully re-initializes the state
+// it reads (the reuse-equivalence tests in model_sweep_test assert this).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace psn::model {
+
+struct ModelWorkspace {
+  /// Jump-simulator state vector S_n (jump_simulator.hpp).
+  std::vector<std::uint64_t> jump_state;
+  /// Heterogeneous-MC per-message path counts (heterogeneous_mc.hpp).
+  std::vector<double> mc_state;
+};
+
+}  // namespace psn::model

@@ -278,6 +278,69 @@ TEST(JumpSimulator, InitialStateOnePathAtSource) {
   EXPECT_NEAR(samples[0].low_density[0], 99.0 / 100.0, 1e-12);
 }
 
+TEST(JumpSimulator, GoldenSeedTrajectory) {
+  // Pinned full trajectory of a fixed seed (captured before the sampling
+  // fixes landed; the early-exit fix must not change emitted samples).
+  JumpSimConfig config;
+  config.population = 300;
+  config.lambda = 0.05;
+  config.t_end = 50.0;
+  config.samples = 6;
+  config.seed = 11;
+  const auto samples = run_jump_simulation(config);
+  ASSERT_EQ(samples.size(), 6u);
+  const double golden_t[] = {0.0, 10.0, 20.0, 30.0, 40.0, 50.0};
+  const double golden_mean[] = {0.0033333333333333335, 0.01,
+                                0.013333333333333334, 0.013333333333333334,
+                                0.02, 0.033333333333333333};
+  const double golden_var[] = {0.0033222222222221843, 0.009900000000000032,
+                               0.013155555555555511, 0.013155555555555511,
+                               0.019599999999999954, 0.03222222222222236};
+  const double golden_u0[] = {0.9966666666666667, 0.98999999999999999,
+                              0.98666666666666669, 0.98666666666666669,
+                              0.97999999999999998, 0.96666666666666667};
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(samples[i].t, golden_t[i]) << i;
+    EXPECT_DOUBLE_EQ(samples[i].mean_paths, golden_mean[i]) << i;
+    EXPECT_DOUBLE_EQ(samples[i].variance_paths, golden_var[i]) << i;
+    EXPECT_DOUBLE_EQ(samples[i].low_density[0], golden_u0[i]) << i;
+  }
+}
+
+TEST(JumpSimulator, SampleTimesNeverExceedHorizon) {
+  // Regression for the trailing catch-up loop: the sample grid's
+  // floating-point accumulation used to stamp the final sample past
+  // t_end (e.g. t_end = 0.3, samples = 8 produced t = 0.30000000000000004).
+  const struct {
+    double t_end;
+    std::size_t samples;
+  } cases[] = {{0.3, 8}, {0.7, 13}, {1.2, 8}, {5.6, 13}, {58.8, 50}};
+  for (const auto& c : cases) {
+    JumpSimConfig config;
+    config.population = 50;
+    config.lambda = 1.0;
+    config.t_end = c.t_end;
+    config.samples = c.samples;
+    config.seed = 3;
+    const auto samples = run_jump_simulation(config);
+    ASSERT_EQ(samples.size(), c.samples);
+    double previous = -1.0;
+    for (const auto& s : samples) {
+      EXPECT_LE(s.t, config.t_end) << "t_end=" << c.t_end;
+      EXPECT_GE(s.t, previous);
+      previous = s.t;
+    }
+  }
+}
+
+TEST(JumpSimulator, ZeroSamplesYieldEmptyTrajectory) {
+  JumpSimConfig config;
+  config.population = 50;
+  config.t_end = 10.0;
+  config.samples = 0;
+  EXPECT_TRUE(run_jump_simulation(config).empty());
+}
+
 TEST(JumpSimulator, DeterministicInSeed) {
   JumpSimConfig config;
   config.population = 300;
@@ -288,6 +351,78 @@ TEST(JumpSimulator, DeterministicInSeed) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i)
     EXPECT_DOUBLE_EQ(a[i].mean_paths, b[i].mean_paths);
+}
+
+TEST(HeterogeneousMc, GoldenSeedResults) {
+  // Pinned per-message results of a fixed seed (captured before the
+  // population/message split and the NaN-sentinel change; both must
+  // leave the single-stream serial path bit-identical).
+  HeterogeneousMcConfig config;
+  config.population = 60;
+  config.max_rate = 0.15;
+  config.t_end = 3000.0;
+  config.k = 50;
+  config.messages = 40;
+  config.seed = 21;
+  const auto results = run_heterogeneous_mc(config);
+  ASSERT_EQ(results.size(), 40u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.delivered);
+    EXPECT_TRUE(r.exploded);
+  }
+  EXPECT_EQ(results[0].type, PairType::out_in);
+  EXPECT_DOUBLE_EQ(results[0].t1, 56.761956367123375);
+  EXPECT_DOUBLE_EQ(results[0].te, 29.514618004016725);
+  EXPECT_EQ(results[1].type, PairType::in_in);
+  EXPECT_DOUBLE_EQ(results[1].t1, 22.55041063058809);
+  EXPECT_DOUBLE_EQ(results[1].te, 23.158815760475115);
+  // Exploded on the delivering contact itself: a legitimate zero wait,
+  // which the NaN sentinel now distinguishes from "never exploded".
+  EXPECT_DOUBLE_EQ(results[7].t1, 64.414114886802835);
+  EXPECT_DOUBLE_EQ(results[7].explosion_wait(), 0.0);
+  EXPECT_EQ(results[10].type, PairType::out_out);
+  EXPECT_DOUBLE_EQ(results[10].t1, 81.685470377563476);
+  EXPECT_DOUBLE_EQ(results[39].t1, 31.556444592296245);
+  EXPECT_DOUBLE_EQ(results[39].te, 30.101551928853624);
+  std::size_t count[4] = {0, 0, 0, 0};
+  for (const auto& r : results) ++count[static_cast<std::size_t>(r.type)];
+  EXPECT_EQ(count[0], 13u);
+  EXPECT_EQ(count[1], 8u);
+  EXPECT_EQ(count[2], 14u);
+  EXPECT_EQ(count[3], 5u);
+}
+
+TEST(HeterogeneousMc, UndeliveredMessagesCarryNaNSentinels) {
+  // Regression for the 0.0 sentinel: a horizon too short for every
+  // delivery must leave t1/te NaN, not a zero that poisons averages.
+  HeterogeneousMcConfig config;
+  config.population = 60;
+  config.max_rate = 0.15;
+  config.t_end = 20.0;
+  config.k = 50;
+  config.messages = 40;
+  config.seed = 21;
+  const auto results = run_heterogeneous_mc(config);
+  std::size_t undelivered = 0;
+  std::size_t unexploded = 0;
+  for (const auto& r : results) {
+    if (!r.delivered) {
+      ++undelivered;
+      EXPECT_TRUE(std::isnan(r.t1));
+    } else {
+      EXPECT_FALSE(std::isnan(r.first_arrival()));
+      EXPECT_LT(r.first_arrival(), config.t_end);
+    }
+    if (!r.exploded)
+      ++unexploded;
+    else
+      EXPECT_FALSE(std::isnan(r.explosion_wait()));
+    EXPECT_EQ(std::isnan(r.te), !r.exploded);
+  }
+  // The config is engineered so the horizon truncates some messages.
+  EXPECT_GT(undelivered, 0u);
+  EXPECT_GT(unexploded, undelivered);
+  EXPECT_LT(undelivered, results.size());
 }
 
 TEST(HeterogeneousMc, QuadrantOrderingHypotheses) {
