@@ -75,10 +75,15 @@ int main() {
 
     // Each algorithm's achieved delivery time for this message.
     std::map<std::string, double> achieved;
+    const std::vector<forward::Message> one_message = {
+        forward::Message{0, m.source, m.destination, m.t_start}};
     for (auto& alg : forward::make_paper_algorithms()) {
-      const auto sim = forward::simulate(
-          *alg, graph, ds.trace,
-          {forward::Message{0, m.source, m.destination, m.t_start}});
+      forward::SimulationRequest request;
+      request.algorithm = alg.get();
+      request.graph = &graph;
+      request.trace = &ds.trace;
+      request.messages = &one_message;
+      const auto sim = forward::simulate(request);
       if (sim.outcomes[0].delivered)
         achieved[alg->name()] =
             sim.outcomes[0].delay - (t1_abs - m.t_start);

@@ -17,7 +17,10 @@
 //  * the model scaling series (the §5 jump-process ensemble and the
 //    heterogeneous Monte Carlo through engine::run_model_sweep on the
 //    model_100 … model_100k tiers: per-tier events/s, replicas/s, and
-//    MC messages/s).
+//    MC messages/s), and
+//  * the contended-traffic offered-load sweep (finite per-node buffers on
+//    the sizing tiers, Epidemic vs the Spray+Wait quota scheme across
+//    rate multipliers: success/drop rates, evictions, deliveries/s).
 //
 // Knobs: PSN_BENCH_RUNS (matrix repetitions, default 3),
 // PSN_BENCH_SWEEP_THREADS (comma list, default "1,2,4,8"),
@@ -35,8 +38,14 @@
 // per-PR trajectory point), PSN_BENCH_MODEL_SCENARIOS (comma list,
 // default "model_100,model_1k,model_10k,model_100k"; empty disables the
 // model series), PSN_BENCH_MODEL_REPLICAS (jump realizations per tier,
-// default 4), and PSN_BENCH_MODEL_MESSAGES (MC messages per tier,
-// default 0 = each tier's registered budget).
+// default 4), PSN_BENCH_MODEL_MESSAGES (MC messages per tier, default 0 =
+// each tier's registered budget), PSN_BENCH_TRAFFIC_SCENARIOS (comma
+// list, default "town_128,campus_512,city_2048"; empty disables the
+// traffic sweep), PSN_BENCH_TRAFFIC_MULTIPLIERS (comma list of offered-
+// load multipliers, default "1,4,16"), PSN_BENCH_TRAFFIC_RUNS (default
+// 2), PSN_BENCH_TRAFFIC_CAPACITY (per-node buffer capacity in bytes,
+// default 8), and PSN_BENCH_TRAFFIC_RATE (base message rate in msgs/s,
+// default 0.01).
 
 #include <benchmark/benchmark.h>
 
@@ -52,6 +61,7 @@
 
 #include "bench_common.hpp"
 #include "psn/core/dataset.hpp"
+#include "psn/core/forwarding_study.hpp"
 #include "psn/core/workload.hpp"
 #include "psn/engine/model_sweep.hpp"
 #include "psn/engine/path_sweep.hpp"
@@ -140,9 +150,13 @@ void BM_EpidemicSimulation(benchmark::State& state) {
   wc.seed = 3;
   const auto messages = psn::core::poisson_workload(ds.trace.num_nodes(), wc);
   psn::forward::EpidemicForwarding epidemic;
+  psn::forward::SimulationRequest request;
+  request.algorithm = &epidemic;
+  request.graph = &g;
+  request.trace = &ds.trace;
+  request.messages = &messages;
   for (auto _ : state) {
-    const auto r =
-        psn::forward::simulate(epidemic, g, ds.trace, messages);
+    const auto r = psn::forward::simulate(request);
     benchmark::DoNotOptimize(r.delivered_count());
   }
 }
@@ -158,8 +172,13 @@ void BM_SingleCopySimulation(benchmark::State& state) {
   const auto messages = psn::core::poisson_workload(ds.trace.num_nodes(), wc);
   auto algs = psn::forward::make_paper_algorithms();
   auto& fresh = *algs[1];
+  psn::forward::SimulationRequest request;
+  request.algorithm = &fresh;
+  request.graph = &g;
+  request.trace = &ds.trace;
+  request.messages = &messages;
   for (auto _ : state) {
-    const auto r = psn::forward::simulate(fresh, g, ds.trace, messages);
+    const auto r = psn::forward::simulate(request);
     benchmark::DoNotOptimize(r.delivered_count());
   }
 }
@@ -645,12 +664,132 @@ std::vector<ModelPoint> run_model_bench() {
   return points;
 }
 
+// --- Contended-traffic offered-load sweep: finite per-node buffers on
+// --- the sizing tiers, flooding vs a quota scheme across offered-load
+// --- multipliers. The trajectory headline is the congestion knee: where
+// --- Epidemic's delivery rate collapses while Spray+Wait's holds.
+
+struct TrafficPoint {
+  std::string scenario;
+  psn::trace::NodeId nodes = 0;
+  double rate_multiplier = 1.0;
+  double message_rate = 0.0;  ///< realized rate (base x multiplier).
+  double wall_seconds = 0.0;  ///< wall for this multiplier's sweep.
+  double deliveries_per_sec = 0.0;  ///< pooled over both algorithms.
+  struct AlgorithmStats {
+    std::string name;
+    std::size_t messages_offered = 0;
+    double success_rate = 0.0;
+    double drop_rate = 0.0;
+    double expiry_rate = 0.0;
+    std::uint64_t evictions = 0;
+    std::uint64_t budget_blocked = 0;
+  };
+  std::vector<AlgorithmStats> algorithms;
+};
+
+std::vector<std::string> traffic_scenario_names() {
+  return names_from_env("PSN_BENCH_TRAFFIC_SCENARIOS",
+                        "town_128,campus_512,city_2048");
+}
+
+std::vector<double> traffic_multipliers() {
+  std::string raw = "1,4,16";
+  if (const char* env = std::getenv("PSN_BENCH_TRAFFIC_MULTIPLIERS"))
+    raw = env;
+  std::vector<double> multipliers;
+  std::stringstream stream(raw);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    const double v = std::atof(token.c_str());
+    if (v > 0.0) multipliers.push_back(v);
+  }
+  if (multipliers.empty()) multipliers = {1.0, 4.0, 16.0};
+  return multipliers;
+}
+
+std::vector<TrafficPoint> run_traffic_bench() {
+  const auto names = traffic_scenario_names();
+  std::vector<TrafficPoint> points;
+  if (names.empty()) return points;
+
+  const auto multipliers = traffic_multipliers();
+  const std::size_t runs = psn::bench::env_size("PSN_BENCH_TRAFFIC_RUNS", 2);
+  const auto capacity = static_cast<std::uint64_t>(
+      psn::bench::env_size("PSN_BENCH_TRAFFIC_CAPACITY", 8));
+  double base_rate = 0.01;
+  if (const char* env = std::getenv("PSN_BENCH_TRAFFIC_RATE")) {
+    const double v = std::atof(env);
+    if (v > 0.0) base_rate = v;
+  }
+  std::cout << "\ncontended-traffic offered-load sweep: "
+            << "{Epidemic, Spray+Wait} x " << runs
+            << " runs per point, buffer capacity " << capacity
+            << " bytes, drop-oldest\n";
+  for (const auto& name : names) {
+    psn::engine::Scenario scenario;
+    try {
+      scenario = psn::engine::make_scenario_by_name(name);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "perf_microbench: skipping traffic scenario: " << e.what()
+                << '\n';
+      continue;
+    }
+    for (const double multiplier : multipliers) {
+      psn::core::OfferedLoadConfig config;
+      config.rate_multipliers = {multiplier};
+      config.base_message_rate = base_rate;
+      config.algorithms = {"Epidemic", "Spray+Wait"};
+      config.runs = runs;
+      config.delta = scenario.delta;
+      config.seed = 7;
+      config.traffic.buffer_capacity_bytes = capacity;
+      config.traffic.eviction = psn::forward::EvictionPolicy::kDropOldest;
+
+      const auto start = std::chrono::steady_clock::now();
+      const auto study =
+          psn::core::run_offered_load_study(*scenario.dataset, config);
+      const double wall = seconds_since(start);
+
+      TrafficPoint point;
+      point.scenario = name;
+      point.nodes = scenario.dataset->trace.num_nodes();
+      point.rate_multiplier = multiplier;
+      point.wall_seconds = wall;
+      double delivered = 0.0;
+      std::cout << "  " << name << " x" << multiplier << ":";
+      for (const auto& p : study.points) {
+        point.message_rate = p.message_rate;
+        TrafficPoint::AlgorithmStats stats;
+        stats.name = p.algorithm;
+        stats.messages_offered = p.messages_offered;
+        stats.success_rate = p.success_rate;
+        stats.drop_rate = p.drop_rate;
+        stats.expiry_rate = p.expiry_rate;
+        stats.evictions = p.evictions;
+        stats.budget_blocked = p.budget_blocked;
+        delivered +=
+            p.success_rate * static_cast<double>(p.messages_offered);
+        std::cout << "  " << p.algorithm << " success=" << p.success_rate
+                  << " drop=" << p.drop_rate << " evict=" << p.evictions;
+        point.algorithms.push_back(std::move(stats));
+      }
+      point.deliveries_per_sec = wall > 0.0 ? delivered / wall : 0.0;
+      std::cout << "  (" << wall << "s, " << point.deliveries_per_sec
+                << " deliveries/s)\n";
+      points.push_back(std::move(point));
+    }
+  }
+  return points;
+}
+
 void write_bench_json(const std::string& json_path,
                       const MatrixResult& matrix,
                       const std::vector<ScalePoint>& scaling,
                       const std::vector<TimelinePoint>& timeline,
                       const std::vector<PathPoint>& paths,
-                      const std::vector<ModelPoint>& model) {
+                      const std::vector<ModelPoint>& model,
+                      const std::vector<TrafficPoint>& traffic) {
   std::ofstream out(json_path);
   if (!out) {
     std::cerr << "perf_microbench: cannot write " << json_path << '\n';
@@ -754,6 +893,28 @@ void write_bench_json(const std::string& json_path,
         << ", \"mc_messages_per_sec\": " << p.mc_messages_per_sec << "}"
         << (i + 1 < model.size() ? "," : "") << '\n';
   }
+  out << "  ],\n"
+      << "  \"traffic\": [\n";
+  for (std::size_t i = 0; i < traffic.size(); ++i) {
+    const auto& p = traffic[i];
+    out << "    {\"scenario\": \"" << p.scenario << "\", \"nodes\": "
+        << p.nodes << ", \"rate_multiplier\": " << p.rate_multiplier
+        << ", \"message_rate\": " << p.message_rate
+        << ", \"wall_seconds\": " << p.wall_seconds
+        << ", \"deliveries_per_sec\": " << p.deliveries_per_sec
+        << ", \"algorithms\": [";
+    for (std::size_t a = 0; a < p.algorithms.size(); ++a) {
+      const auto& algo = p.algorithms[a];
+      out << "{\"name\": \"" << algo.name << "\", \"messages_offered\": "
+          << algo.messages_offered << ", \"success_rate\": "
+          << algo.success_rate << ", \"drop_rate\": " << algo.drop_rate
+          << ", \"expiry_rate\": " << algo.expiry_rate
+          << ", \"evictions\": " << algo.evictions
+          << ", \"budget_blocked\": " << algo.budget_blocked << "}"
+          << (a + 1 < p.algorithms.size() ? ", " : "");
+    }
+    out << "]}" << (i + 1 < traffic.size() ? "," : "") << '\n';
+  }
   out << "  ]\n}\n";
   std::cout << "wrote " << json_path << '\n';
 }
@@ -774,6 +935,8 @@ int main(int argc, char** argv) {
   const auto timeline = run_event_timeline_bench();
   const auto paths = run_path_explosion_bench();
   const auto model = run_model_bench();
-  write_bench_json(json_path, matrix, scaling, timeline, paths, model);
+  const auto traffic = run_traffic_bench();
+  write_bench_json(json_path, matrix, scaling, timeline, paths, model,
+                   traffic);
   return 0;
 }

@@ -1,6 +1,13 @@
 // ForwardingStudy: the pipeline behind Figs. 9, 10, 13 — run every
 // forwarding algorithm over Poisson workloads, repeated over several runs,
 // and aggregate S / D overall and per pair type.
+//
+// run_offered_load_study is the contended-forwarding extension (ROADMAP
+// item 1): the same pipeline swept over workload-rate multipliers under
+// finite traffic limits (forward::TrafficConfig), producing the
+// success/delay/drops/evictions-versus-offered-load result family the
+// paper's unconstrained simulator cannot show — most prominently the
+// congestion collapse of Epidemic against quota schemes like Spray+Wait.
 
 #pragma once
 
@@ -27,6 +34,11 @@ struct ForwardingStudyConfig {
   /// Simulator step sequence (bit-identical either way; kDense is the
   /// validation oracle — see forward::ReplayMode).
   forward::ReplayMode replay = forward::ReplayMode::kSparse;
+  /// Traffic model: network-side limits plus per-message size and TTL.
+  /// The defaults reproduce the unconstrained paper study bit-for-bit.
+  forward::TrafficConfig traffic;
+  std::uint32_t message_size_bytes = 1;
+  trace::Seconds message_ttl = forward::kNoTtl;
 };
 
 /// Per-algorithm study output.
@@ -40,6 +52,12 @@ struct AlgorithmStudy {
   /// Steps whose relay fixpoint was truncated (summed over runs); the
   /// integration tests assert this stays zero at paper scale.
   std::uint64_t truncated_relay_steps = 0;
+  /// Traffic-model event counters, summed over runs (all zero for
+  /// unconstrained, no-TTL studies).
+  std::uint64_t expirations = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t budget_blocked = 0;
 };
 
 struct ForwardingStudyResult {
@@ -48,5 +66,61 @@ struct ForwardingStudyResult {
 
 [[nodiscard]] ForwardingStudyResult run_forwarding_study(
     const Dataset& dataset, const ForwardingStudyConfig& config);
+
+/// Configuration of the offered-load sweep: the workload rate is
+/// base_message_rate x multiplier for each entry of rate_multipliers,
+/// everything else held fixed.
+struct OfferedLoadConfig {
+  std::vector<double> rate_multipliers = {0.5, 1.0, 2.0, 4.0, 8.0};
+  double base_message_rate = 0.25;  ///< the paper's 1-per-4-s baseline.
+  /// Algorithms to contrast under load; the default pits unbounded
+  /// replication against a fixed-quota scheme.
+  std::vector<std::string> algorithms = {"Epidemic", "Spray+Wait"};
+  std::size_t runs = 3;
+  trace::Seconds delta = 10.0;
+  std::uint64_t seed = 7;
+  /// The binding limits — an unconstrained offered-load sweep is flat by
+  /// construction, so callers set at least one finite knob.
+  forward::TrafficConfig traffic;
+  std::uint32_t message_size_bytes = 1;
+  trace::Seconds message_ttl = forward::kNoTtl;
+  std::size_t threads = 0;
+  forward::ReplayMode replay = forward::ReplayMode::kSparse;
+};
+
+/// One (rate multiplier, algorithm) cell of the offered-load matrix.
+struct OfferedLoadPoint {
+  double rate_multiplier = 1.0;
+  double message_rate = 0.25;  ///< the realized rate (base x multiplier).
+  std::string algorithm;
+  std::size_t messages_offered = 0;  ///< generated messages, summed runs.
+  double success_rate = 0.0;
+  double average_delay = 0.0;
+  double cost_per_message = 0.0;
+  /// Per-offered-message event rates, pooled over the point's runs.
+  double drop_rate = 0.0;
+  double expiry_rate = 0.0;
+  std::uint64_t evictions = 0;
+  std::uint64_t budget_blocked = 0;
+};
+
+/// Points ordered multiplier-major in rate_multipliers order, algorithm-
+/// minor in OfferedLoadConfig::algorithms order.
+struct OfferedLoadStudy {
+  std::vector<OfferedLoadPoint> points;
+
+  [[nodiscard]] const OfferedLoadPoint& point(std::size_t multiplier,
+                                              std::size_t algorithm,
+                                              std::size_t num_algorithms)
+      const {
+    return points.at(multiplier * num_algorithms + algorithm);
+  }
+};
+
+/// Sweeps offered load over the dataset: one engine sweep per rate
+/// multiplier, all under the same traffic limits. Deterministic in the
+/// seed at every thread count, like run_forwarding_study.
+[[nodiscard]] OfferedLoadStudy run_offered_load_study(
+    const Dataset& dataset, const OfferedLoadConfig& config);
 
 }  // namespace psn::core

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "psn/core/dataset.hpp"
+#include "psn/forward/message.hpp"
+#include "psn/forward/traffic.hpp"
 
 namespace psn::engine {
 
@@ -66,6 +68,12 @@ struct PlanConfig {
   std::uint64_t master_seed = 7;  ///< root of all derived streams.
   double message_rate = 0.25;     ///< messages per second (paper: 1 per 4s).
   SeedMode seed_mode = SeedMode::kSharedAcrossScenarios;
+  /// Network-side traffic limits applied to every run of the sweep; the
+  /// default (unlimited) reproduces the unconstrained sweeps bit-for-bit.
+  forward::TrafficConfig traffic;
+  /// Traffic dimensions stamped on every workload message.
+  std::uint32_t message_size_bytes = 1;
+  trace::Seconds message_ttl = forward::kNoTtl;
 };
 
 /// A fully expanded sweep: the axes plus the linearized cross product.

@@ -86,7 +86,8 @@ core::Dataset conference_at_scale(const char* name, trace::NodeId mobile,
 }  // namespace
 
 std::vector<std::string> scenario_names() {
-  return {"conference_small", "town_128", "campus_512", "city_2048"};
+  return {"conference_small", "random_waypoint", "town_128", "campus_512",
+          "city_2048"};
 }
 
 std::uint64_t scenario_datasets_built() noexcept {
@@ -97,6 +98,10 @@ Scenario make_scenario_by_name(std::string_view name) {
   if (name == "conference_small")
     return shared_dataset_scenario(
         "conference_small", [] { return core::DatasetFactory::paper_dataset(0); });
+  if (name == "random_waypoint")
+    return shared_dataset_scenario("random_waypoint", [] {
+      return core::DatasetFactory::random_waypoint_dataset();
+    });
   if (name == "town_128")
     return shared_dataset_scenario("town_128", [] {
       return conference_at_scale("town_128", 108, 20, 0.020, 0x128);

@@ -5,6 +5,9 @@
 //
 //   conference_small — the paper's Infocom'06 9-12 window (98 nodes), the
 //                      reference point every other tier is compared to;
+//   random_waypoint  — 40 nodes under synthetic random-waypoint mobility,
+//                      the non-conference control family (geometric motion
+//                      instead of session-modulated meeting rates);
 //   town_128         — 128 nodes, the historical Bitset128 ceiling, kept
 //                      as the first rung of the node-count scaling series;
 //   campus_512       — 512 nodes, a campus-sized deployment;

@@ -59,10 +59,13 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
           const Scenario& scenario = plan.scenarios[s];
           const RunSpec& spec = canonical_spec(s, r);
           core::WorkloadConfig wc;
+          wc.mode = core::WorkloadMode::kPoissonRate;
           wc.message_rate = spec.message_rate;
           wc.horizon = scenario.dataset->message_horizon;
           wc.seed = spec.workload_seed;
-          workloads[s * plan.config.runs + r] = core::poisson_workload(
+          wc.size_bytes = plan.config.message_size_bytes;
+          wc.ttl = plan.config.message_ttl;
+          workloads[s * plan.config.runs + r] = core::generate_workload(
               scenario.dataset->trace.num_nodes(), wc);
         } catch (...) {
           errors.capture();
@@ -98,28 +101,33 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
               workloads[spec.scenario * plan.config.runs + spec.run];
         } else {
           core::WorkloadConfig wc;
+          wc.mode = core::WorkloadMode::kPoissonRate;
           wc.message_rate = spec.message_rate;
           wc.horizon = scenario.dataset->message_horizon;
           wc.seed = spec.workload_seed;
-          record.run.messages = core::poisson_workload(
+          wc.size_bytes = plan.config.message_size_bytes;
+          wc.ttl = plan.config.message_ttl;
+          record.run.messages = core::generate_workload(
               scenario.dataset->trace.num_nodes(), wc);
         }
 
         const auto algorithm =
             forward::make_algorithm(plan.algorithms[spec.algorithm]);
-        forward::SimulatorConfig sc;
-        sc.seed = spec.sim_seed;
-        sc.replay = options.replay;
+        const ScenarioContext& context = *contexts[spec.scenario];
+        forward::SimulationRequest request;
+        request.algorithm = algorithm.get();
+        request.graph = context.graph.get();
+        request.trace = &context.dataset->trace;
+        request.messages = &record.run.messages;
+        request.traffic = plan.config.traffic;
+        request.seed = spec.sim_seed;
+        request.replay = options.replay;
         // One workspace per worker thread, reused across every run the
         // thread executes: the sweep's steady state simulates without
         // heap allocation. Workspaces never influence results (asserted
         // by forward_test's workspace-reuse equivalence).
         thread_local forward::SimulatorWorkspace workspace;
-        const ScenarioContext& context = *contexts[spec.scenario];
-        record.run.result =
-            forward::simulate(*algorithm, *context.graph,
-                              context.dataset->trace, record.run.messages, sc,
-                              workspace);
+        record.run.result = forward::simulate(request, workspace);
 
         record.wall_seconds = seconds_since(run_start);
         store.put(slot, std::move(record));
@@ -152,6 +160,11 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
         RunRecord record = store.take(plan.slot(s, a, r));
         cell.run_walls.push_back(record.wall_seconds);
         cell.truncated_relay_steps += record.run.result.truncated_relay_steps;
+        cell.expirations += record.run.result.expirations;
+        cell.evictions += record.run.result.evictions;
+        cell.drops += record.run.result.drops;
+        cell.budget_blocked += record.run.result.budget_blocked;
+        cell.buffer_rejections += record.run.result.buffer_rejections;
         transmissions += record.run.result.transmissions;
         messages += record.run.messages.size();
         runs.push_back(std::move(record.run));
@@ -160,6 +173,7 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
       cell.by_pair_type = forward::split_by_pair_type(
           cell.algorithm, runs, plan.scenarios[s].dataset->rates);
       if (options.keep_delays) cell.delays = forward::pooled_delays(runs);
+      cell.messages_offered = messages;
       if (messages > 0)
         cell.cost_per_message = static_cast<double>(transmissions) /
                                 static_cast<double>(messages);

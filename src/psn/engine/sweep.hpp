@@ -33,6 +33,14 @@ struct CellSummary {
   /// Steps whose relay fixpoint hit max_relay_passes, summed over runs;
   /// nonzero means forwarding chains were truncated (message.hpp).
   std::uint64_t truncated_relay_steps = 0;
+  /// Traffic-model event counters, summed over the cell's runs (all zero
+  /// for unconstrained, no-TTL sweeps; forward/message.hpp for semantics).
+  std::uint64_t expirations = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t budget_blocked = 0;
+  std::uint64_t buffer_rejections = 0;
+  std::size_t messages_offered = 0;  ///< pooled workload size over runs.
 };
 
 struct SweepResult {

@@ -33,6 +33,17 @@ double SimulationResult::transmissions_per_message() const noexcept {
          static_cast<double>(outcomes.size());
 }
 
+double SimulationResult::expiry_rate() const noexcept {
+  if (outcomes.empty()) return 0.0;
+  return static_cast<double>(expirations) /
+         static_cast<double>(outcomes.size());
+}
+
+double SimulationResult::drop_rate() const noexcept {
+  if (outcomes.empty()) return 0.0;
+  return static_cast<double>(drops) / static_cast<double>(outcomes.size());
+}
+
 std::vector<double> SimulationResult::delivered_delays() const {
   std::vector<double> out;
   out.reserve(outcomes.size());

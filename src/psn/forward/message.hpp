@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "psn/graph/space_time_graph.hpp"
@@ -13,12 +14,26 @@ using graph::NodeId;
 using graph::Seconds;
 using graph::Step;
 
-/// A unicast message (sigma, delta, t1) as in §4.
+/// TTL value meaning "never expires" (the historical semantics).
+inline constexpr Seconds kNoTtl = std::numeric_limits<Seconds>::infinity();
+
+/// A unicast message (sigma, delta, t1) as in §4, extended with the
+/// traffic dimensions of the contended-forwarding model (size and TTL;
+/// the network-side limits live in forward::TrafficConfig). The defaults
+/// — unit size, infinite TTL — reproduce the paper's unconstrained
+/// message exactly.
 struct Message {
   std::uint32_t id = 0;
   NodeId source = 0;
   NodeId destination = 0;
   Seconds created = 0.0;
+  /// Bytes this message occupies in buffers and on contact budgets.
+  std::uint32_t size_bytes = 1;
+  /// Lifetime: the message expires at `created + ttl` (kNoTtl = never).
+  Seconds ttl = kNoTtl;
+
+  /// Absolute expiry time; +infinity when the message never expires.
+  [[nodiscard]] Seconds expiry_time() const noexcept { return created + ttl; }
 };
 
 /// What happened to one message under one forwarding algorithm.
@@ -26,6 +41,12 @@ struct MessageOutcome {
   bool delivered = false;
   Seconds delay = 0.0;      ///< delivery time - creation time; if delivered.
   std::uint16_t hops = 0;   ///< hop count of the delivering copy.
+  /// TTL elapsed before delivery: every copy was discarded at
+  /// `created + ttl` (exactly, even across skipped sparse-timeline gaps).
+  bool expired = false;
+  /// The last surviving copy was evicted from a bounded buffer (or the
+  /// source buffer could never hold the message): undeliverable for good.
+  bool dropped = false;
 };
 
 /// A batch result: outcome[i] corresponds to messages[i].
@@ -36,10 +57,23 @@ struct SimulationResult {
   /// leaves open; our cost-extension benches report it per algorithm.
   std::uint64_t transmissions = 0;
   /// Steps whose within-step relay fixpoint was cut off by
-  /// SimulatorConfig::max_relay_passes while still making progress.
+  /// SimulationRequest::max_relay_passes while still making progress.
   /// Nonzero means forwarding chains were silently truncated; the
   /// paper-scale integration tests assert this stays zero.
   std::uint64_t truncated_relay_steps = 0;
+  /// Messages whose TTL elapsed undelivered (outcome.expired count).
+  std::uint64_t expirations = 0;
+  /// Copies evicted from bounded buffers to admit incoming messages.
+  std::uint64_t evictions = 0;
+  /// Messages that lost their last copy to eviction (outcome.dropped
+  /// count) — distinct from expirations, which are TTL deaths.
+  std::uint64_t drops = 0;
+  /// Transfers refused because the contact edge's per-step byte budget
+  /// could not fit the message (the copy stays put; not a message death).
+  std::uint64_t budget_blocked = 0;
+  /// Transfers refused because the message exceeds the receiving node's
+  /// whole buffer capacity (only possible when size > capacity).
+  std::uint64_t buffer_rejections = 0;
 
   [[nodiscard]] std::size_t delivered_count() const noexcept;
   [[nodiscard]] double success_rate() const noexcept;
@@ -49,6 +83,10 @@ struct SimulationResult {
   [[nodiscard]] std::vector<double> delivered_delays() const;
   /// Transmissions per generated message; the cost metric.
   [[nodiscard]] double transmissions_per_message() const noexcept;
+  /// Fraction of messages that died undelivered to TTL expiry.
+  [[nodiscard]] double expiry_rate() const noexcept;
+  /// Fraction of messages that lost every copy to buffer eviction.
+  [[nodiscard]] double drop_rate() const noexcept;
 };
 
 }  // namespace psn::forward

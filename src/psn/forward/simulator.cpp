@@ -1,12 +1,18 @@
 #include "psn/forward/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <span>
 #include <stdexcept>
 
 #include "psn/util/rng.hpp"
 
 namespace psn::forward {
+
+SimulationResult simulate(const SimulationRequest& request) {
+  SimulatorWorkspace workspace;
+  return simulate(request, workspace);
+}
 
 SimulationResult simulate(ForwardingAlgorithm& algorithm,
                           const graph::SpaceTimeGraph& graph,
@@ -22,22 +28,51 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
                           const trace::ContactTrace& trace,
                           const std::vector<Message>& messages,
                           const SimulatorConfig& config,
-                          SimulatorWorkspace& ws) {
+                          SimulatorWorkspace& workspace) {
+  SimulationRequest request;
+  request.algorithm = &algorithm;
+  request.graph = &graph;
+  request.trace = &trace;
+  request.messages = &messages;
+  request.max_relay_passes = config.max_relay_passes;
+  request.seed = config.seed;
+  request.replay = config.replay;
+  return simulate(request, workspace);
+}
+
+SimulationResult simulate(const SimulationRequest& request,
+                          SimulatorWorkspace& workspace) {
+  if (request.algorithm == nullptr || request.graph == nullptr ||
+      request.trace == nullptr || request.messages == nullptr)
+    throw std::invalid_argument("simulate: null field in SimulationRequest");
+
+  ForwardingAlgorithm& algorithm = *request.algorithm;
+  const graph::SpaceTimeGraph& graph = *request.graph;
+  const std::vector<Message>& messages = *request.messages;
+  const TrafficConfig& traffic = request.traffic;
+
   const NodeId n = graph.num_nodes();
+  bool has_ttl = false;
   for (const Message& m : messages) {
     if (m.source >= n || m.destination >= n)
       throw std::invalid_argument("simulate: message endpoint out of range");
     if (m.source == m.destination)
       throw std::invalid_argument("simulate: source equals destination");
+    if (m.size_bytes == 0)
+      throw std::invalid_argument("simulate: message size must be >= 1 byte");
+    if (std::isnan(m.ttl) || m.ttl < 0.0)
+      throw std::invalid_argument("simulate: message ttl must be >= 0");
+    if (m.ttl != kNoTtl) has_ttl = true;
   }
 
   algorithm.reset();
-  algorithm.prepare(graph, trace);
+  algorithm.prepare(graph, *request.trace);
 
-  util::Rng rng(config.seed);
+  util::Rng rng(request.seed);
+  detail::SimulatorState& ws = workspace.internal_state();
 
   // Messages sorted by creation time for activation.
-  auto& order = ws.order_;
+  auto& order = ws.order;
   order.resize(messages.size());
   for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(),
@@ -46,26 +81,61 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
             });
   std::size_t next_activation = 0;
 
+  // Finite-TTL messages sorted by expiry time: an advancing cursor over
+  // this list implements exact expiry without a priority queue. Ties
+  // break by id so dense and sparse replay expire in identical order.
+  auto& expiry_order = ws.expiry_order;
+  expiry_order.clear();
+  std::size_t next_expiry = 0;
+  if (has_ttl) {
+    for (std::uint32_t i = 0; i < messages.size(); ++i)
+      if (messages[i].ttl != kNoTtl) expiry_order.push_back(i);
+    std::sort(expiry_order.begin(), expiry_order.end(),
+              [&](std::uint32_t lhs, std::uint32_t rhs) {
+                const Seconds tl = messages[lhs].expiry_time();
+                const Seconds tr = messages[rhs].expiry_time();
+                if (tl != tr) return tl < tr;
+                return lhs < rhs;
+              });
+  }
+
   SimulationResult result;
   result.outcomes.assign(messages.size(), {});
 
   // Workspace state is grown, never shrunk: slots beyond this run's needs
   // keep their capacity for a later, larger run. Only the flags are reset
   // here — holder sets / hop arrays are (re)initialized at activation.
-  auto& state = ws.states_;
+  auto& state = ws.states;
   if (state.size() < messages.size()) state.resize(messages.size());
-  for (std::size_t i = 0; i < messages.size(); ++i)
+  for (std::size_t i = 0; i < messages.size(); ++i) {
     state[i].delivered = false;
+    state[i].active = false;
+    state[i].expired = false;
+    state[i].dropped = false;
+  }
 
-  // The flooding fast path tracks only holder sets; the generic path also
-  // keeps per-node message lists.
+  const bool capacity_limited = traffic.capacity_limited();
+  const bool budget_limited = traffic.budget_limited();
+
+  // The flooding fast path tracks only holder sets, which is incompatible
+  // with byte-accounted buffers and budgets — constrained runs of a
+  // flooding algorithm take the generic path, whose per-step work is
+  // bounded by buffer capacity. TTL alone keeps the fast path: expiry
+  // clears a message's holders before the step's contacts are processed.
   const bool flooding = algorithm.replicates() &&
-                        algorithm.initial_copies() == 0;
-  auto& at_node = ws.at_node_;
+                        algorithm.initial_copies() == 0 &&
+                        traffic.unconstrained();
+  auto& at_node = ws.at_node;
   if (at_node.size() < n) at_node.resize(n);
   for (NodeId v = 0; v < n; ++v) at_node[v].clear();
-  auto& active_msgs = ws.active_msgs_;  // ids of active, undelivered.
+  auto& active_msgs = ws.active_msgs;  // ids of active, undelivered.
   active_msgs.clear();
+
+  auto& store_bytes = ws.store_bytes;
+  if (capacity_limited) {
+    if (store_bytes.size() < n) store_bytes.resize(n);
+    std::fill_n(store_bytes.begin(), n, std::uint64_t{0});
+  }
 
   const std::uint32_t quota = algorithm.initial_copies();
   const bool quota_scheme = quota > 1;
@@ -80,6 +150,104 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
     outcome.delay = graph.step_end(s) - messages[id].created;
     outcome.hops = hops;
     ++result.transmissions;  // the final hop to the destination.
+    // A delivered message is inert: every remaining copy stops counting
+    // against its holder's buffer (the copies themselves are removed
+    // lazily from the per-node lists).
+    if (capacity_limited) {
+      const std::uint64_t sz = messages[id].size_bytes;
+      st.holders.for_each([&](std::uint32_t v) { store_bytes[v] -= sz; });
+    }
+  };
+
+  // Expires every finite-TTL message whose expiry time has passed by
+  // `threshold`. Called with the step start before each processed step, so
+  // a TTL elapsing inside a skipped sparse-timeline gap takes effect
+  // before the next active step's first contact — exactly when the dense
+  // replay (which visits the gap as no-op steps) would apply it.
+  const auto expire_until = [&](Seconds threshold) {
+    while (next_expiry < expiry_order.size()) {
+      const std::uint32_t id = expiry_order[next_expiry];
+      if (messages[id].expiry_time() > threshold) break;
+      ++next_expiry;
+      auto& st = state[id];
+      if (st.delivered || st.expired || st.dropped) continue;
+      st.expired = true;
+      result.outcomes[id].expired = true;
+      ++result.expirations;
+      if (st.active) {
+        if (capacity_limited) {
+          const std::uint64_t sz = messages[id].size_bytes;
+          st.holders.for_each([&](std::uint32_t v) { store_bytes[v] -= sz; });
+        }
+        // Cleared holders make every remaining per-node list entry stale;
+        // the relay and flood scans drop them lazily.
+        st.holders.clear();
+      }
+    }
+  };
+
+  // Evicts resident copies at `node` until `incoming` more bytes fit,
+  // per the configured policy. Only called when incoming <= capacity, so
+  // it always succeeds: the per-node list holds every byte-accounted copy,
+  // and evicting all of them frees the whole buffer. Evicting the last
+  // copy of a message drops the message for good.
+  const auto make_room = [&](NodeId node, std::uint64_t incoming) {
+    const std::uint64_t capacity = traffic.buffer_capacity_bytes;
+    if (store_bytes[node] + incoming <= capacity) return;
+    auto& list = at_node[node];
+    // Compact away stale entries (delivered / expired / moved away) so
+    // the victim scan sees exactly the live residents.
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const auto& st = state[list[i]];
+      if (!st.delivered && !st.expired && st.holders.test(node))
+        list[k++] = list[i];
+    }
+    list.resize(k);
+    while (store_bytes[node] + incoming > capacity) {
+      std::size_t victim = 0;
+      switch (traffic.eviction) {
+        case EvictionPolicy::kDropOldest:
+          for (std::size_t i = 1; i < list.size(); ++i) {
+            const Message& cand = messages[list[i]];
+            const Message& best = messages[list[victim]];
+            if (cand.created < best.created ||
+                (cand.created == best.created && cand.id < best.id))
+              victim = i;
+          }
+          break;
+        case EvictionPolicy::kDropLargestHop:
+          for (std::size_t i = 1; i < list.size(); ++i) {
+            const auto ch = state[list[i]].hops[node];
+            const auto bh = state[list[victim]].hops[node];
+            if (ch > bh) {
+              victim = i;
+            } else if (ch == bh) {
+              const Message& cand = messages[list[i]];
+              const Message& best = messages[list[victim]];
+              if (cand.created < best.created ||
+                  (cand.created == best.created && cand.id < best.id))
+                victim = i;
+            }
+          }
+          break;
+        case EvictionPolicy::kRandom:
+          victim = rng.uniform_index(list.size());
+          break;
+      }
+      const std::uint32_t vid = list[victim];
+      auto& vst = state[vid];
+      vst.holders.reset(node);
+      store_bytes[node] -= messages[vid].size_bytes;
+      ++result.evictions;
+      list[victim] = list.back();
+      list.pop_back();
+      if (vst.holders.count() == 0) {
+        vst.dropped = true;
+        result.outcomes[vid].dropped = true;
+        ++result.drops;
+      }
+    }
   };
 
   // Scratch for the flooding fast path's hop-level computation: a lazy
@@ -87,13 +255,13 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
   // holder-seeded start levels. `mark` is generation-stamped so a BFS
   // costs O(component), not O(n); the generation survives workspace reuse
   // (monotone, never reset), so a warm workspace needs no re-zeroing.
-  auto& level = ws.level_;
-  auto& mark = ws.mark_;
+  auto& level = ws.level;
+  auto& mark = ws.mark;
   if (flooding && level.size() < n) {
     level.resize(n, 0);
     mark.resize(n, 0);
   }
-  auto& buckets = ws.buckets_;
+  auto& buckets = ws.buckets;
   // Settles hop levels for the component `mask` at step s, seeded by the
   // message's holders at their current hop counts. If `stop_at` is inside
   // the component, returns as soon as its level is known; otherwise
@@ -105,9 +273,9 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
   // observable output — are unchanged while the log factor disappears.
   const auto settle_component =
       [&](graph::Step s, const util::NodeSet& mask,
-          const SimulatorWorkspace::MessageState& st, NodeId stop_at,
+          const detail::SimulatorState::MessageState& st, NodeId stop_at,
           bool has_stop) -> std::uint32_t {
-    const std::uint64_t gen = ++ws.mark_gen_;
+    const std::uint64_t gen = ++ws.mark_gen;
     std::uint32_t top = 0;  // highest bucket index in use.
     const std::uint32_t words = std::min(mask.num_words(),
                                          st.holders.num_words());
@@ -162,13 +330,13 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
     // identical to a canonical components_at() labeling restricted to
     // components with edges. Masks come from the workspace pool (cleared,
     // capacity kept).
-    auto& masks = ws.masks_;
+    auto& masks = ws.masks;
     std::size_t num_masks = 0;
     {
-      const std::uint64_t gen = ++ws.stamp_gen_;
-      auto& stamp = ws.node_stamp_;
+      const std::uint64_t gen = ++ws.stamp_gen;
+      auto& stamp = ws.node_stamp;
       if (stamp.size() < n) stamp.resize(n, 0);
-      auto& queue = ws.bfs_queue_;
+      auto& queue = ws.bfs_queue;
       for (const graph::StepEdge& e : step_edges) {
         if (stamp[e.a] == gen) continue;  // component already masked.
         if (num_masks == masks.size())
@@ -195,7 +363,7 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
     }
     for (const std::uint32_t id : active_msgs) {
       auto& st = state[id];
-      if (st.delivered) continue;
+      if (st.delivered || st.expired) continue;
       const NodeId dest = messages[id].destination;
       for (std::size_t mi = 0; mi < num_masks; ++mi) {
         const auto& mask = masks[mi];
@@ -229,29 +397,52 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
   // One step of the replay. Identical work in both modes; the mode only
   // selects which step ids this is invoked for.
   const auto process_step = [&](graph::Step s) {
-    // Activate messages created at or before this step. Under the sparse
-    // timeline a message created inside a skipped gap activates here, at
-    // the first active step after its creation — indistinguishable from
-    // dense activation, because holder state is only read where contact
-    // edges exist.
+    const auto step_edges = graph.edges(s);
+    // A contact-free step is a complete no-op — expiry, activation, and
+    // compaction all wait for the next step with edges. Holder state is
+    // only ever read where contacts exist, so deferring is unobservable,
+    // and it keeps the dense replay (which visits gap steps) bit-identical
+    // to the sparse timeline (which skips them) by construction.
+    if (step_edges.empty()) return;
+
+    // Expiry first: a message is live during step s only if its TTL
+    // outlasts the step's start.
+    if (has_ttl) expire_until(static_cast<Seconds>(s) * graph.delta());
+
+    // Activate messages created at or before this step. A message created
+    // inside a contact-free gap activates at the first step with edges
+    // after its creation. The source buffer must admit the message:
+    // under bounded buffers activation can evict residents, and a message
+    // larger than the whole buffer is stillborn.
     while (next_activation < order.size()) {
       const std::uint32_t id = order[next_activation];
       if (graph.step_of(messages[id].created) > s) break;
+      ++next_activation;
       auto& st = state[id];
+      if (st.expired) continue;  // TTL elapsed before the first contact.
+      const Message& m = messages[id];
+      if (capacity_limited) {
+        if (m.size_bytes > traffic.buffer_capacity_bytes) {
+          ++result.buffer_rejections;
+          st.dropped = true;
+          result.outcomes[id].dropped = true;
+          ++result.drops;
+          continue;
+        }
+        make_room(m.source, m.size_bytes);
+        store_bytes[m.source] += m.size_bytes;
+      }
+      st.active = true;
       st.holders.clear();
-      st.holders.set(messages[id].source);
+      st.holders.set(m.source);
       st.hops.assign(n, 0);
       if (quota_scheme) {
         st.copies.assign(n, 0);
-        st.copies[messages[id].source] = quota;
+        st.copies[m.source] = quota;
       }
-      if (!flooding) at_node[messages[id].source].push_back(id);
+      if (!flooding) at_node[m.source].push_back(id);
       active_msgs.push_back(id);
-      ++next_activation;
     }
-
-    const auto step_edges = graph.edges(s);
-    if (step_edges.empty()) return;  // dense mode only: a gap step.
 
     // History observation, in deterministic trace order, consuming the
     // graph's precomputed new-contact flags (a pure graph property —
@@ -271,12 +462,13 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
       // component settle so epidemic deliveries carry real hop counts
       // (Fig. 14-style statistics) instead of the historical 0.
       //
-      // With no live (activated, undelivered) flood, nothing this step
-      // could change — skip the component BFS and the mask scan outright.
-      // The flooding path draws no randomness, so the skip is invisible.
+      // With no live (activated, undelivered, unexpired) flood, nothing
+      // this step could change — skip the component BFS and the mask scan
+      // outright. The flooding path draws no randomness, so the skip is
+      // invisible.
       bool live = false;
       for (const std::uint32_t id : active_msgs) {
-        if (!state[id].delivered) {
+        if (!state[id].delivered && !state[id].expired) {
           live = true;
           break;
         }
@@ -285,24 +477,41 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
     } else {
       // Generic path: relay across edges to a fixpoint so forwarding
       // chains can cross several contacts within one step.
-      auto& edges = ws.edges_;
+      auto& edges = ws.edges;
       edges.assign(step_edges.begin(), step_edges.end());
       rng.shuffle(edges);
 
-      const auto relay = [&](NodeId x, NodeId y) -> bool {
+      // Per-edge byte budgets for this step, parallel to the shuffled
+      // edge buffer: shared by both directions and all relay passes, so
+      // one congested contact stays congested for the whole step.
+      auto& edge_budget = ws.edge_budget;
+      if (budget_limited)
+        edge_budget.assign(edges.size(), traffic.contact_budget_bytes);
+
+      const auto relay = [&](NodeId x, NodeId y, std::size_t ei) -> bool {
         bool changed = false;
         auto& list = at_node[x];
         for (std::size_t i = 0; i < list.size();) {
           const std::uint32_t id = list[i];
           auto& st = state[id];
-          // Lazily drop stale entries (delivered or moved away).
-          if (st.delivered || !st.holders.test(x)) {
+          // Lazily drop stale entries (delivered, expired, evicted, or
+          // moved away).
+          if (st.delivered || st.expired || !st.holders.test(x)) {
             list[i] = list.back();
             list.pop_back();
             continue;
           }
           const NodeId dest = messages[id].destination;
+          const std::uint64_t sz = messages[id].size_bytes;
           if (y == dest) {
+            // The final hop consumes contact budget like any transfer;
+            // a blocked delivery stays queued for a later contact.
+            if (budget_limited && edge_budget[ei] < sz) {
+              ++result.budget_blocked;
+              ++i;
+              continue;
+            }
+            if (budget_limited) edge_budget[ei] -= sz;
             deliver(id, s, static_cast<std::uint16_t>(st.hops[x] + 1));
             changed = true;
             list[i] = list.back();
@@ -312,10 +521,29 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
           if (!st.holders.test(y) &&
               algorithm.should_forward(x, y, dest, s,
                                        quota_scheme ? st.copies[x] : 1)) {
-            if (quota_scheme) {
-              // Binary spray: hand over half the remaining budget; the
-              // holder keeps a copy while it has budget.
-              if (st.copies[x] > 1) {
+            // Quota schemes only hand over copies while budget remains;
+            // the traffic checks run after that gate so the counters see
+            // only transfers that would actually happen.
+            const bool wants = !quota_scheme || st.copies[x] > 1;
+            bool admitted = wants;
+            if (admitted && capacity_limited &&
+                sz > traffic.buffer_capacity_bytes) {
+              ++result.buffer_rejections;
+              admitted = false;
+            }
+            if (admitted && budget_limited && edge_budget[ei] < sz) {
+              ++result.budget_blocked;
+              admitted = false;
+            }
+            if (admitted) {
+              if (capacity_limited) {
+                make_room(y, sz);
+                store_bytes[y] += sz;
+              }
+              if (budget_limited) edge_budget[ei] -= sz;
+              if (quota_scheme) {
+                // Binary spray: hand over half the remaining budget; the
+                // holder keeps a copy while it has budget.
                 const std::uint32_t give = st.copies[x] / 2;
                 st.copies[x] -= give;
                 st.copies[y] = give;
@@ -324,23 +552,25 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
                 at_node[y].push_back(id);
                 ++result.transmissions;
                 changed = true;
+              } else if (algorithm.replicates()) {
+                st.holders.set(y);
+                st.hops[y] = static_cast<std::uint16_t>(st.hops[x] + 1);
+                at_node[y].push_back(id);
+                ++result.transmissions;
+                changed = true;
+              } else {
+                if (capacity_limited)
+                  store_bytes[x] -= sz;  // the single copy moves away.
+                st.holders.reset(x);
+                st.holders.set(y);
+                st.hops[y] = static_cast<std::uint16_t>(st.hops[x] + 1);
+                at_node[y].push_back(id);
+                ++result.transmissions;
+                changed = true;
+                list[i] = list.back();
+                list.pop_back();
+                continue;
               }
-            } else if (algorithm.replicates()) {
-              st.holders.set(y);
-              st.hops[y] = static_cast<std::uint16_t>(st.hops[x] + 1);
-              at_node[y].push_back(id);
-              ++result.transmissions;
-              changed = true;
-            } else {
-              st.holders.reset(x);
-              st.holders.set(y);
-              st.hops[y] = static_cast<std::uint16_t>(st.hops[x] + 1);
-              at_node[y].push_back(id);
-              ++result.transmissions;
-              changed = true;
-              list[i] = list.back();
-              list.pop_back();
-              continue;
             }
           }
           ++i;
@@ -349,13 +579,14 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
       };
 
       bool converged = false;
-      for (std::uint32_t pass = 0; pass < config.max_relay_passes; ++pass) {
+      for (std::uint32_t pass = 0; pass < request.max_relay_passes; ++pass) {
         bool changed = false;
-        for (const graph::StepEdge& e : edges) {
+        for (std::size_t ei = 0; ei < edges.size(); ++ei) {
+          const graph::StepEdge& e = edges[ei];
           // Empty-list hoist: relay() on a holder-less endpoint is a
           // no-op, and most endpoints hold nothing — skip the call.
-          if (!at_node[e.a].empty() && relay(e.a, e.b)) changed = true;
-          if (!at_node[e.b].empty() && relay(e.b, e.a)) changed = true;
+          if (!at_node[e.a].empty() && relay(e.a, e.b, ei)) changed = true;
+          if (!at_node[e.b].empty() && relay(e.b, e.a, ei)) changed = true;
         }
         if (!changed) {
           converged = true;
@@ -369,12 +600,12 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
     // Compact the active list occasionally.
     if ((s & 63) == 0) {
       std::erase_if(active_msgs, [&](std::uint32_t id) {
-        return state[id].delivered;
+        return state[id].delivered || state[id].expired || state[id].dropped;
       });
     }
   };
 
-  if (config.replay == ReplayMode::kDense) {
+  if (request.replay == ReplayMode::kDense) {
     for (graph::Step s = 0; s < graph.num_steps(); ++s) process_step(s);
   } else {
     // Sparse event timeline: only steps carrying contact edges are
@@ -382,6 +613,14 @@ SimulationResult simulate(ForwardingAlgorithm& algorithm,
     // activate — nothing could happen to them anyway.
     for (const graph::Step s : graph.active_steps()) process_step(s);
   }
+
+  // Expiry sweep over the rest of the trace window: a TTL elapsing after
+  // the last contact still expires (identically in both replay modes —
+  // the dense mode's trailing gap steps are no-ops too). TTLs outlasting
+  // the window leave the message undelivered-but-unexpired: still in
+  // flight when the trace ends.
+  if (has_ttl && graph.num_steps() > 0)
+    expire_until(graph.step_end(graph.num_steps() - 1));
 
   return result;
 }

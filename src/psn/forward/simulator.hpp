@@ -1,25 +1,44 @@
-// Trace-driven forwarding simulator (paper §6.1).
+// Trace-driven forwarding simulator (paper §6.1), extended with the
+// contended-forwarding traffic model (bandwidth budgets, bounded buffers,
+// TTL — forward/traffic.hpp).
 //
 // The simulator replays the space-time graph's *event timeline*: only
 // steps carrying at least one contact edge (graph::SpaceTimeGraph's
 // active-step index) are visited, so per-run cost is proportional to
-// contact events rather than to wall-clock steps. Messages created inside
-// a skipped gap are activated lazily at the next active step — before any
-// contact is processed there — which is observationally identical to the
-// historical dense replay, since holder state is only ever read when a
-// contact edge exists. The dense step-by-step replay is retained as
-// ReplayMode::kDense, the equivalence oracle the tests diff the sparse
-// path against (bit-identical outcomes, delays, hops, transmissions).
+// contact events rather than to wall-clock steps. A contact-free step is a
+// complete no-op in both replay modes: message activation, TTL expiry, and
+// forwarding all happen at the next active step — observationally
+// identical to acting inside the gap, since holder state is only ever read
+// where a contact edge exists, and what makes the dense replay
+// (ReplayMode::kDense) a bit-exact equivalence oracle for the sparse
+// timeline, drop/expiry/eviction events included.
 //
 // Within one step the simulator relays to a fixpoint: a forwarding chain
 // can cross several contact edges in one step (the zero-weight closure of
 // §4.1), which is what makes Epidemic achieve exactly the optimal
 // delivery time T(sigma, delta, t1).
 //
-// Modeling choices mirror the paper: infinite buffers (copies are held to
-// the end of the run), zero transmission time, symmetric contacts, and
-// minimal progress (delivery to an encountered destination is automatic
-// and not delegated to the algorithm).
+// Traffic semantics (DESIGN.md §8):
+//  * TTL — a message is live during step s iff its expiry time
+//    (created + ttl) is > the step's start; expiry is checked before the
+//    step's first contact, so a TTL elapsing inside a skipped gap expires
+//    the message exactly. Expiry frees every held copy.
+//  * contact budget — each edge carries at most contact_budget_bytes per
+//    step, pooled across directions and relay passes; a blocked transfer
+//    is counted and retried at later contacts.
+//  * bounded buffers — a node stores at most buffer_capacity_bytes;
+//    admission evicts residents per the eviction policy, and evicting the
+//    last copy of an undelivered message drops it for good.
+// With every limit infinite (the defaults) the replay is bit-identical to
+// the historical unconstrained simulator, including its RNG stream (the
+// eviction stream draws only when an eviction actually happens).
+//
+// Modeling choices mirror the paper where unconstrained: zero transmission
+// time, symmetric contacts, and minimal progress (delivery to an
+// encountered destination is automatic and not delegated to the
+// algorithm). Delivery frees every remaining copy of the message — the
+// delivered-message-is-inert rule the unconstrained simulator always had,
+// extended to buffer accounting.
 
 #pragma once
 
@@ -29,6 +48,7 @@
 
 #include "psn/forward/algorithm.hpp"
 #include "psn/forward/message.hpp"
+#include "psn/forward/traffic.hpp"
 #include "psn/util/node_set.hpp"
 
 namespace psn::forward {
@@ -41,21 +61,93 @@ enum class ReplayMode : std::uint8_t {
   kDense,   ///< every discretized step (pre-timeline reference semantics).
 };
 
-struct SimulatorConfig {
+/// One fully-specified simulation: what to run (algorithm), over what
+/// (graph + trace), with which workload (messages), under which traffic
+/// limits, replayed how, seeded with what. This is the simulator's single
+/// entry point; engine::run_sweep builds one per run. All pointers are
+/// non-owning and must outlive the simulate() call; simulate() validates
+/// them and throws std::invalid_argument on nulls or malformed messages.
+struct SimulationRequest {
+  ForwardingAlgorithm* algorithm = nullptr;
+  const graph::SpaceTimeGraph* graph = nullptr;
+  const trace::ContactTrace* trace = nullptr;
+  const std::vector<Message>* messages = nullptr;
+  /// Bandwidth/buffer limits (defaults are unlimited — paper semantics).
+  TrafficConfig traffic;
   /// Maximum relay passes within one step (a safety bound on the fixpoint
   /// loop; chains longer than this are truncated).
   std::uint32_t max_relay_passes = 128;
-  /// Seed for the per-step shuffle of edge processing order, which breaks
-  /// ties among simultaneous forwarding opportunities.
+  /// Seed of the per-run stream: the per-step shuffle of edge processing
+  /// order (tie-break among simultaneous forwarding opportunities) and,
+  /// under EvictionPolicy::kRandom, the eviction victim draws.
   std::uint64_t seed = 1;
   /// Step sequence to replay (see ReplayMode).
   ReplayMode replay = ReplayMode::kSparse;
 };
 
+/// Legacy knob struct of the pre-SimulationRequest API. Deprecated: only
+/// the compatibility shims below still consume it; new code sets the same
+/// fields on SimulationRequest directly.
+struct SimulatorConfig {
+  std::uint32_t max_relay_passes = 128;
+  std::uint64_t seed = 1;
+  ReplayMode replay = ReplayMode::kSparse;
+};
+
+namespace detail {
+
+/// The simulator's reusable scratch state. Internal: the layout is an
+/// implementation detail of simulate() and may change at any release;
+/// callers interact only with SimulatorWorkspace as an opaque handle
+/// (which is what decouples workspace ownership — the sweep engine, tests,
+/// drivers — from the simulator's internals without friend declarations).
+struct SimulatorState {
+  struct MessageState {
+    util::NodeSet holders;
+    std::vector<std::uint16_t> hops;    ///< per holding node.
+    std::vector<std::uint32_t> copies;  ///< per holding node (quota schemes).
+    bool delivered = false;
+    bool active = false;   ///< activated (holder state initialized).
+    bool expired = false;  ///< TTL elapsed; every copy discarded.
+    bool dropped = false;  ///< last copy evicted; undeliverable.
+  };
+
+  std::vector<MessageState> states;
+  std::vector<std::uint32_t> order;  ///< message ids by creation time.
+  std::vector<std::uint32_t> expiry_order;  ///< ids by expiry time.
+  std::vector<std::vector<std::uint32_t>> at_node;  ///< generic-path lists.
+  std::vector<std::uint32_t> active_msgs;
+  /// Per-node buffer occupancy in bytes (bounded-buffer runs only).
+  std::vector<std::uint64_t> store_bytes;
+  /// Remaining per-edge byte budgets for the current step, parallel to
+  /// the step's shuffled edge buffer (budget-limited runs only).
+  std::vector<std::uint64_t> edge_budget;
+  /// Flooding hop-settle scratch. `mark` entries equal `mark_gen` only
+  /// for nodes settled in the current generation; the generation counter
+  /// is never reset, so stale runs can't alias (64-bit: no wraparound).
+  std::vector<std::uint32_t> level;
+  std::vector<std::uint64_t> mark;
+  std::uint64_t mark_gen = 0;
+  /// Bucket queue for the hop settle (levels are small, so Dial's
+  /// algorithm beats a binary heap); buckets[l] holds the level-l
+  /// frontier and is left empty between settles.
+  std::vector<std::vector<NodeId>> buckets;
+  std::vector<graph::StepEdge> edges;  ///< per-step shuffle buffer.
+  std::vector<util::NodeSet> masks;    ///< component-mask pool.
+  /// Component-BFS scratch (flooding path): generation stamps mark nodes
+  /// already absorbed into a mask this step; the queue is the BFS
+  /// frontier. Same never-reset generation discipline as mark.
+  std::vector<std::uint64_t> node_stamp;
+  std::uint64_t stamp_gen = 0;
+  std::vector<NodeId> bfs_queue;
+};
+
+}  // namespace detail
+
 /// Reusable simulator scratch: per-message holder sets and hop arrays,
-/// per-node message lists, the flooding path's Dijkstra heap and
-/// generation-stamped marks, component labels/masks, and the per-step edge
-/// shuffle buffer. A workspace warmed by one run lets subsequent runs
+/// per-node message lists and buffer occupancy, the flooding path's
+/// hop-settle and component scratch, and the per-step edge shuffle and
+/// budget buffers. A workspace warmed by one run lets subsequent runs
 /// execute without heap allocation (capacities are retained, never
 /// shrunk), which is why the sweep engine owns one per worker thread.
 ///
@@ -70,56 +162,36 @@ class SimulatorWorkspace {
   SimulatorWorkspace(SimulatorWorkspace&&) = default;
   SimulatorWorkspace& operator=(SimulatorWorkspace&&) = default;
 
+  /// The simulator's view of the scratch state. Internal — not a stable
+  /// API surface; exists so simulate() needs no friend declaration.
+  [[nodiscard]] detail::SimulatorState& internal_state() noexcept {
+    return state_;
+  }
+
  private:
-  friend SimulationResult simulate(ForwardingAlgorithm& algorithm,
-                                   const graph::SpaceTimeGraph& graph,
-                                   const trace::ContactTrace& trace,
-                                   const std::vector<Message>& messages,
-                                   const SimulatorConfig& config,
-                                   SimulatorWorkspace& workspace);
-
-  struct MessageState {
-    util::NodeSet holders;
-    std::vector<std::uint16_t> hops;    ///< per holding node.
-    std::vector<std::uint32_t> copies;  ///< per holding node (quota schemes).
-    bool delivered = false;
-  };
-
-  std::vector<MessageState> states_;
-  std::vector<std::uint32_t> order_;  ///< message ids by creation time.
-  std::vector<std::vector<std::uint32_t>> at_node_;  ///< generic-path lists.
-  std::vector<std::uint32_t> active_msgs_;
-  /// Flooding hop-settle scratch. `mark_` entries equal `mark_gen_` only
-  /// for nodes settled in the current generation; the generation counter
-  /// is never reset, so stale runs can't alias (64-bit: no wraparound).
-  std::vector<std::uint32_t> level_;
-  std::vector<std::uint64_t> mark_;
-  std::uint64_t mark_gen_ = 0;
-  /// Bucket queue for the hop settle (levels are small, so Dial's
-  /// algorithm beats a binary heap); buckets_[l] holds the level-l
-  /// frontier and is left empty between settles.
-  std::vector<std::vector<NodeId>> buckets_;
-  std::vector<graph::StepEdge> edges_;  ///< per-step shuffle buffer.
-  std::vector<util::NodeSet> masks_;    ///< component-mask pool.
-  /// Component-BFS scratch (flooding path): generation stamps mark nodes
-  /// already absorbed into a mask this step; the queue is the BFS
-  /// frontier. Same never-reset generation discipline as mark_.
-  std::vector<std::uint64_t> node_stamp_;
-  std::uint64_t stamp_gen_ = 0;
-  std::vector<NodeId> bfs_queue_;
+  detail::SimulatorState state_;
 };
 
-/// Runs `algorithm` over the graph for the given messages.
-/// `trace` is handed to the algorithm's prepare() for oracle knowledge.
-/// The algorithm's reset() is called before the run.
+/// Runs the request. The trace is handed to the algorithm's prepare() for
+/// oracle knowledge; the algorithm's reset() is called before the run.
+[[nodiscard]] SimulationResult simulate(const SimulationRequest& request);
+
+/// As above, reusing the caller's workspace so repeated runs (a sweep's
+/// steady state) allocate nothing once the workspace is warm. The
+/// workspace never influences results (asserted by forward_test's
+/// workspace-reuse equivalence).
+[[nodiscard]] SimulationResult simulate(const SimulationRequest& request,
+                                        SimulatorWorkspace& workspace);
+
+/// Deprecated positional shims for the pre-SimulationRequest API; kept for
+/// one release so out-of-tree drivers migrate incrementally. They forward
+/// to the request overloads with unlimited traffic, reproducing historical
+/// behavior exactly.
 [[nodiscard]] SimulationResult simulate(ForwardingAlgorithm& algorithm,
                                         const graph::SpaceTimeGraph& graph,
                                         const trace::ContactTrace& trace,
                                         const std::vector<Message>& messages,
                                         const SimulatorConfig& config = {});
-
-/// As above, reusing the caller's workspace so repeated runs (a sweep's
-/// steady state) allocate nothing once the workspace is warm.
 [[nodiscard]] SimulationResult simulate(ForwardingAlgorithm& algorithm,
                                         const graph::SpaceTimeGraph& graph,
                                         const trace::ContactTrace& trace,

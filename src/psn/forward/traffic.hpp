@@ -1,0 +1,83 @@
+// The contended-forwarding traffic model: per-contact bandwidth budgets
+// and bounded per-node message stores with a pluggable eviction policy.
+//
+// The paper's §6.1 simulator moves messages through infinite-bandwidth
+// contacts into infinite buffers, so it can only characterize *unloaded*
+// forwarding. TrafficConfig adds the two network-side resource limits that
+// load makes binding:
+//
+//  * contact_budget_bytes — how many bytes one contact edge can carry per
+//    step, shared by both directions and all messages crossing it. A
+//    transfer whose message does not fit the edge's remaining budget is
+//    blocked for that step (counted, not dropped: the copy stays where it
+//    is and may cross on a later contact).
+//  * buffer_capacity_bytes — how many bytes one node can store. A transfer
+//    into a full node evicts resident copies per `eviction` until the
+//    incoming message fits; evicting the last copy of an undelivered
+//    message drops the message for good.
+//
+// The message-side dimensions (per-message size and TTL) live on
+// forward::Message. Every limit defaults to "unlimited": a default
+// TrafficConfig reproduces the paper's unconstrained semantics
+// bit-for-bit, which is the equivalence guarantee the simulator's tests
+// pin (DESIGN.md §8).
+//
+// The per-node store is deliberately bounded-memory by construction
+// (modeled on measure-sim's fixed-size record tables): capacity limits
+// both the buffer *and* the simulator's per-step work, so a constrained
+// run's cost is O(contact edges x buffer capacity) regardless of how many
+// messages the workload injects.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace psn::forward {
+
+/// Which resident copy a full buffer sacrifices for an incoming message.
+/// All policies break ties deterministically (older creation time, then
+/// lower message id), so constrained runs stay bit-reproducible.
+enum class EvictionPolicy : std::uint8_t {
+  kDropOldest,     ///< evict the copy with the earliest creation time.
+  kDropLargestHop, ///< evict the most-traveled copy (max hop count here).
+  kRandom,         ///< evict a uniform random resident (per-run stream).
+};
+
+struct TrafficConfig {
+  /// Sentinel for "no limit" on both byte-denominated knobs.
+  static constexpr std::uint64_t kUnlimited =
+      std::numeric_limits<std::uint64_t>::max();
+
+  /// Bytes one contact edge can carry per step (both directions pooled).
+  std::uint64_t contact_budget_bytes = kUnlimited;
+  /// Bytes one node can store across all held message copies.
+  std::uint64_t buffer_capacity_bytes = kUnlimited;
+  /// Victim selection when a bounded buffer must make room.
+  EvictionPolicy eviction = EvictionPolicy::kDropOldest;
+
+  [[nodiscard]] constexpr bool budget_limited() const noexcept {
+    return contact_budget_bytes != kUnlimited;
+  }
+  [[nodiscard]] constexpr bool capacity_limited() const noexcept {
+    return buffer_capacity_bytes != kUnlimited;
+  }
+  /// True when neither network-side limit binds — the configuration under
+  /// which the simulator guarantees bit-identical results to the
+  /// historical unconstrained replay (and keeps its flooding fast path).
+  [[nodiscard]] constexpr bool unconstrained() const noexcept {
+    return !budget_limited() && !capacity_limited();
+  }
+};
+
+[[nodiscard]] constexpr const char* eviction_policy_name(
+    EvictionPolicy policy) noexcept {
+  switch (policy) {
+    case EvictionPolicy::kDropOldest: return "drop-oldest";
+    case EvictionPolicy::kDropLargestHop: return "drop-largest-hop";
+    case EvictionPolicy::kRandom: return "random";
+  }
+  return "unknown";
+}
+
+}  // namespace psn::forward

@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "psn/core/dataset.hpp"
 #include "psn/core/forwarding_study.hpp"
@@ -104,6 +106,70 @@ TEST(Workload, DeterministicInSeed) {
     EXPECT_EQ(a[i].destination, b[i].destination);
     EXPECT_DOUBLE_EQ(a[i].created, b[i].created);
   }
+}
+
+TEST(Workload, GenerateWorkloadReproducesLegacyPoissonStream) {
+  // The unified generator must replay the legacy Poisson draw sequence
+  // bit-for-bit for a given seed — sweeps that migrate to
+  // generate_workload keep their historical workloads.
+  WorkloadConfig config;
+  config.message_rate = 0.1;
+  config.horizon = 3600.0;
+  config.seed = 11;
+  const auto legacy = poisson_workload(30, config);
+
+  WorkloadConfig unified = config;
+  unified.mode = WorkloadMode::kPoissonRate;
+  unified.size_bytes = 16;
+  unified.ttl = 900.0;
+  const auto msgs = generate_workload(30, unified);
+
+  ASSERT_EQ(msgs.size(), legacy.size());
+  ASSERT_GT(msgs.size(), 0u);
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_EQ(msgs[i].id, legacy[i].id);
+    EXPECT_EQ(msgs[i].source, legacy[i].source);
+    EXPECT_EQ(msgs[i].destination, legacy[i].destination);
+    EXPECT_EQ(msgs[i].created, legacy[i].created);  // bit-identical.
+    // The traffic dimensions are stamped on after generation.
+    EXPECT_EQ(msgs[i].size_bytes, 16u);
+    EXPECT_DOUBLE_EQ(msgs[i].ttl, 900.0);
+  }
+  // The legacy entry point itself stays unconstrained.
+  for (const auto& m : legacy) {
+    EXPECT_EQ(m.size_bytes, 1u);
+    EXPECT_TRUE(std::isinf(m.ttl));
+  }
+}
+
+TEST(Workload, GenerateWorkloadReproducesLegacyFixedCountStream) {
+  const auto legacy = uniform_message_sample(50, 120, 3600.0, 9);
+
+  WorkloadConfig config;
+  config.mode = WorkloadMode::kFixedCount;
+  config.count = 120;
+  config.horizon = 3600.0;
+  config.seed = 9;
+  const auto msgs = generate_workload(50, config);
+
+  ASSERT_EQ(msgs.size(), legacy.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_EQ(msgs[i].source, legacy[i].source);
+    EXPECT_EQ(msgs[i].destination, legacy[i].destination);
+    EXPECT_EQ(msgs[i].created, legacy[i].t_start);  // bit-identical.
+    EXPECT_EQ(msgs[i].size_bytes, 1u);
+    EXPECT_TRUE(std::isinf(msgs[i].ttl));
+  }
+}
+
+TEST(Workload, FixedCountValidatesConfig) {
+  WorkloadConfig config;
+  config.mode = WorkloadMode::kFixedCount;
+  config.count = 5;
+  EXPECT_THROW((void)generate_workload(1, config), std::invalid_argument);
+  config.mode = WorkloadMode::kPoissonRate;
+  config.message_rate = 0.0;
+  EXPECT_THROW((void)generate_workload(10, config), std::invalid_argument);
 }
 
 TEST(QuadrantTest, ClassifyPairMatrix) {

@@ -72,8 +72,13 @@ TEST_P(SeededCrossCheck, EpidemicEqualsReachabilityEqualsEnumeratorT1) {
 
     // (b) Epidemic simulation.
     forward::EpidemicForwarding epidemic;
-    const auto sim = forward::simulate(
-        epidemic, scenario.graph, scenario.trace, {Message{0, src, dst, t0}});
+    const std::vector<Message> one_message = {Message{0, src, dst, t0}};
+    forward::SimulationRequest request;
+    request.algorithm = &epidemic;
+    request.graph = &scenario.graph;
+    request.trace = &scenario.trace;
+    request.messages = &one_message;
+    const auto sim = forward::simulate(request);
     std::optional<Seconds> epidemic_delay;
     if (sim.outcomes[0].delivered) epidemic_delay = sim.outcomes[0].delay;
 
@@ -150,12 +155,16 @@ TEST_P(SeededCrossCheck, NoAlgorithmBeatsEpidemic) {
   }
 
   forward::EpidemicForwarding epidemic;
-  const auto upper = forward::simulate(epidemic, scenario.graph,
-                                       scenario.trace, messages);
+  forward::SimulationRequest request;
+  request.graph = &scenario.graph;
+  request.trace = &scenario.trace;
+  request.messages = &messages;
+  request.algorithm = &epidemic;
+  const auto upper = forward::simulate(request);
 
   for (auto& alg : forward::make_extended_algorithms()) {
-    const auto r =
-        forward::simulate(*alg, scenario.graph, scenario.trace, messages);
+    request.algorithm = alg.get();
+    const auto r = forward::simulate(request);
     for (std::size_t i = 0; i < messages.size(); ++i) {
       if (r.outcomes[i].delivered) {
         // Anything delivered must also be delivered by Epidemic, no later.

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <memory>
@@ -265,6 +266,19 @@ TEST(ScenarioRegistry, NamesAreBuildableAndUnknownThrows) {
   EXPECT_FALSE(town.dataset->trace.empty());
 }
 
+TEST(ScenarioRegistry, RandomWaypointIsRegisteredAndBuildable) {
+  // The random-waypoint mobility family was promoted from an ad-hoc
+  // synth call into the registry alongside the sizing tiers.
+  const auto names = scenario_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "random_waypoint"),
+            names.end());
+  const auto scenario = make_scenario_by_name("random_waypoint");
+  ASSERT_TRUE(scenario.dataset != nullptr);
+  EXPECT_EQ(scenario.name, "random_waypoint");
+  EXPECT_EQ(scenario.dataset->trace.num_nodes(), 40u);
+  EXPECT_FALSE(scenario.dataset->trace.empty());
+}
+
 TEST(ScenarioRegistry, RepeatedBuildsAreIdentical) {
   const auto a = make_scenario_by_name("town_128");
   const auto b = make_scenario_by_name("town_128");
@@ -337,6 +351,52 @@ void expect_cells_identical(const SweepResult& lhs, const SweepResult& rhs) {
                 b.by_pair_type.per_type[t].average_delay);
     }
   }
+}
+
+// Contention does not break the parallel determinism guarantee: a sweep
+// with finite budgets, finite buffers (random eviction — the policy that
+// consumes RNG draws), and TTLs is bit-identical at 1 and 8 threads,
+// down to the traffic event counters.
+TEST(Sweep, FiniteTrafficBitIdenticalAcrossThreadCounts) {
+  const auto ds = small_dataset(29);
+  PlanConfig config;
+  config.runs = 3;
+  config.master_seed = 5;
+  config.message_rate = 0.05;
+  config.traffic.contact_budget_bytes = 2;
+  config.traffic.buffer_capacity_bytes = 3;
+  config.traffic.eviction = forward::EvictionPolicy::kRandom;
+  config.message_ttl = 900.0;
+  const auto plan =
+      make_plan({make_scenario(ds)}, {"Epidemic", "Spray+Wait"}, config);
+
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions wide;
+  wide.threads = 8;
+  const auto lhs = run_sweep(plan, serial);
+  const auto rhs = run_sweep(plan, wide);
+
+  ASSERT_EQ(lhs.cells.size(), 2u);
+  bool saw_traffic_events = false;
+  for (std::size_t c = 0; c < lhs.cells.size(); ++c) {
+    const auto& a = lhs.cells[c];
+    const auto& b = rhs.cells[c];
+    EXPECT_EQ(a.overall.success_rate, b.overall.success_rate);
+    EXPECT_EQ(a.overall.average_delay, b.overall.average_delay);
+    EXPECT_EQ(a.cost_per_message, b.cost_per_message);
+    EXPECT_EQ(a.delays, b.delays);
+    EXPECT_EQ(a.messages_offered, b.messages_offered);
+    EXPECT_EQ(a.expirations, b.expirations);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.drops, b.drops);
+    EXPECT_EQ(a.budget_blocked, b.budget_blocked);
+    EXPECT_EQ(a.buffer_rejections, b.buffer_rejections);
+    if (a.evictions > 0 || a.budget_blocked > 0) saw_traffic_events = true;
+  }
+  // The limits above are tight enough to bite on this dataset; a sweep
+  // with zero contention events would be vacuous.
+  EXPECT_TRUE(saw_traffic_events);
 }
 
 // The tentpole guarantee: run_sweep builds each cell's graph exactly once

@@ -34,7 +34,17 @@ struct Fixture {
 
   SimulationResult run(ForwardingAlgorithm& alg,
                        const std::vector<Message>& msgs) const {
-    return simulate(alg, graph, trace, msgs);
+    return simulate(request(alg, msgs));
+  }
+
+  SimulationRequest request(ForwardingAlgorithm& alg,
+                            const std::vector<Message>& msgs) const {
+    SimulationRequest r;
+    r.algorithm = &alg;
+    r.graph = &graph;
+    r.trace = &trace;
+    r.messages = &msgs;
+    return r;
   }
 };
 
@@ -152,10 +162,10 @@ TEST(Simulator, RelayTruncationIsCountedNotSilent) {
   // be counted as truncated rather than silently cut off.
   const Fixture f({Contact::make(0, 1, 0.0, 5.0)}, 2, 30.0);
   FreshForwarding fresh;  // generic (non-flooding) path
-  SimulatorConfig config;
-  config.max_relay_passes = 1;
-  const auto truncated =
-      simulate(fresh, f.graph, f.trace, {msg(0, 0, 1, 0.0)}, config);
+  const std::vector<Message> msgs = {msg(0, 0, 1, 0.0)};
+  auto request = f.request(fresh, msgs);
+  request.max_relay_passes = 1;
+  const auto truncated = simulate(request);
   EXPECT_TRUE(truncated.outcomes[0].delivered);
   EXPECT_EQ(truncated.truncated_relay_steps, 1u);
 
@@ -522,14 +532,17 @@ TEST(Simulator, EmptyMessageListIsFine) {
 // truncation counters.
 
 void expect_sparse_matches_dense(const Fixture& f,
-                                 const std::vector<Message>& msgs) {
+                                 const std::vector<Message>& msgs,
+                                 const TrafficConfig& traffic = {}) {
   for (auto& alg : make_extended_algorithms()) {
-    SimulatorConfig dense;
+    auto dense = f.request(*alg, msgs);
+    dense.traffic = traffic;
     dense.replay = ReplayMode::kDense;
-    SimulatorConfig sparse;
+    auto sparse = f.request(*alg, msgs);
+    sparse.traffic = traffic;
     sparse.replay = ReplayMode::kSparse;
-    const auto a = simulate(*alg, f.graph, f.trace, msgs, dense);
-    const auto b = simulate(*alg, f.graph, f.trace, msgs, sparse);
+    const auto a = simulate(dense);
+    const auto b = simulate(sparse);
     ASSERT_EQ(a.outcomes.size(), b.outcomes.size()) << alg->name();
     for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
       EXPECT_EQ(a.outcomes[i].delivered, b.outcomes[i].delivered)
@@ -538,10 +551,19 @@ void expect_sparse_matches_dense(const Fixture& f,
           << alg->name() << " message " << i;
       EXPECT_EQ(a.outcomes[i].hops, b.outcomes[i].hops)
           << alg->name() << " message " << i;
+      EXPECT_EQ(a.outcomes[i].expired, b.outcomes[i].expired)
+          << alg->name() << " message " << i;
+      EXPECT_EQ(a.outcomes[i].dropped, b.outcomes[i].dropped)
+          << alg->name() << " message " << i;
     }
     EXPECT_EQ(a.transmissions, b.transmissions) << alg->name();
     EXPECT_EQ(a.truncated_relay_steps, b.truncated_relay_steps)
         << alg->name();
+    EXPECT_EQ(a.expirations, b.expirations) << alg->name();
+    EXPECT_EQ(a.evictions, b.evictions) << alg->name();
+    EXPECT_EQ(a.drops, b.drops) << alg->name();
+    EXPECT_EQ(a.budget_blocked, b.budget_blocked) << alg->name();
+    EXPECT_EQ(a.buffer_rejections, b.buffer_rejections) << alg->name();
   }
 }
 
@@ -658,6 +680,56 @@ TEST(Simulator, WorkspaceReuseIsBitIdentical) {
   }
 }
 
+TEST(Simulator, DeprecatedShimsMatchRequestApi) {
+  // The positional shims must reproduce the SimulationRequest path
+  // bit-for-bit (they forward with unlimited traffic), so out-of-tree
+  // drivers migrating incrementally see no behavior change.
+  std::vector<Contact> cs;
+  for (int i = 0; i < 30; ++i)
+    cs.push_back(Contact::make(static_cast<NodeId>(i % 5),
+                               static_cast<NodeId>(i % 5 + 1), i * 20.0,
+                               i * 20.0 + 10.0));
+  const Fixture f(std::move(cs), 7, 700.0);
+  std::vector<Message> msgs;
+  for (std::uint32_t i = 0; i < 10; ++i)
+    msgs.push_back(msg(i, static_cast<NodeId>(i % 6),
+                       static_cast<NodeId>((i + 3) % 6), i * 30.0));
+  for (auto& alg : make_extended_algorithms()) {
+    auto request = f.request(*alg, msgs);
+    request.seed = 11;
+    const auto via_request = simulate(request);
+    SimulatorConfig legacy;
+    legacy.seed = 11;
+    const auto via_shim = simulate(*alg, f.graph, f.trace, msgs, legacy);
+    ASSERT_EQ(via_request.outcomes.size(), via_shim.outcomes.size())
+        << alg->name();
+    for (std::size_t i = 0; i < via_request.outcomes.size(); ++i) {
+      EXPECT_EQ(via_request.outcomes[i].delivered,
+                via_shim.outcomes[i].delivered)
+          << alg->name();
+      EXPECT_EQ(via_request.outcomes[i].delay, via_shim.outcomes[i].delay)
+          << alg->name();
+      EXPECT_EQ(via_request.outcomes[i].hops, via_shim.outcomes[i].hops)
+          << alg->name();
+    }
+    EXPECT_EQ(via_request.transmissions, via_shim.transmissions)
+        << alg->name();
+  }
+}
+
+TEST(Simulator, NullRequestFieldsThrow) {
+  const Fixture f({Contact::make(0, 1, 0.0, 5.0)}, 2, 60.0);
+  EpidemicForwarding epidemic;
+  const std::vector<Message> msgs = {msg(0, 0, 1, 0.0)};
+  EXPECT_THROW((void)simulate(SimulationRequest{}), std::invalid_argument);
+  auto no_alg = f.request(epidemic, msgs);
+  no_alg.algorithm = nullptr;
+  EXPECT_THROW((void)simulate(no_alg), std::invalid_argument);
+  auto no_msgs = f.request(epidemic, msgs);
+  no_msgs.messages = nullptr;
+  EXPECT_THROW((void)simulate(no_msgs), std::invalid_argument);
+}
+
 TEST(SimulationResultTest, Aggregates) {
   SimulationResult r;
   r.outcomes = {{true, 10.0, 1}, {false, 0.0, 0}, {true, 30.0, 2}};
@@ -665,6 +737,10 @@ TEST(SimulationResultTest, Aggregates) {
   EXPECT_NEAR(r.success_rate(), 2.0 / 3.0, 1e-12);
   EXPECT_DOUBLE_EQ(r.average_delay(), 20.0);
   EXPECT_EQ(r.delivered_delays().size(), 2u);
+  r.expirations = 1;
+  r.drops = 2;
+  EXPECT_NEAR(r.expiry_rate(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.drop_rate(), 2.0 / 3.0, 1e-12);
 }
 
 }  // namespace
