@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff a fresh BENCH_sweep.json against the
+committed baseline and fail on regression.
+
+Two classes of check, with very different trust levels:
+
+* Machine-independent metrics are gated strictly: graph arena
+  bytes/contact (deterministic layout), success rates (deterministic
+  seeds), and scenario coverage (a tier disappearing from a section is a
+  regression even if everything left got faster). The word-vs-scalar
+  flood-kernel ratio is also machine-independent in the sense that both
+  kernels ran in the *same* process on the same machine — the fresh file
+  alone must show the word kernel no slower than the scalar oracle on
+  the city_2048-and-up tiers.
+
+* Wall-clock comparisons against the committed baseline are gated
+  loosely (--wall-tolerance, default 1.5x): the baseline was produced on
+  whatever machine last regenerated it, so only large multiples are
+  signal. --skip-walls drops them entirely for known-incomparable
+  machines.
+
+Usage:
+  check_bench_regression.py --fresh build/BENCH_sweep.json \
+      --baseline BENCH_sweep.json [--wall-tolerance 1.5] [--skip-walls]
+
+Exit status 0 = no regression, 1 = regression (failures listed on
+stdout), 2 = bad invocation / unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Fresh-file word-vs-scalar gate: tiers at or above this node count must
+# show mean scalar wall >= WORD_KERNEL_MARGIN x mean word wall for the
+# flooding algorithm. Below it the kernels are within noise of each
+# other and the gate would just flake.
+WORD_KERNEL_MIN_NODES = 2048
+WORD_KERNEL_MARGIN = 0.95
+
+# Deterministic metrics still pass through floating-point printing, so
+# allow a hair of slack rather than demanding textual equality.
+SUCCESS_RATE_TOLERANCE = 1e-6
+BYTES_PER_CONTACT_TOLERANCE = 1.05
+
+
+def mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench_regression: cannot read {path}: {e}")
+        sys.exit(2)
+
+
+class Gate:
+    def __init__(self):
+        self.failures = []
+        self.checks = 0
+
+    def check(self, ok, message):
+        self.checks += 1
+        if not ok:
+            self.failures.append(message)
+
+    def coverage(self, section, baseline_keys, fresh_keys):
+        for key in baseline_keys:
+            self.check(
+                key in fresh_keys,
+                f"{section}: '{key}' present in baseline but missing from "
+                f"fresh results (coverage regression)",
+            )
+
+
+def by_scenario(points):
+    return {p["scenario"]: p for p in points}
+
+
+def check_node_scaling(gate, fresh, baseline, wall_tol):
+    fresh_pts = by_scenario(fresh.get("node_scaling", []))
+    base_pts = by_scenario(baseline.get("node_scaling", []))
+    gate.coverage("node_scaling", base_pts, fresh_pts)
+
+    for name, fp in fresh_pts.items():
+        # Word kernel must beat (or at worst tie) the scalar oracle on the
+        # large tiers — compared within the fresh file, so machine noise
+        # between runs of the gate does not apply.
+        for algo in fp.get("algorithms", []):
+            scalar = algo.get("scalar_run_wall_seconds", [])
+            word = algo.get("run_wall_seconds", [])
+            if (
+                algo["name"] == "Epidemic"
+                and scalar
+                and word
+                and fp.get("nodes", 0) >= WORD_KERNEL_MIN_NODES
+            ):
+                gate.check(
+                    mean(scalar) >= WORD_KERNEL_MARGIN * mean(word),
+                    f"node_scaling/{name}: word-parallel Epidemic "
+                    f"({mean(word):.3f}s/run) slower than scalar oracle "
+                    f"({mean(scalar):.3f}s/run)",
+                )
+
+        bp = base_pts.get(name)
+        if bp is None:
+            continue
+        if bp.get("bytes_per_contact", 0) > 0 and fp.get("bytes_per_contact", 0) > 0:
+            gate.check(
+                fp["bytes_per_contact"]
+                <= bp["bytes_per_contact"] * BYTES_PER_CONTACT_TOLERANCE,
+                f"node_scaling/{name}: arena grew to "
+                f"{fp['bytes_per_contact']:.1f} B/contact "
+                f"(baseline {bp['bytes_per_contact']:.1f})",
+            )
+        base_algos = {a["name"]: a for a in bp.get("algorithms", [])}
+        for algo in fp.get("algorithms", []):
+            ba = base_algos.get(algo["name"])
+            if ba is None:
+                continue
+            gate.check(
+                abs(algo["success_rate"] - ba["success_rate"])
+                <= SUCCESS_RATE_TOLERANCE,
+                f"node_scaling/{name}/{algo['name']}: success rate changed "
+                f"{ba['success_rate']} -> {algo['success_rate']} "
+                f"(runs are seeded; this is a behavior change, not noise)",
+            )
+            if wall_tol is not None and ba.get("run_wall_seconds"):
+                gate.check(
+                    mean(algo["run_wall_seconds"])
+                    <= mean(ba["run_wall_seconds"]) * wall_tol,
+                    f"node_scaling/{name}/{algo['name']}: "
+                    f"{mean(algo['run_wall_seconds']):.3f}s/run vs baseline "
+                    f"{mean(ba['run_wall_seconds']):.3f}s/run "
+                    f"(> {wall_tol}x)",
+                )
+
+
+def check_event_timeline(gate, fresh, baseline, wall_tol):
+    fresh_pts = by_scenario(fresh.get("event_timeline", []))
+    base_pts = by_scenario(baseline.get("event_timeline", []))
+    gate.coverage("event_timeline", base_pts, fresh_pts)
+    if wall_tol is None:
+        return
+    for name, fp in fresh_pts.items():
+        bp = base_pts.get(name)
+        if bp is None:
+            continue
+        base_algos = {a["name"]: a for a in bp.get("algorithms", [])}
+        for algo in fp.get("algorithms", []):
+            ba = base_algos.get(algo["name"])
+            if ba is None or not ba.get("sparse_run_wall_seconds"):
+                continue
+            gate.check(
+                mean(algo["sparse_run_wall_seconds"])
+                <= mean(ba["sparse_run_wall_seconds"]) * wall_tol,
+                f"event_timeline/{name}/{algo['name']}: sparse replay "
+                f"{mean(algo['sparse_run_wall_seconds']):.3f}s/run vs "
+                f"baseline {mean(ba['sparse_run_wall_seconds']):.3f}s/run "
+                f"(> {wall_tol}x)",
+            )
+
+
+def check_path_explosion(gate, fresh, baseline, wall_tol):
+    fresh_pts = by_scenario(fresh.get("path_explosion", []))
+    base_pts = by_scenario(baseline.get("path_explosion", []))
+    gate.coverage("path_explosion", base_pts, fresh_pts)
+    if wall_tol is None:
+        return
+    for name, fp in fresh_pts.items():
+        bp = base_pts.get(name)
+        if bp is None or bp.get("sparse_wall_seconds", 0) <= 0:
+            continue
+        gate.check(
+            fp["sparse_wall_seconds"] <= bp["sparse_wall_seconds"] * wall_tol,
+            f"path_explosion/{name}: sparse enumeration "
+            f"{fp['sparse_wall_seconds']:.3f}s vs baseline "
+            f"{bp['sparse_wall_seconds']:.3f}s (> {wall_tol}x)",
+        )
+
+
+def check_model(gate, fresh, baseline, wall_tol):
+    fresh_pts = by_scenario(fresh.get("model", []))
+    base_pts = by_scenario(baseline.get("model", []))
+    gate.coverage("model", base_pts, fresh_pts)
+    if wall_tol is None:
+        return
+    for name, fp in fresh_pts.items():
+        bp = base_pts.get(name)
+        if bp is None:
+            continue
+        for metric in ("jump_events_per_sec", "mc_messages_per_sec"):
+            if bp.get(metric, 0) <= 0:
+                continue
+            gate.check(
+                fp.get(metric, 0) >= bp[metric] / wall_tol,
+                f"model/{name}: {metric} {fp.get(metric, 0):.0f} vs "
+                f"baseline {bp[metric]:.0f} (> {wall_tol}x slowdown)",
+            )
+
+
+def check_sweep_matrix(gate, fresh, baseline, wall_tol):
+    if wall_tol is None:
+        return
+    fresh_pts = {p["threads_requested"]: p for p in fresh.get("points", [])}
+    base_pts = {p["threads_requested"]: p for p in baseline.get("points", [])}
+    for threads, bp in base_pts.items():
+        fp = fresh_pts.get(threads)
+        if fp is None or bp.get("runs_per_sec", 0) <= 0:
+            continue
+        gate.check(
+            fp.get("runs_per_sec", 0) >= bp["runs_per_sec"] / wall_tol,
+            f"sweep_matrix/threads={threads}: "
+            f"{fp.get('runs_per_sec', 0):.1f} runs/s vs baseline "
+            f"{bp['runs_per_sec']:.1f} (> {wall_tol}x slowdown)",
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail on perf regression between two BENCH_sweep.json files"
+    )
+    parser.add_argument("--fresh", required=True, help="freshly generated JSON")
+    parser.add_argument("--baseline", required=True, help="committed baseline")
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=1.5,
+        help="allowed slowdown multiple for wall-clock comparisons "
+        "(default 1.5; machine-independent checks are always strict)",
+    )
+    parser.add_argument(
+        "--skip-walls",
+        action="store_true",
+        help="skip wall-clock comparisons entirely (incomparable machines)",
+    )
+    args = parser.parse_args()
+    if args.wall_tolerance < 1.0:
+        print("check_bench_regression: --wall-tolerance must be >= 1.0")
+        sys.exit(2)
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+    wall_tol = None if args.skip_walls else args.wall_tolerance
+
+    gate = Gate()
+    check_node_scaling(gate, fresh, baseline, wall_tol)
+    check_event_timeline(gate, fresh, baseline, wall_tol)
+    check_path_explosion(gate, fresh, baseline, wall_tol)
+    check_model(gate, fresh, baseline, wall_tol)
+    check_sweep_matrix(gate, fresh, baseline, wall_tol)
+
+    if gate.failures:
+        print(f"PERF REGRESSION: {len(gate.failures)} of {gate.checks} "
+              "checks failed")
+        for failure in gate.failures:
+            print(f"  FAIL {failure}")
+        sys.exit(1)
+    print(f"perf gate: {gate.checks} checks passed "
+          f"({'walls skipped' if wall_tol is None else f'wall tolerance {wall_tol}x'})")
+
+
+if __name__ == "__main__":
+    main()

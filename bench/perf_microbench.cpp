@@ -6,8 +6,9 @@
 //  * the thread-scaling matrix (wall time and runs/sec per thread count
 //    on the paper-scale dataset),
 //  * the node-count scaling series (per-run wall times for epidemic and a
-//    single-copy scheme on the registry's town_128 / campus_512 /
-//    city_2048 tiers), and
+//    single-copy scheme on the registry's town_128 … megacity_65k tiers,
+//    with graph arena bytes/contact as the memory column and the scalar
+//    flood kernel re-run as the word-parallel kernel's baseline), and
 //  * the event-timeline comparison (dense step-by-step replay vs the
 //    sparse active-step timeline, per-run wall seconds on the large
 //    sparse tiers), and
@@ -26,10 +27,15 @@
 // PSN_BENCH_SWEEP_THREADS (comma list, default "1,2,4,8"),
 // PSN_BENCH_SWEEP_JSON (output path, default BENCH_sweep.json; empty
 // string disables all sweep sections), PSN_BENCH_SCALING_SCENARIOS
-// (comma list, default "town_128,campus_512,city_2048"; empty disables
+// (comma list, default
+// "town_128,campus_512,city_2048,metro_16k,megacity_65k"; empty disables
 // the scaling series), PSN_BENCH_SCALING_RUNS (default 2),
+// PSN_BENCH_SCALAR_MAX_NODES (largest tier that also re-runs the scalar
+// flood kernel, default 16384 — scalar Epidemic at 65k nodes is a ~6
+// minute run, not a per-PR trajectory point),
 // PSN_BENCH_TIMELINE_SCENARIOS (comma list, default
-// "campus_512,city_2048"; empty disables the timeline comparison),
+// "campus_512,city_2048,city_2048_diurnal"; empty disables the timeline
+// comparison),
 // PSN_BENCH_PATH_SCENARIOS (comma list, default
 // "conference_small,campus_512,city_2048"; empty disables the
 // path-explosion comparison), PSN_BENCH_PATH_MESSAGES (messages per
@@ -224,10 +230,15 @@ struct ScalePoint {
   psn::trace::NodeId nodes = 0;
   std::size_t contacts = 0;
   double dataset_build_seconds = 0.0;
-  double graph_build_seconds = 0.0;
+  double graph_build_seconds = 0.0;   ///< sharded (pool-executor) build.
+  std::size_t arena_bytes = 0;        ///< CSR arena footprint of the graph.
+  double bytes_per_contact = 0.0;     ///< arena_bytes / contacts.
   struct AlgorithmRuns {
     std::string name;
-    std::vector<double> run_walls;  ///< per-run wall times, run order.
+    std::vector<double> run_walls;  ///< word-parallel kernel, run order.
+    /// Scalar-oracle kernel walls for the same runs; empty above the
+    /// PSN_BENCH_SCALAR_MAX_NODES cap.
+    std::vector<double> scalar_run_walls;
     double success_rate = 0.0;
   };
   std::vector<AlgorithmRuns> algorithms;
@@ -301,7 +312,12 @@ std::vector<std::string> names_from_env(const char* var,
 
 std::vector<std::string> scaling_scenario_names() {
   return names_from_env("PSN_BENCH_SCALING_SCENARIOS",
-                        "town_128,campus_512,city_2048");
+                        "town_128,campus_512,city_2048,metro_16k,"
+                        "megacity_65k");
+}
+
+std::size_t scalar_max_nodes() {
+  return psn::bench::env_size("PSN_BENCH_SCALAR_MAX_NODES", 16384);
 }
 
 std::size_t scaling_runs() {
@@ -318,8 +334,15 @@ std::vector<ScalePoint> run_scaling_bench() {
   if (names.empty()) return points;
 
   const std::size_t runs = scaling_runs();
+  const std::size_t scalar_cap = scalar_max_nodes();
+  // Dataset generation and graph construction are sharded over this pool
+  // (the metropolis tiers and the CSR build); results are byte-identical
+  // to their serial builds, so the executor affects wall times only.
+  psn::engine::ThreadPool pool(psn::engine::ThreadPool::hardware_threads());
+  const psn::util::ParallelFor pool_executor = psn::engine::parallel_for(pool);
   std::cout << "\nnode-count scaling series: {epidemic, FRESH} x " << runs
-            << " runs per tier\n";
+            << " runs per tier (scalar-kernel baseline up to N="
+            << scalar_cap << ")\n";
   for (const auto& name : names) {
     ScalePoint point;
     point.scenario = name;
@@ -327,7 +350,7 @@ std::vector<ScalePoint> run_scaling_bench() {
     const auto build_start = std::chrono::steady_clock::now();
     psn::engine::Scenario scenario;
     try {
-      scenario = psn::engine::make_scenario_by_name(name);
+      scenario = psn::engine::make_scenario_by_name(name, pool_executor);
     } catch (const std::invalid_argument& e) {
       // A typo in PSN_BENCH_SCALING_SCENARIOS must not discard the rest
       // of the run's results.
@@ -341,8 +364,12 @@ std::vector<ScalePoint> run_scaling_bench() {
 
     const auto graph_start = std::chrono::steady_clock::now();
     const psn::graph::SpaceTimeGraph graph(scenario.dataset->trace,
-                                           scenario.delta);
+                                           scenario.delta, pool_executor);
     point.graph_build_seconds = seconds_since(graph_start);
+    point.arena_bytes = graph.arena_bytes();
+    if (point.contacts > 0)
+      point.bytes_per_contact = static_cast<double>(point.arena_bytes) /
+                                static_cast<double>(point.contacts);
 
     psn::engine::PlanConfig pc;
     pc.runs = runs;
@@ -355,23 +382,44 @@ std::vector<ScalePoint> run_scaling_bench() {
     psn::engine::SweepOptions options;
     options.keep_delays = false;
     const auto result = psn::engine::run_sweep(plan, options);
+    // The scalar-oracle kernel replays the identical runs as the word
+    // kernel's baseline — outcomes are bit-identical, only walls differ.
+    // Above the cap the scalar re-run is skipped (it is minutes, not
+    // seconds, at 65k nodes).
+    psn::engine::SweepResult scalar_result;
+    const bool run_scalar = point.nodes <= scalar_cap;
+    if (run_scalar) {
+      options.flood_kernel = psn::forward::FloodKernel::kScalar;
+      scalar_result = psn::engine::run_sweep(plan, options);
+    }
 
-    for (const auto& cell : result.cells) {
+    for (std::size_t c = 0; c < result.cells.size(); ++c) {
+      const auto& cell = result.cells[c];
       ScalePoint::AlgorithmRuns algo;
       algo.name = cell.algorithm;
       algo.run_walls = cell.run_walls;
+      if (run_scalar) algo.scalar_run_walls = scalar_result.cells[c].run_walls;
       algo.success_rate = cell.overall.success_rate;
       point.algorithms.push_back(std::move(algo));
     }
     std::cout << "  " << name << ": N=" << point.nodes
               << "  contacts=" << point.contacts
-              << "  graph_build=" << point.graph_build_seconds << "s";
+              << "  graph_build=" << point.graph_build_seconds << "s"
+              << "  arena=" << point.bytes_per_contact << " B/contact";
     for (const auto& algo : point.algorithms) {
       double sum = 0.0;
       for (const double w : algo.run_walls) sum += w;
       std::cout << "  " << algo.name << "="
                 << sum / static_cast<double>(algo.run_walls.size())
                 << "s/run";
+      if (!algo.scalar_run_walls.empty()) {
+        double scalar_sum = 0.0;
+        for (const double w : algo.scalar_run_walls) scalar_sum += w;
+        std::cout << " (scalar "
+                  << scalar_sum /
+                         static_cast<double>(algo.scalar_run_walls.size())
+                  << "s/run)";
+      }
     }
     std::cout << '\n';
     points.push_back(std::move(point));
@@ -398,8 +446,11 @@ struct TimelinePoint {
 };
 
 std::vector<std::string> timeline_scenario_names() {
+  // city_2048_diurnal is the tier the sparse timeline exists for: a third
+  // of its window is contact-free, so gap skipping finally has gaps to
+  // skip at city scale.
   return names_from_env("PSN_BENCH_TIMELINE_SCENARIOS",
-                        "campus_512,city_2048");
+                        "campus_512,city_2048,city_2048_diurnal");
 }
 
 std::vector<TimelinePoint> run_event_timeline_bench() {
@@ -826,6 +877,8 @@ void write_bench_json(const std::string& json_path,
         << p.nodes << ", \"contacts\": " << p.contacts
         << ", \"dataset_build_seconds\": " << p.dataset_build_seconds
         << ", \"graph_build_seconds\": " << p.graph_build_seconds
+        << ", \"arena_bytes\": " << p.arena_bytes
+        << ", \"bytes_per_contact\": " << p.bytes_per_contact
         << ", \"algorithms\": [";
     for (std::size_t a = 0; a < p.algorithms.size(); ++a) {
       const auto& algo = p.algorithms[a];
@@ -833,6 +886,10 @@ void write_bench_json(const std::string& json_path,
           << algo.success_rate << ", \"run_wall_seconds\": [";
       for (std::size_t r = 0; r < algo.run_walls.size(); ++r)
         out << algo.run_walls[r] << (r + 1 < algo.run_walls.size() ? ", " : "");
+      out << "], \"scalar_run_wall_seconds\": [";
+      for (std::size_t r = 0; r < algo.scalar_run_walls.size(); ++r)
+        out << algo.scalar_run_walls[r]
+            << (r + 1 < algo.scalar_run_walls.size() ? ", " : "");
       out << "]}" << (a + 1 < p.algorithms.size() ? ", " : "");
     }
     out << "]}" << (i + 1 < scaling.size() ? "," : "") << '\n';

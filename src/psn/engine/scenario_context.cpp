@@ -10,7 +10,7 @@ ScenarioContextCache& ScenarioContextCache::instance() {
 }
 
 std::shared_ptr<const ScenarioContext> ScenarioContextCache::acquire(
-    const Scenario& scenario) {
+    const Scenario& scenario, const util::ParallelFor* parallel) {
   if (!scenario.dataset)
     throw std::invalid_argument(
         "ScenarioContextCache::acquire: scenario without dataset");
@@ -44,8 +44,15 @@ std::shared_ptr<const ScenarioContext> ScenarioContextCache::acquire(
   context->name = scenario.name;
   context->dataset = scenario.dataset;
   context->delta = scenario.delta;
-  context->graph = std::make_shared<const graph::SpaceTimeGraph>(
-      scenario.dataset->trace, scenario.delta);
+  // Sharded and serial builds produce byte-identical arenas (asserted by
+  // graph_test / scale_test), so the executor choice never leaks into the
+  // cached context.
+  context->graph =
+      parallel != nullptr
+          ? std::make_shared<const graph::SpaceTimeGraph>(
+                scenario.dataset->trace, scenario.delta, *parallel)
+          : std::make_shared<const graph::SpaceTimeGraph>(
+                scenario.dataset->trace, scenario.delta);
   graphs_built_.fetch_add(1, std::memory_order_relaxed);
   entry->context = context;
   return context;

@@ -27,6 +27,7 @@
 
 #include "psn/engine/run_spec.hpp"
 #include "psn/graph/space_time_graph.hpp"
+#include "psn/util/parallel.hpp"
 
 namespace psn::engine {
 
@@ -45,9 +46,12 @@ class ScenarioContextCache {
   [[nodiscard]] static ScenarioContextCache& instance();
 
   /// The context for `scenario`, building its graph on first use (or
-  /// after all previous holders released it). Thread-safe.
+  /// after all previous holders released it). Thread-safe. When
+  /// `parallel` is non-null a cache miss runs the sharded graph build on
+  /// it (arenas byte-identical to the serial build, so callers sharing a
+  /// cache entry need not agree on an executor); null builds serially.
   [[nodiscard]] std::shared_ptr<const ScenarioContext> acquire(
-      const Scenario& scenario);
+      const Scenario& scenario, const util::ParallelFor* parallel = nullptr);
 
   /// Number of SpaceTimeGraph constructions acquire() has performed — the
   /// build-count probe engine_test uses to assert a sweep builds each

@@ -10,7 +10,9 @@
 
 #include "psn/core/dataset.hpp"
 #include "psn/synth/conference.hpp"
+#include "psn/synth/metropolis.hpp"
 #include "psn/trace/trace_stats.hpp"
+#include "psn/util/parallel.hpp"
 
 namespace psn::engine {
 
@@ -61,9 +63,10 @@ Scenario shared_dataset_scenario(const std::string& name,
 // never meet at all and the population would fragment into isolated
 // nodes. Exponential gaps keep the realized contact volume proportional
 // to the configured rate at every N (DESIGN.md §3).
-core::Dataset conference_at_scale(const char* name, trace::NodeId mobile,
-                                  trace::NodeId stationary,
-                                  double mean_node_rate, std::uint64_t seed) {
+core::Dataset conference_at_scale(
+    const char* name, trace::NodeId mobile, trace::NodeId stationary,
+    double mean_node_rate, std::uint64_t seed,
+    std::vector<synth::ModulationSegment> modulation = {}) {
   synth::ConferenceConfig config;
   config.mobile_nodes = mobile;
   config.stationary_nodes = stationary;
@@ -71,9 +74,62 @@ core::Dataset conference_at_scale(const char* name, trace::NodeId mobile,
   config.mean_node_rate = mean_node_rate;
   config.scan_interval = 120.0;
   config.gaps = synth::GapModel::exponential;
-  config.modulation = synth::default_conference_modulation(config.t_max);
+  config.modulation = modulation.empty()
+                          ? synth::default_conference_modulation(config.t_max)
+                          : std::move(modulation);
   config.seed = seed;
   auto generated = synth::generate_conference(config);
+
+  core::Dataset ds;
+  ds.name = name;
+  ds.trace = std::move(generated.trace);
+  ds.rates = trace::classify_rates(ds.trace);
+  ds.ground_truth_rates = std::move(generated.node_rates);
+  return ds;
+}
+
+// The diurnal variant's modulation: the session/break cadence interleaved
+// with quiet half-hours (factor 0 — thinning rejects everything), modeling
+// a district where activity comes in waves with dead time between them.
+// Existing tiers are contact-dense enough that nearly every 10 s step
+// carries an edge, so the sparse event timeline's gap skipping was only
+// ever exercised at toy scale; this tier makes a third of the window
+// contact-free at city scale.
+std::vector<synth::ModulationSegment> diurnal_modulation(
+    trace::Seconds t_max) {
+  std::vector<synth::ModulationSegment> segs;
+  trace::Seconds t = 0.0;
+  while (t < t_max) {
+    const trace::Seconds active_end = std::min(t + 40.0 * 60.0, t_max);
+    segs.push_back({t, active_end, 1.0});
+    t = active_end;
+    if (t >= t_max) break;
+    const trace::Seconds quiet_end = std::min(t + 20.0 * 60.0, t_max);
+    segs.push_back({t, quiet_end, 0.0});
+    t = quiet_end;
+  }
+  return segs;
+}
+
+// A metropolis-generator tier (metro_16k and up): the same trace family as
+// the conference tiers, generated in O(#contacts) by Poisson superposition
+// (synth/metropolis.hpp) — the pairwise conference generator would visit
+// 2.1 billion pairs at 65k nodes. Sharded over `parallel`; the trace is a
+// function of the config alone, so every executor generates it
+// identically.
+core::Dataset metropolis_at_scale(const char* name, trace::NodeId mobile,
+                                  trace::NodeId stationary,
+                                  double mean_node_rate, std::uint64_t seed,
+                                  const util::ParallelFor& parallel) {
+  synth::MetropolisConfig config;
+  config.mobile_nodes = mobile;
+  config.stationary_nodes = stationary;
+  config.t_max = 3.0 * 3600.0;
+  config.mean_node_rate = mean_node_rate;
+  config.scan_interval = 120.0;
+  config.modulation = synth::default_conference_modulation(config.t_max);
+  config.seed = seed;
+  auto generated = synth::generate_metropolis(config, parallel);
 
   core::Dataset ds;
   ds.name = name;
@@ -86,8 +142,9 @@ core::Dataset conference_at_scale(const char* name, trace::NodeId mobile,
 }  // namespace
 
 std::vector<std::string> scenario_names() {
-  return {"conference_small", "random_waypoint", "town_128", "campus_512",
-          "city_2048"};
+  return {"conference_small", "random_waypoint", "town_128",
+          "campus_512",      "city_2048",       "city_2048_diurnal",
+          "metro_16k",       "megacity_65k"};
 }
 
 std::uint64_t scenario_datasets_built() noexcept {
@@ -95,6 +152,11 @@ std::uint64_t scenario_datasets_built() noexcept {
 }
 
 Scenario make_scenario_by_name(std::string_view name) {
+  return make_scenario_by_name(name, util::serial_parallel_for());
+}
+
+Scenario make_scenario_by_name(std::string_view name,
+                               const util::ParallelFor& parallel) {
   if (name == "conference_small")
     return shared_dataset_scenario(
         "conference_small", [] { return core::DatasetFactory::paper_dataset(0); });
@@ -113,6 +175,22 @@ Scenario make_scenario_by_name(std::string_view name) {
   if (name == "city_2048")
     return shared_dataset_scenario("city_2048", [] {
       return conference_at_scale("city_2048", 2000, 48, 0.012, 0x2048);
+    });
+  if (name == "city_2048_diurnal")
+    return shared_dataset_scenario("city_2048_diurnal", [] {
+      return conference_at_scale("city_2048_diurnal", 2000, 48, 0.012,
+                                 0x2049,
+                                 diurnal_modulation(3.0 * 3600.0));
+    });
+  if (name == "metro_16k")
+    return shared_dataset_scenario("metro_16k", [&parallel] {
+      return metropolis_at_scale("metro_16k", 16000, 384, 0.008, 0x16000,
+                                 parallel);
+    });
+  if (name == "megacity_65k")
+    return shared_dataset_scenario("megacity_65k", [&parallel] {
+      return metropolis_at_scale("megacity_65k", 64600, 936, 0.005, 0x65000,
+                                 parallel);
     });
   // Unknown names list the registry so a typo'd sweep config is
   // self-diagnosing instead of opaque.

@@ -11,12 +11,21 @@
 //   town_128         — 128 nodes, the historical Bitset128 ceiling, kept
 //                      as the first rung of the node-count scaling series;
 //   campus_512       — 512 nodes, a campus-sized deployment;
-//   city_2048        — 2048 nodes, a district-scale crowd.
+//   city_2048        — 2048 nodes, a district-scale crowd;
+//   city_2048_diurnal— city_2048's population with quiet-hours modulation
+//                      (a third of the window contact-free), the tier that
+//                      exercises event-timeline gap skipping at scale;
+//   metro_16k        — 16 384 nodes via the O(#contacts) metropolis
+//                      generator (synth/metropolis.hpp);
+//   megacity_65k     — 65 536 nodes, the current ceiling tier.
 //
-// All tiers are parameterized builds of the conference generator (3-hour
-// window, session/break modulation, heterogeneous weights), deterministic
-// in their fixed seeds. Per-node contact rates taper with population so
-// the contact graph stays Bluetooth-sighting sparse as N grows.
+// All tiers are parameterized builds of the conference trace family
+// (3-hour window, session/break modulation, heterogeneous weights),
+// deterministic in their fixed seeds — the metro tiers swap the pairwise
+// generator for the superposition-based metropolis generator, which
+// produces the same family in O(#contacts) instead of O(N^2). Per-node
+// contact rates taper with population so the contact graph stays
+// Bluetooth-sighting sparse as N grows.
 
 #pragma once
 
@@ -26,6 +35,7 @@
 #include <vector>
 
 #include "psn/engine/run_spec.hpp"
+#include "psn/util/parallel.hpp"
 
 namespace psn::engine {
 
@@ -42,6 +52,15 @@ namespace psn::engine {
 /// dataset indistinguishable. Throws std::invalid_argument listing the
 /// registered scenario names for unknown names.
 [[nodiscard]] Scenario make_scenario_by_name(std::string_view name);
+
+/// As above, with an executor for tiers whose dataset generation is
+/// sharded (the metropolis tiers, metro_16k and up; other tiers generate
+/// serially regardless). The generated trace is a function of the name
+/// alone — every executor, including the serial reference, produces the
+/// identical dataset, so executor choice never leaks into the name-keyed
+/// cache.
+[[nodiscard]] Scenario make_scenario_by_name(std::string_view name,
+                                             const util::ParallelFor& parallel);
 
 /// Number of dataset generations the registry has performed — the probe
 /// engine_test uses to assert that repeated scenario builds are shared

@@ -28,6 +28,10 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
       options.threads == 0 ? ThreadPool::hardware_threads() : options.threads;
   ThreadPool pool(threads);
   ErrorSlot errors;
+  // One pool-backed executor shared by the sharded graph builds (phase 1)
+  // and, when enabled, the simulator's intra-run flood fan-out (phase 2).
+  // Caller participation makes it safe to invoke from inside pool tasks.
+  const util::ParallelFor pool_executor = parallel_for(pool);
 
   // Phase 1: shared read-only inputs, built in parallel — one immutable
   // ScenarioContext (dataset + space-time graph) per scenario from the
@@ -39,10 +43,10 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
   std::vector<std::shared_ptr<const ScenarioContext>> contexts(
       plan.scenarios.size());
   for (std::size_t s = 0; s < plan.scenarios.size(); ++s) {
-    pool.submit([&plan, &contexts, &errors, s] {
+    pool.submit([&plan, &contexts, &errors, &pool_executor, s] {
       try {
-        contexts[s] =
-            ScenarioContextCache::instance().acquire(plan.scenarios[s]);
+        contexts[s] = ScenarioContextCache::instance().acquire(
+            plan.scenarios[s], &pool_executor);
       } catch (...) {
         errors.capture();
       }
@@ -82,7 +86,7 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
   ResultStore store(plan.total_runs());
   for (std::size_t slot = 0; slot < plan.runs.size(); ++slot) {
     pool.submit([&plan, &options, &contexts, &workloads, &store, &errors,
-                 &canonical_spec, slot] {
+                 &canonical_spec, &pool_executor, slot] {
       try {
         const RunSpec& spec = plan.runs[slot];
         const Scenario& scenario = plan.scenarios[spec.scenario];
@@ -122,6 +126,8 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
         request.traffic = plan.config.traffic;
         request.seed = spec.sim_seed;
         request.replay = options.replay;
+        request.flood_kernel = options.flood_kernel;
+        if (options.intra_run_parallel) request.parallel = &pool_executor;
         // One workspace per worker thread, reused across every run the
         // thread executes: the sweep's steady state simulates without
         // heap allocation. Workspaces never influence results (asserted

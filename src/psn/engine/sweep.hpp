@@ -68,6 +68,16 @@ struct SweepOptions {
   /// bit-identical, and kDense exists for the equivalence harness and the
   /// perf_microbench dense-vs-sparse comparison.
   forward::ReplayMode replay = forward::ReplayMode::kSparse;
+  /// Epidemic-closure kernel handed to every run (bit-identical options;
+  /// kScalar exists for the equivalence harness and the scalar-vs-word
+  /// columns of the node-scaling bench).
+  forward::FloodKernel flood_kernel = forward::FloodKernel::kWordParallel;
+  /// Fan each run's per-step flood closures out across the sweep pool in
+  /// addition to the run-level parallelism. Off by default: with more runs
+  /// than workers the run-level fan-out already saturates the pool, and
+  /// intra-run sharding only helps when a handful of huge-population runs
+  /// leave workers idle. Results are bit-identical either way.
+  bool intra_run_parallel = false;
 };
 
 /// Executes the plan. Each scenario's immutable context (dataset +

@@ -1,8 +1,80 @@
 #include "psn/engine/thread_pool.hpp"
 
+#include <atomic>
+#include <exception>
+#include <memory>
 #include <utility>
 
 namespace psn::engine {
+
+namespace {
+
+/// Shared state of one parallel_for invocation. Heap-allocated and held
+/// by shared_ptr from every helper task, so the caller can return as soon
+/// as all *shards* are done without waiting for straggler helper tasks
+/// that were queued but never reached the counter (they find next >=
+/// num_shards and exit against still-valid state).
+struct ForState {
+  std::size_t num_shards = 0;
+  const std::function<void(std::size_t)>* f = nullptr;  // caller-owned.
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first failure, under mu.
+  bool all_done = false;     // under mu; done == num_shards.
+
+  /// Grabs shards until none remain. `f` stays valid while shards
+  /// remain: the caller blocks until done == num_shards, and done only
+  /// reaches num_shards after the last f(shard) returned.
+  void drain() {
+    for (;;) {
+      const std::size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= num_shards) return;
+      try {
+        (*f)(shard);
+      } catch (...) {
+        std::lock_guard lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_shards) {
+        std::lock_guard lock(mu);
+        all_done = true;
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+util::ParallelFor parallel_for(ThreadPool& pool) {
+  return [&pool](std::size_t num_shards,
+                 const std::function<void(std::size_t)>& f) {
+    if (num_shards == 0) return;
+    if (num_shards == 1 || pool.size() <= 1) {
+      for (std::size_t shard = 0; shard < num_shards; ++shard) f(shard);
+      return;
+    }
+    auto state = std::make_shared<ForState>();
+    state->num_shards = num_shards;
+    state->f = &f;
+    // One helper per worker (capped by shard count, minus the caller's
+    // own lane). Helpers queued behind other pool work simply arrive
+    // late and find nothing left; pool tasks must not throw, and
+    // drain() catches everything.
+    const std::size_t helpers =
+        std::min(pool.size(), num_shards) - std::size_t{1};
+    for (std::size_t h = 0; h < helpers; ++h)
+      pool.submit([state] { state->drain(); });
+    state->drain();
+    {
+      std::unique_lock lock(state->mu);
+      state->cv.wait(lock, [&] { return state->all_done; });
+      if (state->error) std::rethrow_exception(state->error);
+    }
+  };
+}
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;

@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "psn/util/parallel.hpp"
+
 namespace psn::engine {
 
 class ThreadPool {
@@ -51,5 +53,19 @@ class ThreadPool {
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
 };
+
+/// Adapts `pool` to the util::ParallelFor contract. The caller thread
+/// always participates: shards are handed out from a shared atomic
+/// counter to the caller plus up to pool.size() helper tasks, so the
+/// construct works from inside a pool worker (helpers queue behind other
+/// work; the caller drains whatever they don't reach — no deadlock, no
+/// dependence on pool progress) and degenerates to the serial executor
+/// when the pool is busy or single-threaded. Shard results must not
+/// depend on which thread ran them (the ParallelFor contract); the first
+/// exception thrown by any shard is rethrown on the caller once every
+/// shard has been attempted.
+///
+/// The returned closure borrows `pool`, which must outlive it.
+[[nodiscard]] util::ParallelFor parallel_for(ThreadPool& pool);
 
 }  // namespace psn::engine

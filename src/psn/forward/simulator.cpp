@@ -1,7 +1,9 @@
 #include "psn/forward/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
 #include <span>
 #include <stdexcept>
 
@@ -11,32 +13,6 @@ namespace psn::forward {
 
 SimulationResult simulate(const SimulationRequest& request) {
   SimulatorWorkspace workspace;
-  return simulate(request, workspace);
-}
-
-SimulationResult simulate(ForwardingAlgorithm& algorithm,
-                          const graph::SpaceTimeGraph& graph,
-                          const trace::ContactTrace& trace,
-                          const std::vector<Message>& messages,
-                          const SimulatorConfig& config) {
-  SimulatorWorkspace workspace;
-  return simulate(algorithm, graph, trace, messages, config, workspace);
-}
-
-SimulationResult simulate(ForwardingAlgorithm& algorithm,
-                          const graph::SpaceTimeGraph& graph,
-                          const trace::ContactTrace& trace,
-                          const std::vector<Message>& messages,
-                          const SimulatorConfig& config,
-                          SimulatorWorkspace& workspace) {
-  SimulationRequest request;
-  request.algorithm = &algorithm;
-  request.graph = &graph;
-  request.trace = &trace;
-  request.messages = &messages;
-  request.max_relay_passes = config.max_relay_passes;
-  request.seed = config.seed;
-  request.replay = config.replay;
   return simulate(request, workspace);
 }
 
@@ -250,14 +226,16 @@ SimulationResult simulate(const SimulationRequest& request,
     }
   };
 
-  // Scratch for the flooding fast path's hop-level computation: a lazy
+  const bool word_kernel = request.flood_kernel == FloodKernel::kWordParallel;
+
+  // Scratch for the scalar oracle kernel's hop-level computation: a lazy
   // Dijkstra over one contact component with unit-weight edges and
   // holder-seeded start levels. `mark` is generation-stamped so a BFS
   // costs O(component), not O(n); the generation survives workspace reuse
   // (monotone, never reset), so a warm workspace needs no re-zeroing.
   auto& level = ws.level;
   auto& mark = ws.mark;
-  if (flooding && level.size() < n) {
+  if (flooding && !word_kernel && level.size() < n) {
     level.resize(n, 0);
     mark.resize(n, 0);
   }
@@ -319,54 +297,215 @@ SimulationResult simulate(const SimulationRequest& request,
     return 0;
   };
 
-  // One flooding step: spread every live flood through its step's contact
-  // components and deliver where the destination is reached.
-  const auto flood_step = [&](graph::Step s,
-                              std::span<const graph::StepEdge> step_edges) {
-    // Component masks, one per contact component (every such component
-    // consists entirely of edge endpoints), in first-edge order. Built by
-    // BFS over the step's adjacency from edge endpoints, so the cost is
-    // O(step edges), not O(population) — membership and ordering are
-    // identical to a canonical components_at() labeling restricted to
-    // components with edges. Masks come from the workspace pool (cleared,
-    // capacity kept).
-    auto& masks = ws.masks;
-    std::size_t num_masks = 0;
-    {
-      const std::uint64_t gen = ++ws.stamp_gen;
-      auto& stamp = ws.node_stamp;
-      if (stamp.size() < n) stamp.resize(n, 0);
-      auto& queue = ws.bfs_queue;
-      for (const graph::StepEdge& e : step_edges) {
-        if (stamp[e.a] == gen) continue;  // component already masked.
-        if (num_masks == masks.size())
-          masks.emplace_back(n);
-        else
-          masks[num_masks].clear();
-        auto& mask = masks[num_masks];
-        ++num_masks;
-        queue.clear();
-        queue.push_back(e.a);
-        stamp[e.a] = gen;
-        while (!queue.empty()) {
-          const NodeId v = queue.back();
-          queue.pop_back();
-          mask.set(v);
-          for (const NodeId w : graph.neighbors(s, v)) {
-            if (stamp[w] != gen) {
-              stamp[w] = gen;
-              queue.push_back(w);
-            }
+  // Word-parallel hop settle: a level-synchronous BFS over one component
+  // with frontier masks, seeded by the message's holders at their current
+  // hop counts (bucketed relative to the minimum seed level, so the
+  // frontier array stays short however large absolute hop counts grow).
+  // Per level the fresh frontier is `seeded & ~visited`, computed
+  // wordwise over the component's nonzero words only. Levels settled are
+  // minimal over all holder-to-node chains within the step — the same
+  // values the scalar kernel's Dial queue computes, since both are
+  // multi-source unit-weight shortest paths. If `stop_at` is given,
+  // returns its (absolute) level as soon as it settles; otherwise settles
+  // the whole component, leaving sc.level[] valid for every member. All
+  // scratch is cleared sparsely (component words only) before returning.
+  const auto settle_word =
+      [&](graph::Step s, const graph::StepComponent& comp,
+          const detail::SimulatorState::MessageState& st,
+          detail::SimulatorState::SettleScratch& sc, NodeId stop_at,
+          bool has_stop) -> std::uint32_t {
+    if (sc.level.size() < n) sc.level.resize(n, 0);
+    sc.visited.ensure_capacity(n);
+
+    // Seed pass 1: the minimum holder level in this component.
+    std::uint32_t base = std::numeric_limits<std::uint32_t>::max();
+    for (const std::uint32_t w : comp.words) {
+      std::uint64_t bits = comp.mask.word(w) & st.holders.word(w);
+      while (bits != 0) {
+        const auto v = static_cast<NodeId>(
+            w * 64 + static_cast<std::uint32_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+        base = std::min(base, static_cast<std::uint32_t>(st.hops[v]));
+      }
+    }
+    // Seed pass 2: bucket holders at their level relative to `base`.
+    std::uint32_t top = 0;
+    const auto frontier_at = [&](std::uint32_t lvl) -> util::NodeSet& {
+      while (lvl >= sc.frontier.size()) {
+        sc.frontier.emplace_back();
+        sc.frontier.back().ensure_capacity(n);
+      }
+      return sc.frontier[lvl];
+    };
+    for (const std::uint32_t w : comp.words) {
+      std::uint64_t bits = comp.mask.word(w) & st.holders.word(w);
+      while (bits != 0) {
+        const auto v = static_cast<NodeId>(
+            w * 64 + static_cast<std::uint32_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+        const std::uint32_t rel = st.hops[v] - base;
+        frontier_at(rel).set(v);
+        top = std::max(top, rel);
+      }
+    }
+
+    std::uint32_t found = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint32_t lvl = 0; lvl <= top; ++lvl) {
+      // Materialize level lvl+1 first: growing the frontier vector later
+      // would invalidate the references taken below.
+      frontier_at(lvl + 1);
+      util::NodeSet& f = sc.frontier[lvl];
+      // Keep only nodes not already settled at a smaller level.
+      bool any = false;
+      for (const std::uint32_t w : comp.words) {
+        const std::uint64_t fresh = f.word(w) & ~sc.visited.word(w);
+        f.set_word(w, fresh);
+        if (fresh != 0) any = true;
+      }
+      if (!any) continue;
+      for (const std::uint32_t w : comp.words) {
+        std::uint64_t fresh = f.word(w);
+        sc.visited.or_word(w, fresh);
+        while (fresh != 0) {
+          const auto v = static_cast<NodeId>(
+              w * 64 + static_cast<std::uint32_t>(std::countr_zero(fresh)));
+          fresh &= fresh - 1;
+          sc.level[v] = base + lvl;
+          if (has_stop && v == stop_at) found = base + lvl;
+        }
+      }
+      if (found != std::numeric_limits<std::uint32_t>::max()) break;
+      // Expand the settled frontier one hop; next level's `& ~visited`
+      // filters re-reached nodes.
+      util::NodeSet& nf = sc.frontier[lvl + 1];
+      bool expanded = false;
+      for (const std::uint32_t w : comp.words) {
+        std::uint64_t fresh = f.word(w);
+        while (fresh != 0) {
+          const auto v = static_cast<NodeId>(
+              w * 64 + static_cast<std::uint32_t>(std::countr_zero(fresh)));
+          fresh &= fresh - 1;
+          for (const NodeId nb : graph.neighbors(s, v)) {
+            nf.set(nb);
+            expanded = true;
           }
         }
       }
+      if (expanded) top = std::max(top, lvl + 1);
     }
+
+    // Sparse teardown: only the component's words were ever touched.
+    for (std::uint32_t lvl = 0; lvl <= top && lvl < sc.frontier.size();
+         ++lvl)
+      for (const std::uint32_t w : comp.words) sc.frontier[lvl].set_word(w, 0);
+    for (const std::uint32_t w : comp.words) sc.visited.set_word(w, 0);
+    return found != std::numeric_limits<std::uint32_t>::max() ? found : 0;
+  };
+
+  // Floods one message through the step's components, word-parallel.
+  // Touches only the message's own state and outcome slot plus the
+  // caller-provided scratch and transmission counter, so disjoint
+  // messages flood concurrently with bit-identical results.
+  const auto flood_message_word = [&](std::uint32_t id, graph::Step s,
+                                      std::size_t num_comps,
+                                      detail::SimulatorState::SettleScratch&
+                                          sc,
+                                      std::size_t& tx) {
+    auto& st = state[id];
+    if (st.delivered || st.expired) return;
+    const NodeId dest = messages[id].destination;
+    for (std::size_t ci = 0; ci < num_comps; ++ci) {
+      const graph::StepComponent& comp = ws.components.pool[ci];
+      unsigned held = 0;
+      for (const std::uint32_t w : comp.words)
+        held += static_cast<unsigned>(
+            std::popcount(comp.mask.word(w) & st.holders.word(w)));
+      if (held == 0) continue;
+      if (comp.mask.test(dest)) {
+        // Copies made inside the component before reaching the
+        // destination are part of the flood's cost too; +1 below is the
+        // final hop to the destination.
+        tx += comp.size - held - 1;
+        const std::uint32_t hops = settle_word(s, comp, st, sc, dest, true);
+        st.delivered = true;
+        auto& outcome = result.outcomes[id];
+        outcome.delivered = true;
+        outcome.delay = graph.step_end(s) - messages[id].created;
+        outcome.hops = static_cast<std::uint16_t>(
+            std::min<std::uint32_t>(hops, 0xFFFF));
+        tx += 1;
+        break;
+      }
+      // Fully flooded components have nothing left to spread; skipping
+      // them also skips the (comparatively expensive) hop settle.
+      if (held == comp.size) continue;
+      settle_word(s, comp, st, sc, 0, false);
+      for (const std::uint32_t w : comp.words) {
+        const std::uint64_t mask_word = comp.mask.word(w);
+        std::uint64_t fresh = mask_word & ~st.holders.word(w);
+        while (fresh != 0) {
+          const auto v = static_cast<NodeId>(
+              w * 64 + static_cast<std::uint32_t>(std::countr_zero(fresh)));
+          fresh &= fresh - 1;
+          st.hops[v] = static_cast<std::uint16_t>(
+              std::min<std::uint32_t>(sc.level[v], 0xFFFF));
+        }
+        st.holders.or_word(w, mask_word);
+      }
+      tx += comp.size - held;
+    }
+  };
+
+  // One flooding step: spread every live flood through the step's contact
+  // components and deliver where the destination is reached. Components
+  // (masks + nonzero-word lists, canonical order) are extracted once and
+  // shared by both kernels and every message.
+  const auto flood_step = [&](graph::Step s) {
+    const std::size_t num_comps =
+        graph::step_components_at(graph, s, ws.components);
+    if (word_kernel) {
+      // Live worklist for this step; per-message flood state is disjoint,
+      // so the list fans out across the executor when one is provided.
+      auto& live = ws.live;
+      live.clear();
+      for (const std::uint32_t id : active_msgs)
+        if (!state[id].delivered && !state[id].expired) live.push_back(id);
+      if (live.empty()) return;
+      // Shard geometry depends on the worklist alone (not the executor);
+      // per-message results are independent either way.
+      const std::size_t shards =
+          request.parallel != nullptr && live.size() > 1
+              ? std::clamp<std::size_t>(live.size() / 4, 1, 32)
+              : 1;
+      if (ws.settle.size() < shards) ws.settle.resize(shards);
+      if (shards == 1) {
+        std::size_t tx = 0;
+        for (const std::uint32_t id : live)
+          flood_message_word(id, s, num_comps, ws.settle[0], tx);
+        result.transmissions += tx;
+      } else {
+        ws.shard_tx.assign(shards, 0);
+        (*request.parallel)(shards, [&](std::size_t shard) {
+          std::size_t tx = 0;
+          const std::size_t lo = live.size() * shard / shards;
+          const std::size_t hi = live.size() * (shard + 1) / shards;
+          for (std::size_t i = lo; i < hi; ++i)
+            flood_message_word(live[i], s, num_comps, ws.settle[shard], tx);
+          ws.shard_tx[shard] = tx;
+        });
+        // Fixed-order reduction (sums are order-independent anyway).
+        for (const std::size_t tx : ws.shard_tx) result.transmissions += tx;
+      }
+      return;
+    }
+    // Scalar oracle kernel: the pre-word-kernel per-node implementation,
+    // full-width mask scans and the Dial hop settle, kept verbatim.
     for (const std::uint32_t id : active_msgs) {
       auto& st = state[id];
       if (st.delivered || st.expired) continue;
       const NodeId dest = messages[id].destination;
-      for (std::size_t mi = 0; mi < num_masks; ++mi) {
-        const auto& mask = masks[mi];
+      for (std::size_t ci = 0; ci < num_comps; ++ci) {
+        const auto& mask = ws.components.pool[ci].mask;
         const unsigned held = st.holders.intersect_count(mask);
         if (held == 0) continue;
         if (mask.test(dest)) {
@@ -434,6 +573,9 @@ SimulationResult simulate(const SimulationRequest& request,
       }
       st.active = true;
       st.holders.clear();
+      // Pre-size flood holder sets so the word kernel's or_word() spreads
+      // never reallocate mid-flood (capacity is invisible to results).
+      if (flooding) st.holders.ensure_capacity(n);
       st.holders.set(m.source);
       st.hops.assign(n, 0);
       if (quota_scheme) {
@@ -473,7 +615,7 @@ SimulationResult simulate(const SimulationRequest& request,
           break;
         }
       }
-      if (live) flood_step(s, step_edges);
+      if (live) flood_step(s);
     } else {
       // Generic path: relay across edges to a fixpoint so forwarding
       // chains can cross several contacts within one step.

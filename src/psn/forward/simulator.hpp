@@ -49,7 +49,9 @@
 #include "psn/forward/algorithm.hpp"
 #include "psn/forward/message.hpp"
 #include "psn/forward/traffic.hpp"
+#include "psn/graph/components.hpp"
 #include "psn/util/node_set.hpp"
+#include "psn/util/parallel.hpp"
 
 namespace psn::forward {
 
@@ -59,6 +61,22 @@ namespace psn::forward {
 enum class ReplayMode : std::uint8_t {
   kSparse,  ///< only the graph's active steps (the default).
   kDense,   ///< every discretized step (pre-timeline reference semantics).
+};
+
+/// Which implementation the flooding fast path uses for the per-step
+/// epidemic closure. Results are bit-identical (outcomes, hops,
+/// transmissions); the scalar kernel exists as the validation oracle,
+/// exactly as ReplayMode::kDense does for the sparse timeline.
+enum class FloodKernel : std::uint8_t {
+  /// Word-parallel closure (the default): per-component nonzero-word
+  /// lists drive 64-nodes-per-instruction AND/OR/popcount loops for
+  /// holder counting and spreading, and a frontier-mask BFS
+  /// (frontier = reached & ~visited, wordwise) settles hop levels.
+  kWordParallel,
+  /// Per-node reference kernel: full-width mask scans and a per-node
+  /// Dial bucket queue (the pre-word-kernel implementation, retained
+  /// verbatim as the equivalence oracle).
+  kScalar,
 };
 
 /// One fully-specified simulation: what to run (algorithm), over what
@@ -83,15 +101,18 @@ struct SimulationRequest {
   std::uint64_t seed = 1;
   /// Step sequence to replay (see ReplayMode).
   ReplayMode replay = ReplayMode::kSparse;
-};
-
-/// Legacy knob struct of the pre-SimulationRequest API. Deprecated: only
-/// the compatibility shims below still consume it; new code sets the same
-/// fields on SimulationRequest directly.
-struct SimulatorConfig {
-  std::uint32_t max_relay_passes = 128;
-  std::uint64_t seed = 1;
-  ReplayMode replay = ReplayMode::kSparse;
+  /// Epidemic-closure implementation (see FloodKernel). Only consulted on
+  /// the flooding fast path; the generic relay path has one kernel.
+  FloodKernel flood_kernel = FloodKernel::kWordParallel;
+  /// Optional intra-run executor (non-owning; may be null). When set, the
+  /// word-parallel flooding path fans each step's component closures out
+  /// across live messages: per-message flood state is disjoint, outcome
+  /// slots are addressed by message id, and per-shard transmission
+  /// counters are reduced in fixed order, so results are bit-identical to
+  /// the serial replay at any thread count. Ignored by the scalar oracle
+  /// kernel and the generic relay path (whose RNG-ordered edge scan is
+  /// inherently sequential).
+  const util::ParallelFor* parallel = nullptr;
 };
 
 namespace detail {
@@ -122,24 +143,34 @@ struct SimulatorState {
   /// Remaining per-edge byte budgets for the current step, parallel to
   /// the step's shuffled edge buffer (budget-limited runs only).
   std::vector<std::uint64_t> edge_budget;
-  /// Flooding hop-settle scratch. `mark` entries equal `mark_gen` only
-  /// for nodes settled in the current generation; the generation counter
-  /// is never reset, so stale runs can't alias (64-bit: no wraparound).
+  /// Scalar-kernel hop-settle scratch. `mark` entries equal `mark_gen`
+  /// only for nodes settled in the current generation; the generation
+  /// counter is never reset, so stale runs can't alias (64-bit: no
+  /// wraparound).
   std::vector<std::uint32_t> level;
   std::vector<std::uint64_t> mark;
   std::uint64_t mark_gen = 0;
-  /// Bucket queue for the hop settle (levels are small, so Dial's
+  /// Bucket queue for the scalar hop settle (levels are small, so Dial's
   /// algorithm beats a binary heap); buckets[l] holds the level-l
   /// frontier and is left empty between settles.
   std::vector<std::vector<NodeId>> buckets;
   std::vector<graph::StepEdge> edges;  ///< per-step shuffle buffer.
-  std::vector<util::NodeSet> masks;    ///< component-mask pool.
-  /// Component-BFS scratch (flooding path): generation stamps mark nodes
-  /// already absorbed into a mask this step; the queue is the BFS
-  /// frontier. Same never-reset generation discipline as mark.
-  std::vector<std::uint64_t> node_stamp;
-  std::uint64_t stamp_gen = 0;
-  std::vector<NodeId> bfs_queue;
+  /// Per-step contact components (masks + nonzero-word lists), shared by
+  /// both flood kernels.
+  graph::StepComponentScratch components;
+
+  /// Word-kernel hop-settle scratch, one per fan-out shard (slot 0 serves
+  /// the serial path). Frontier/visited masks are cleared sparsely via
+  /// the component's word list, so a settle costs O(component), never
+  /// O(population).
+  struct SettleScratch {
+    std::vector<std::uint32_t> level;    ///< absolute hop level per node.
+    util::NodeSet visited;               ///< settled nodes, this settle.
+    std::vector<util::NodeSet> frontier; ///< per-relative-level seed masks.
+  };
+  std::vector<SettleScratch> settle;
+  std::vector<std::uint32_t> live;      ///< flood fan-out worklist.
+  std::vector<std::size_t> shard_tx;    ///< per-shard transmission counts.
 };
 
 }  // namespace detail
@@ -181,22 +212,6 @@ class SimulatorWorkspace {
 /// workspace never influences results (asserted by forward_test's
 /// workspace-reuse equivalence).
 [[nodiscard]] SimulationResult simulate(const SimulationRequest& request,
-                                        SimulatorWorkspace& workspace);
-
-/// Deprecated positional shims for the pre-SimulationRequest API; kept for
-/// one release so out-of-tree drivers migrate incrementally. They forward
-/// to the request overloads with unlimited traffic, reproducing historical
-/// behavior exactly.
-[[nodiscard]] SimulationResult simulate(ForwardingAlgorithm& algorithm,
-                                        const graph::SpaceTimeGraph& graph,
-                                        const trace::ContactTrace& trace,
-                                        const std::vector<Message>& messages,
-                                        const SimulatorConfig& config = {});
-[[nodiscard]] SimulationResult simulate(ForwardingAlgorithm& algorithm,
-                                        const graph::SpaceTimeGraph& graph,
-                                        const trace::ContactTrace& trace,
-                                        const std::vector<Message>& messages,
-                                        const SimulatorConfig& config,
                                         SimulatorWorkspace& workspace);
 
 }  // namespace psn::forward

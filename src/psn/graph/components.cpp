@@ -62,4 +62,52 @@ std::vector<std::pair<NodeId, NodeId>> component_sizes_at(
   return {sizes.begin(), sizes.end()};
 }
 
+std::size_t step_components_at(const SpaceTimeGraph& graph, Step s,
+                               StepComponentScratch& scratch) {
+  const NodeId n = graph.num_nodes();
+  if (scratch.stamp.size() < n) scratch.stamp.resize(n, 0);
+  const std::uint64_t gen = ++scratch.stamp_gen;
+
+  std::size_t k = 0;
+  // Edges are (a, b)-sorted with a < b, so the first edge touching a
+  // component has the component's smallest member as its `a`, and
+  // first-edge discovery order is exactly ascending-smallest-member —
+  // the canonical label order of components_at().
+  for (const StepEdge& e : graph.edges(s)) {
+    if (scratch.stamp[e.a] == gen) continue;  // component already built.
+    if (k == scratch.pool.size()) {
+      scratch.pool.emplace_back();
+      scratch.pool.back().mask.ensure_capacity(n);
+    }
+    StepComponent& comp = scratch.pool[k];
+    ++k;
+    // Sparse reset: zero only the words the component's previous tenant
+    // occupied. Full-width clears would cost O(population / 64) per
+    // component and dominate at megacity scale.
+    for (const std::uint32_t w : comp.words) comp.mask.set_word(w, 0);
+    comp.words.clear();
+    comp.members.clear();
+    comp.mask.ensure_capacity(n);  // no-op once the pool slot is warm.
+
+    comp.members.push_back(e.a);
+    scratch.stamp[e.a] = gen;
+    for (std::size_t head = 0; head < comp.members.size(); ++head) {
+      const NodeId v = comp.members[head];
+      comp.mask.set(v);
+      for (const NodeId w : graph.neighbors(s, v)) {
+        if (scratch.stamp[w] != gen) {
+          scratch.stamp[w] = gen;
+          comp.members.push_back(w);
+        }
+      }
+    }
+    comp.size = static_cast<unsigned>(comp.members.size());
+    for (const NodeId v : comp.members) comp.words.push_back(v >> 6);
+    std::sort(comp.words.begin(), comp.words.end());
+    comp.words.erase(std::unique(comp.words.begin(), comp.words.end()),
+                     comp.words.end());
+  }
+  return k;
+}
+
 }  // namespace psn::graph

@@ -7,9 +7,11 @@
 
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "psn/graph/space_time_graph.hpp"
+#include "psn/util/node_set.hpp"
 
 namespace psn::graph {
 
@@ -51,5 +53,43 @@ void components_at(const SpaceTimeGraph& graph, Step s,
 /// (label, size) pairs sorted by label.
 [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> component_sizes_at(
     const SpaceTimeGraph& graph, Step s);
+
+/// One contact component of a step, as a word-addressable bitmask.
+///
+/// `words` lists the indices of the mask's nonzero 64-bit words, ascending.
+/// Consumers that combine the component with per-message sets (the
+/// word-parallel flood kernel) loop over `words` instead of the mask's
+/// full width, so a 5-node component in a 65k population costs one word
+/// of AND/OR/popcount per operation, not a thousand.
+struct StepComponent {
+  util::NodeSet mask;
+  std::vector<std::uint32_t> words;
+  /// Members of the component in BFS discovery order (each node exactly
+  /// once); `members.front()` is the smallest member because discovery
+  /// starts from the first (a, b)-sorted edge of the component.
+  std::vector<NodeId> members;
+  /// Member count (== mask.count(), cached).
+  unsigned size = 0;
+};
+
+/// Reusable storage for step_components_at(): a pool of StepComponents
+/// whose masks keep their heap capacity across steps (cleared sparsely,
+/// via the previous step's word lists) plus generation-stamped visit
+/// marks, so per-step component extraction in hot replay loops allocates
+/// nothing once warm.
+struct StepComponentScratch {
+  std::vector<StepComponent> pool;
+  std::vector<std::uint64_t> stamp;
+  std::uint64_t stamp_gen = 0;
+};
+
+/// Extracts the contact components of step s — the components with >= 2
+/// members; isolated nodes form singletons and are omitted — into
+/// scratch.pool[0..k), returning k. Components appear in canonical order
+/// (ascending smallest member), matching the label order of
+/// components_at(), which remains the scalar oracle for this routine.
+/// Cost is O(step edges), independent of the population size.
+std::size_t step_components_at(const SpaceTimeGraph& graph, Step s,
+                               StepComponentScratch& scratch);
 
 }  // namespace psn::graph

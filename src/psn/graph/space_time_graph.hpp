@@ -16,8 +16,20 @@
 // per-(step, node) offsets — rather than per-step vectors, so replaying a
 // large population walks flat memory instead of chasing a vector of
 // vectors. There is no architectural node-count ceiling: membership sets
-// are dynamic (util::NodeSet), and populations in the thousands are
-// exercised by the scenario registry's campus/city tiers.
+// are dynamic (util::NodeSet), and populations up to the registry's
+// megacity_65k tier are exercised in tests and benches.
+//
+// Construction comes in two flavors with byte-identical results
+// (DESIGN.md §9):
+//  * the serial build — the reference implementation, straight-line passes
+//    over the trace;
+//  * the sharded build — the same counting/fill/sort/adjacency passes
+//    sharded over contact and step ranges on a util::ParallelFor, with
+//    per-shard counts merged by prefix sums so every shard scatters into
+//    a precomputed disjoint region. Shard geometry is a function of the
+//    input alone (never of the executor), so any executor — including the
+//    serial reference executor — produces the same arenas, asserted by
+//    arenas_identical() in graph_test and the scale suite.
 //
 // Alongside the arena the graph keeps an *active-step index*: the ordered
 // list of steps carrying at least one contact edge, with a
@@ -35,6 +47,7 @@
 #include <vector>
 
 #include "psn/trace/contact_trace.hpp"
+#include "psn/util/parallel.hpp"
 
 namespace psn::graph {
 
@@ -53,9 +66,16 @@ struct StepEdge {
 class SpaceTimeGraph {
  public:
   /// Discretizes the trace with the given step width (default 10 s as in
-  /// the paper).
+  /// the paper), using the serial reference build.
   explicit SpaceTimeGraph(const trace::ContactTrace& trace,
                           Seconds delta = 10.0);
+
+  /// As above, but runs the sharded build on `parallel`. Arenas are
+  /// byte-identical to the serial build (see file comment); the sweep
+  /// engine passes its pool here so one huge scenario builds as parallel
+  /// as a sweep matrix.
+  SpaceTimeGraph(const trace::ContactTrace& trace, Seconds delta,
+                 const util::ParallelFor& parallel);
 
   [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
   [[nodiscard]] Seconds delta() const noexcept { return delta_; }
@@ -96,8 +116,13 @@ class SpaceTimeGraph {
                                                   NodeId node) const noexcept {
     const std::size_t row =
         static_cast<std::size_t>(s) * (num_nodes_ + std::size_t{1}) + node;
-    return {adjacency_.data() + adj_offsets_[row],
-            adjacency_.data() + adj_offsets_[row + 1]};
+    // Each edge contributes exactly two adjacency entries in its step, so
+    // step s's adjacency block begins at twice its edge offset and the
+    // per-(step, node) offsets only need to address within the block —
+    // which is what lets them be 32-bit (see adj_rel_).
+    const std::size_t base = 2 * edge_offsets_[s];
+    return {adjacency_.data() + base + adj_rel_[row],
+            adjacency_.data() + base + adj_rel_[row + 1]};
   }
 
   /// True if a and b share a contact edge during step s.
@@ -126,7 +151,33 @@ class SpaceTimeGraph {
     return edges_.size();
   }
 
+  /// Bytes held by the arenas (edge arena + flags + offsets, adjacency
+  /// arena + offsets, active-step index) — the memory column of the
+  /// node-scaling bench, so space regressions are as visible as time
+  /// ones.
+  [[nodiscard]] std::size_t arena_bytes() const noexcept {
+    return edge_offsets_.size() * sizeof(std::size_t) +
+           edges_.size() * sizeof(StepEdge) +
+           new_edge_.size() * sizeof(std::uint8_t) +
+           adj_rel_.size() * sizeof(std::uint32_t) +
+           adjacency_.size() * sizeof(NodeId) +
+           active_steps_.size() * sizeof(Step);
+  }
+
+  /// True iff every arena of the two graphs is byte-for-byte equal — the
+  /// validation probe behind the serial-vs-sharded build equivalence
+  /// tests. Far cheaper than walking the public accessors at megacity
+  /// scale (straight vector comparisons, memcmp speed).
+  [[nodiscard]] bool arenas_identical(const SpaceTimeGraph& o) const noexcept;
+
  private:
+  void build_serial(const trace::ContactTrace& trace);
+  void build_sharded(const trace::ContactTrace& trace,
+                     const util::ParallelFor& parallel);
+  /// Shared tail of both builds: active-step index, per-step adjacency
+  /// offset guard. Runs after edges_/edge_offsets_ are final.
+  void finish_edges();
+
   NodeId num_nodes_ = 0;
   Seconds delta_ = 10.0;
   Step num_steps_ = 0;
@@ -135,11 +186,15 @@ class SpaceTimeGraph {
   std::vector<std::size_t> edge_offsets_;  ///< size num_steps_ + 1.
   std::vector<StepEdge> edges_;
   std::vector<std::uint8_t> new_edge_;  ///< parallel to edges_ (see above).
-  /// Adjacency arena: neighbors of (s, v) are adjacency_[adj_offsets_[s *
-  /// (num_nodes_+1) + v], adj_offsets_[s * (num_nodes_+1) + v + 1]), sorted
-  /// ascending. Offsets are global indices into adjacency_ (size_t, like
-  /// edge_offsets_: the arena must not introduce a silent size ceiling).
-  std::vector<std::size_t> adj_offsets_;  ///< size num_steps_*(num_nodes_+1).
+  /// Adjacency arena: neighbors of (s, v) are the block-relative range
+  /// [adj_rel_[s * (num_nodes_+1) + v], adj_rel_[s * (num_nodes_+1) + v +
+  /// 1]) offset by the step's block base 2 * edge_offsets_[s], sorted
+  /// ascending. Offsets are 32-bit *within-step* positions — at
+  /// megacity_65k the offset table dominates arena memory, and a
+  /// step-relative u32 halves it versus global size_t offsets without a
+  /// population ceiling (a single step would need 2^31 edges to
+  /// overflow; the builds throw std::length_error long before).
+  std::vector<std::uint32_t> adj_rel_;  ///< size num_steps_*(num_nodes_+1).
   std::vector<NodeId> adjacency_;
   /// Active-step index: steps with >= 1 edge, ascending (the timeline the
   /// sparse replay iterates).

@@ -44,8 +44,6 @@ std::vector<ModulationSegment> default_conference_modulation(
   return out;
 }
 
-namespace {
-
 double modulation_at(const std::vector<ModulationSegment>& segs,
                      trace::Seconds t) {
   for (const auto& s : segs)
@@ -58,8 +56,6 @@ double max_modulation(const std::vector<ModulationSegment>& segs) {
   for (const auto& s : segs) mx = std::max(mx, s.factor);
   return mx;
 }
-
-}  // namespace
 
 GeneratedTrace generate_conference(const ConferenceConfig& config) {
   const auto n = config.total_nodes();

@@ -60,6 +60,13 @@ struct ConferenceConfig {
 [[nodiscard]] std::vector<ModulationSegment> default_conference_modulation(
     trace::Seconds t_max);
 
+/// The rate multiplier in effect at time t (1.0 outside every segment).
+[[nodiscard]] double modulation_at(const std::vector<ModulationSegment>& segs,
+                                   trace::Seconds t);
+
+/// The largest factor across segments (>= 1.0) — the thinning envelope.
+[[nodiscard]] double max_modulation(const std::vector<ModulationSegment>& segs);
+
 /// Generates a conference trace. Nodes [0, mobile_nodes) are mobile and
 /// [mobile_nodes, total) are stationary. Deterministic in `config.seed`.
 [[nodiscard]] GeneratedTrace generate_conference(

@@ -353,6 +353,63 @@ void expect_cells_identical(const SweepResult& lhs, const SweepResult& rhs) {
   }
 }
 
+TEST(ScenarioRegistry, ScaleTierNamesAreRegistered) {
+  const auto names = scenario_names();
+  for (const char* required :
+       {"city_2048_diurnal", "metro_16k", "megacity_65k"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << required << " missing from scenario_names()";
+  }
+}
+
+TEST(ScenarioRegistry, DiurnalTierHasQuietHours) {
+  // city_2048_diurnal interleaves 20-minute dead zones into the window;
+  // its active-step index must show the gaps the sparse event timeline
+  // skips (the always-on city tiers have edges in nearly every step).
+  const auto scenario = make_scenario_by_name("city_2048_diurnal");
+  ASSERT_TRUE(scenario.dataset != nullptr);
+  EXPECT_EQ(scenario.dataset->trace.num_nodes(), 2048u);
+  EXPECT_FALSE(scenario.dataset->trace.empty());
+  const auto context = ScenarioContextCache::instance().acquire(scenario);
+  ASSERT_GT(context->graph->num_steps(), 0u);
+  // A third of the window is quiet (factor-0 modulation). Contacts that
+  // *start* in an active segment still bleed into the quiet one —
+  // exponential durations have long tails and scan quantization delays
+  // starts — so the dead fraction is smaller than 1/3, but must be far
+  // from the always-on tiers, whose every step carries edges.
+  EXPECT_LT(context->graph->num_active_steps(),
+            (87 * context->graph->num_steps()) / 100);
+  EXPECT_GT(context->graph->num_active_steps(),
+            context->graph->num_steps() / 2);
+}
+
+// The two simulator options run_sweep forwards — the flood-kernel choice
+// and the intra-run fan-out — must never change results, only walls:
+// the scalar kernel is the word kernel's oracle, and the fan-out shards
+// per-message state that is disjoint by construction.
+TEST(Sweep, FloodKernelAndIntraRunFanOutAreBitIdentical) {
+  const auto scenario = make_scenario_by_name("town_128");
+  PlanConfig config;
+  config.runs = 2;
+  config.master_seed = 17;
+  config.message_rate = 0.01;
+  const auto plan = make_plan({scenario}, {"Epidemic", "FRESH"}, config);
+
+  SweepOptions word;
+  word.threads = 2;
+  SweepOptions scalar = word;
+  scalar.flood_kernel = forward::FloodKernel::kScalar;
+  SweepOptions fanout = word;
+  fanout.intra_run_parallel = true;
+
+  const auto w = run_sweep(plan, word);
+  const auto s = run_sweep(plan, scalar);
+  const auto f = run_sweep(plan, fanout);
+  expect_cells_identical(w, s);
+  expect_cells_identical(w, f);
+  EXPECT_GT(w.cells[0].overall.delivered, 0u);
+}
+
 // Contention does not break the parallel determinism guarantee: a sweep
 // with finite budgets, finite buffers (random eviction — the policy that
 // consumes RNG draws), and TTLs is bit-identical at 1 and 8 threads,

@@ -663,9 +663,9 @@ TEST(Simulator, WorkspaceReuseIsBitIdentical) {
   for (auto& alg : make_extended_algorithms()) {
     for (const auto* fx : {&small, &big, &small}) {
       const auto& msgs = fx == &big ? big_msgs : small_msgs;
-      const auto fresh = simulate(*alg, fx->graph, fx->trace, msgs);
-      const auto reused =
-          simulate(*alg, fx->graph, fx->trace, msgs, {}, shared);
+      const auto request = fx->request(*alg, msgs);
+      const auto fresh = simulate(request);
+      const auto reused = simulate(request, shared);
       ASSERT_EQ(fresh.outcomes.size(), reused.outcomes.size()) << alg->name();
       for (std::size_t i = 0; i < fresh.outcomes.size(); ++i) {
         EXPECT_EQ(fresh.outcomes[i].delivered, reused.outcomes[i].delivered)
@@ -680,40 +680,43 @@ TEST(Simulator, WorkspaceReuseIsBitIdentical) {
   }
 }
 
-TEST(Simulator, DeprecatedShimsMatchRequestApi) {
-  // The positional shims must reproduce the SimulationRequest path
-  // bit-for-bit (they forward with unlimited traffic), so out-of-tree
-  // drivers migrating incrementally see no behavior change.
+TEST(Simulator, FloodKernelsMatchBitForBit) {
+  // The word-parallel flood kernel must reproduce the scalar oracle
+  // kernel bit-for-bit: outcomes, delays, hop counts, and transmission
+  // totals. Non-flooding algorithms never enter the flood path, so for
+  // them this doubles as a no-op knob check.
   std::vector<Contact> cs;
   for (int i = 0; i < 30; ++i)
     cs.push_back(Contact::make(static_cast<NodeId>(i % 5),
                                static_cast<NodeId>(i % 5 + 1), i * 20.0,
                                i * 20.0 + 10.0));
-  const Fixture f(std::move(cs), 7, 700.0);
+  // A second cluster so steps carry several components at once.
+  for (int i = 0; i < 12; ++i)
+    cs.push_back(Contact::make(static_cast<NodeId>(7 + i % 3),
+                               static_cast<NodeId>(8 + i % 3), i * 45.0,
+                               i * 45.0 + 20.0));
+  const Fixture f(std::move(cs), 11, 700.0);
   std::vector<Message> msgs;
-  for (std::uint32_t i = 0; i < 10; ++i)
+  for (std::uint32_t i = 0; i < 14; ++i)
     msgs.push_back(msg(i, static_cast<NodeId>(i % 6),
                        static_cast<NodeId>((i + 3) % 6), i * 30.0));
   for (auto& alg : make_extended_algorithms()) {
     auto request = f.request(*alg, msgs);
     request.seed = 11;
-    const auto via_request = simulate(request);
-    SimulatorConfig legacy;
-    legacy.seed = 11;
-    const auto via_shim = simulate(*alg, f.graph, f.trace, msgs, legacy);
-    ASSERT_EQ(via_request.outcomes.size(), via_shim.outcomes.size())
-        << alg->name();
-    for (std::size_t i = 0; i < via_request.outcomes.size(); ++i) {
-      EXPECT_EQ(via_request.outcomes[i].delivered,
-                via_shim.outcomes[i].delivered)
+    request.flood_kernel = FloodKernel::kWordParallel;
+    const auto word = simulate(request);
+    request.flood_kernel = FloodKernel::kScalar;
+    const auto scalar = simulate(request);
+    ASSERT_EQ(word.outcomes.size(), scalar.outcomes.size()) << alg->name();
+    for (std::size_t i = 0; i < word.outcomes.size(); ++i) {
+      EXPECT_EQ(word.outcomes[i].delivered, scalar.outcomes[i].delivered)
           << alg->name();
-      EXPECT_EQ(via_request.outcomes[i].delay, via_shim.outcomes[i].delay)
+      EXPECT_EQ(word.outcomes[i].delay, scalar.outcomes[i].delay)
           << alg->name();
-      EXPECT_EQ(via_request.outcomes[i].hops, via_shim.outcomes[i].hops)
+      EXPECT_EQ(word.outcomes[i].hops, scalar.outcomes[i].hops)
           << alg->name();
     }
-    EXPECT_EQ(via_request.transmissions, via_shim.transmissions)
-        << alg->name();
+    EXPECT_EQ(word.transmissions, scalar.transmissions) << alg->name();
   }
 }
 

@@ -4,12 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-
+#include <cstdint>
+#include <map>
 #include <vector>
 
+#include "psn/engine/thread_pool.hpp"
 #include "psn/graph/components.hpp"
 #include "psn/graph/reachability.hpp"
 #include "psn/graph/space_time_graph.hpp"
+#include "psn/util/parallel.hpp"
+#include "psn/util/rng.hpp"
 
 namespace psn::graph {
 namespace {
@@ -201,6 +205,105 @@ TEST(SpaceTimeGraph, EmptyTraceStillHasSteps) {
   EXPECT_EQ(g.num_steps(), 5u);
   EXPECT_EQ(g.total_edges(), 0u);
   EXPECT_TRUE(g.edges(0).empty());
+}
+
+/// A deterministic random trace for the build-equivalence and component
+/// oracle tests: `k` contacts over `n` nodes, uniform times, durations up
+/// to three steps so contacts straddle step boundaries.
+ContactTrace random_contacts(NodeId n, std::size_t k, Seconds t_max,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Contact> cs;
+  cs.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto a = static_cast<NodeId>(rng.uniform_index(n));
+    auto b = static_cast<NodeId>(rng.uniform_index(n - 1));
+    if (b >= a) ++b;
+    const Seconds start = rng.uniform(0.0, t_max);
+    const Seconds end = std::min(start + rng.uniform(0.0, 30.0), t_max);
+    cs.push_back(Contact::make(a, b, start, end));
+  }
+  return ContactTrace(std::move(cs), n, t_max);
+}
+
+TEST(SpaceTimeGraph, ShardedBuildMatchesSerialByteForByte) {
+  // The parallel construction path must reproduce the serial arenas
+  // exactly — same counts, same offsets, same orders — for any executor.
+  // Duplicate pairs within a step, boundary-ending contacts, and empty
+  // steps are all present in the random traces.
+  engine::ThreadPool pool(8);
+  const util::ParallelFor pooled = engine::parallel_for(pool);
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto trace = random_contacts(150, 4000, 1800.0, seed);
+    const SpaceTimeGraph serial(trace, 10.0);
+    const SpaceTimeGraph sharded_serial(trace, 10.0,
+                                        util::serial_parallel_for());
+    const SpaceTimeGraph sharded_pooled(trace, 10.0, pooled);
+    EXPECT_TRUE(serial.arenas_identical(sharded_serial)) << "seed " << seed;
+    EXPECT_TRUE(serial.arenas_identical(sharded_pooled)) << "seed " << seed;
+  }
+}
+
+TEST(SpaceTimeGraph, ShardedBuildMatchesSerialOnDegenerateTraces) {
+  engine::ThreadPool pool(4);
+  const util::ParallelFor pooled = engine::parallel_for(pool);
+  // Empty trace: no contacts to shard over.
+  const ContactTrace empty({}, 3, 50.0);
+  EXPECT_TRUE(SpaceTimeGraph(empty, 10.0).arenas_identical(
+      SpaceTimeGraph(empty, 10.0, pooled)));
+  // One contact: fewer contacts than shards.
+  const auto tiny = make_trace({Contact::make(0, 1, 5.0, 8.0)}, 2, 60.0);
+  EXPECT_TRUE(SpaceTimeGraph(tiny, 10.0).arenas_identical(
+      SpaceTimeGraph(tiny, 10.0, pooled)));
+  // All contacts in one step: every other shard row is empty.
+  const auto burst = random_contacts(64, 500, 10.0, 9);
+  EXPECT_TRUE(SpaceTimeGraph(burst, 10.0).arenas_identical(
+      SpaceTimeGraph(burst, 10.0, pooled)));
+}
+
+TEST(Components, StepComponentsMatchUnionFindOracle) {
+  // The word-parallel flood kernel consumes step_components_at; its
+  // masks, member lists, and word lists must describe exactly the
+  // non-singleton components the UnionFind oracle labels.
+  const auto trace = random_contacts(200, 3000, 600.0, 17);
+  const SpaceTimeGraph g(trace, 10.0);
+  StepComponentScratch scratch;
+  for (const Step s : g.active_steps()) {
+    const std::size_t count = step_components_at(g, s, scratch);
+    const auto labels = components_at(g, s);
+
+    // Oracle: label -> members, non-singleton only (step_components_at
+    // never materializes isolated nodes).
+    std::map<NodeId, std::vector<NodeId>> oracle;
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      oracle[labels[v]].push_back(v);
+    std::erase_if(oracle, [](const auto& kv) {
+      return kv.second.size() < 2;
+    });
+
+    ASSERT_EQ(count, oracle.size()) << "step " << s;
+    for (std::size_t c = 0; c < count; ++c) {
+      const StepComponent& comp = scratch.pool[c];
+      ASSERT_FALSE(comp.members.empty());
+      // The discovery-order front is the canonical (smallest) label.
+      const NodeId label = comp.members.front();
+      ASSERT_EQ(label, *std::min_element(comp.members.begin(),
+                                         comp.members.end()));
+      const auto it = oracle.find(label);
+      ASSERT_NE(it, oracle.end()) << "step " << s;
+      std::vector<NodeId> sorted_members = comp.members;
+      std::sort(sorted_members.begin(), sorted_members.end());
+      EXPECT_EQ(sorted_members, it->second);
+      EXPECT_EQ(comp.size, it->second.size());
+      EXPECT_EQ(comp.mask.count(), comp.size);
+      for (const NodeId v : it->second) EXPECT_TRUE(comp.mask.test(v));
+      // words lists exactly the nonzero mask words, ascending.
+      std::vector<std::uint32_t> expected_words;
+      for (std::uint32_t w = 0; w < comp.mask.num_words(); ++w)
+        if (comp.mask.word(w) != 0) expected_words.push_back(w);
+      EXPECT_EQ(comp.words, expected_words);
+    }
+  }
 }
 
 TEST(UnionFindTest, BasicMerging) {

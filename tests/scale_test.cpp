@@ -1,0 +1,147 @@
+// Scale-tier tests: metro_16k and megacity_65k, the tiers the parallel
+// scenario construction and word-parallel flood kernels exist for.
+//
+// These populations are two orders of magnitude past the paper's 98
+// nodes, so every test here runs a deliberately small workload — the
+// point is that construction is executor-invariant and the simulator
+// completes and stays bit-identical at scale, not to benchmark (the
+// perf trajectory lives in bench/perf_microbench). Budgeted to stay
+// comfortably inside the 600 s sanitizer-build test timeout.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "psn/core/workload.hpp"
+#include "psn/engine/run_spec.hpp"
+#include "psn/engine/scenario_context.hpp"
+#include "psn/engine/scenario_registry.hpp"
+#include "psn/engine/sweep.hpp"
+#include "psn/engine/thread_pool.hpp"
+#include "psn/forward/algorithm_registry.hpp"
+#include "psn/forward/simulator.hpp"
+#include "psn/graph/space_time_graph.hpp"
+#include "psn/util/parallel.hpp"
+
+namespace psn::engine {
+namespace {
+
+/// One pool for the whole suite; the registry's name-keyed dataset cache
+/// plus this static holder make every test share a single metro
+/// generation.
+ThreadPool& shared_pool() {
+  static ThreadPool pool(8);
+  return pool;
+}
+
+const Scenario& metro_scenario() {
+  static const Scenario scenario =
+      make_scenario_by_name("metro_16k", parallel_for(shared_pool()));
+  return scenario;
+}
+
+TEST(ScaleTiers, MetroDatasetMatchesItsBilling) {
+  const auto& scenario = metro_scenario();
+  ASSERT_TRUE(scenario.dataset != nullptr);
+  EXPECT_EQ(scenario.dataset->trace.num_nodes(), 16384u);
+  // Sparse-regime sanity: orders of magnitude fewer contacts than pairs,
+  // but enough that the population is actually connected over time.
+  EXPECT_GT(scenario.dataset->trace.size(), 100000u);
+  EXPECT_LT(scenario.dataset->trace.size(), 10000000u);
+}
+
+TEST(ScaleTiers, MetroShardedGraphBuildMatchesSerialByteForByte) {
+  // The acceptance bar for the parallel construction path: at a tier
+  // where sharding actually matters, serial and pool-sharded builds
+  // produce byte-identical arenas.
+  const auto& scenario = metro_scenario();
+  const graph::SpaceTimeGraph serial(scenario.dataset->trace, scenario.delta);
+  const graph::SpaceTimeGraph sharded(scenario.dataset->trace, scenario.delta,
+                                      parallel_for(shared_pool()));
+  EXPECT_TRUE(serial.arenas_identical(sharded));
+  EXPECT_GT(serial.total_edges(), 0u);
+}
+
+TEST(ScaleTiers, MetroSweepBitIdenticalAcrossThreadsAndKernels) {
+  // metro_16k end to end through run_sweep: 1-thread vs 8-thread pools
+  // and word-parallel vs scalar flood kernels all land on bit-identical
+  // cells. The workload is small (a handful of messages) because the
+  // scalar-oracle leg is the expensive one at 16k nodes.
+  const auto& scenario = metro_scenario();
+  PlanConfig config;
+  config.runs = 1;
+  config.master_seed = 23;
+  config.message_rate = 0.002;
+  const auto plan = make_plan({scenario}, {"Epidemic"}, config);
+
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions wide;
+  wide.threads = 8;
+  wide.intra_run_parallel = true;
+  SweepOptions scalar;
+  scalar.threads = 8;
+  scalar.flood_kernel = forward::FloodKernel::kScalar;
+
+  const auto a = run_sweep(plan, serial);
+  const auto b = run_sweep(plan, wide);
+  const auto c = run_sweep(plan, scalar);
+  ASSERT_EQ(a.cells.size(), 1u);
+  for (const auto* other : {&b, &c}) {
+    ASSERT_EQ(other->cells.size(), 1u);
+    EXPECT_EQ(a.cells[0].overall.messages, other->cells[0].overall.messages);
+    EXPECT_EQ(a.cells[0].overall.delivered, other->cells[0].overall.delivered);
+    // Bit-identical, hence EXPECT_EQ on doubles — no tolerance.
+    EXPECT_EQ(a.cells[0].overall.success_rate,
+              other->cells[0].overall.success_rate);
+    EXPECT_EQ(a.cells[0].overall.average_delay,
+              other->cells[0].overall.average_delay);
+    EXPECT_EQ(a.cells[0].overall.average_hops,
+              other->cells[0].overall.average_hops);
+    EXPECT_EQ(a.cells[0].cost_per_message, other->cells[0].cost_per_message);
+  }
+  EXPECT_GT(a.cells[0].overall.delivered, 0u);
+}
+
+TEST(ScaleTiers, MegacityBuildsAndCompletesAnEpidemicRun) {
+  // The ceiling tier: 65 536 nodes must generate (sharded), discretize
+  // (sharded CSR build), and carry an epidemic flood to completion with
+  // the word-parallel kernel. The scalar oracle is not run here — it is
+  // minutes at this scale; kernel equivalence is pinned at metro_16k and
+  // below.
+  const util::ParallelFor pooled = parallel_for(shared_pool());
+  const auto scenario = make_scenario_by_name("megacity_65k", pooled);
+  ASSERT_TRUE(scenario.dataset != nullptr);
+  EXPECT_EQ(scenario.dataset->trace.num_nodes(), 65536u);
+  EXPECT_GT(scenario.dataset->trace.size(), 500000u);
+
+  const auto context =
+      ScenarioContextCache::instance().acquire(scenario, &pooled);
+  ASSERT_TRUE(context->graph != nullptr);
+  EXPECT_GT(context->graph->total_edges(), 0u);
+
+  core::WorkloadConfig wc;
+  wc.mode = core::WorkloadMode::kFixedCount;
+  wc.count = 6;
+  wc.horizon = scenario.dataset->message_horizon;
+  wc.seed = 5;
+  const auto messages =
+      core::generate_workload(scenario.dataset->trace.num_nodes(), wc);
+  ASSERT_EQ(messages.size(), 6u);
+
+  const auto algorithm = forward::make_algorithm("Epidemic");
+  forward::SimulationRequest request;
+  request.algorithm = algorithm.get();
+  request.graph = context->graph.get();
+  request.trace = &scenario.dataset->trace;
+  request.messages = &messages;
+  request.parallel = &pooled;
+  const auto result = forward::simulate(request);
+
+  EXPECT_EQ(result.outcomes.size(), messages.size());
+  EXPECT_GT(result.delivered_count(), 0u);
+  EXPECT_GT(result.transmissions, 0u);
+}
+
+}  // namespace
+}  // namespace psn::engine

@@ -7,9 +7,11 @@
 #include <map>
 #include <numeric>
 
+#include "psn/engine/thread_pool.hpp"
 #include "psn/stats/summary.hpp"
 #include "psn/synth/conference.hpp"
 #include "psn/synth/homogeneous.hpp"
+#include "psn/synth/metropolis.hpp"
 #include "psn/synth/pairwise_poisson.hpp"
 #include "psn/synth/random_waypoint.hpp"
 #include "psn/trace/trace_stats.hpp"
@@ -311,6 +313,89 @@ TEST(RandomWaypoint, HomogeneousRates) {
   ASSERT_GT(acc.mean(), 0.0);
   // RWP mixes uniformly; spread should be far below the conference CV.
   EXPECT_LT(acc.stddev() / acc.mean(), 0.45);
+}
+
+MetropolisConfig small_metropolis_config() {
+  MetropolisConfig config;
+  config.mobile_nodes = 900;
+  config.stationary_nodes = 24;
+  config.t_max = 3600.0;
+  config.mean_node_rate = 0.02;
+  config.scan_interval = 120.0;
+  config.modulation = default_conference_modulation(config.t_max);
+  config.seed = 44;
+  return config;
+}
+
+TEST(Metropolis, ExecutorChoiceNeverChangesTheTrace) {
+  // The whole point of the time-sharded design: shard geometry and
+  // per-shard streams are a function of the config alone, so the serial
+  // reference and any pool produce the identical trace.
+  const auto config = small_metropolis_config();
+  const auto serial = generate_metropolis(config);
+  engine::ThreadPool pool(8);
+  const auto pooled = generate_metropolis(config, engine::parallel_for(pool));
+  ASSERT_EQ(serial.trace.size(), pooled.trace.size());
+  for (std::size_t i = 0; i < serial.trace.size(); ++i)
+    ASSERT_EQ(serial.trace[i], pooled.trace[i]) << "contact " << i;
+  ASSERT_EQ(serial.node_rates, pooled.node_rates);
+  ASSERT_EQ(serial.node_weights, pooled.node_weights);
+}
+
+TEST(Metropolis, DeterministicInSeedAndSeedSensitive) {
+  const auto config = small_metropolis_config();
+  const auto a = generate_metropolis(config);
+  const auto b = generate_metropolis(config);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i)
+    EXPECT_EQ(a.trace[i], b.trace[i]);
+  auto reseeded = config;
+  reseeded.seed = 45;
+  const auto c = generate_metropolis(reseeded);
+  EXPECT_NE(a.trace.size(), c.trace.size());
+}
+
+TEST(Metropolis, CalibrationHitsTheConfiguredMeanRate) {
+  // Realized population-mean contact rate should land near
+  // mean_node_rate scaled by the average modulation factor, same as the
+  // pairwise conference generator it replaces at scale.
+  auto config = small_metropolis_config();
+  const auto generated = generate_metropolis(config);
+  double modulation_mass = 0.0;
+  for (const auto& seg : config.modulation)
+    modulation_mass += (seg.end - seg.start) * seg.factor;
+  const double average_factor = modulation_mass / config.t_max;
+  const double expected_contacts = config.mean_node_rate * average_factor *
+                                   static_cast<double>(config.total_nodes()) *
+                                   config.t_max / 2.0;
+  const auto realized = static_cast<double>(generated.trace.size());
+  EXPECT_GT(realized, 0.6 * expected_contacts);
+  EXPECT_LT(realized, 1.4 * expected_contacts);
+  // Canonical trace ordering and in-window timestamps.
+  const auto& cs = generated.trace.contacts();
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    ASSERT_LT(cs[i].a, cs[i].b);
+    ASSERT_GE(cs[i].start, 0.0);
+    ASSERT_LE(cs[i].end, config.t_max);
+    if (i > 0) {
+      ASSERT_LE(cs[i - 1].start, cs[i].start);
+    }
+  }
+}
+
+TEST(Metropolis, StationaryNodesCarryBoostedWeights) {
+  const auto config = small_metropolis_config();
+  const auto generated = generate_metropolis(config);
+  ASSERT_EQ(generated.node_weights.size(),
+            static_cast<std::size_t>(config.total_nodes()));
+  stats::Accumulator mobile, stationary;
+  for (trace::NodeId v = 0; v < config.total_nodes(); ++v) {
+    if (v < config.mobile_nodes)
+      mobile.add(generated.node_weights[v]);
+    else
+      stationary.add(generated.node_weights[v]);
+  }
+  EXPECT_GT(stationary.mean(), mobile.mean());
 }
 
 }  // namespace

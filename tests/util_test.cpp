@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <iterator>
@@ -340,6 +341,110 @@ TEST(NodeSet, MatchesReferenceModelUnderRandomOps) {
     si &= t;
     EXPECT_EQ(si, i);
   }
+}
+
+TEST(NodeSet, WordOpsMatchPerBitOracle) {
+  // The word-parallel flood kernels are built from set_word / or_word /
+  // word / and_not_assign / intersect_count. Drive them with random word
+  // images across capacities straddling the inline-2-word boundary and
+  // check every one against per-bit arithmetic.
+  Rng rng(2026);
+  for (const std::uint32_t capacity : {64u, 127u, 128u, 129u, 192u, 1024u}) {
+    const std::uint32_t words = (capacity + 63) / 64;
+    const std::uint64_t last_mask =
+        (capacity % 64) ? ((std::uint64_t{1} << (capacity % 64)) - 1)
+                        : ~std::uint64_t{0};
+    for (int round = 0; round < 16; ++round) {
+      std::vector<std::uint64_t> aw(words), bw(words);
+      for (std::uint32_t w = 0; w < words; ++w) {
+        aw[w] = rng();
+        bw[w] = rng();
+      }
+      aw[words - 1] &= last_mask;
+      bw[words - 1] &= last_mask;
+
+      NodeSet a(capacity), b(capacity);
+      for (std::uint32_t w = 0; w < words; ++w) a.set_word(w, aw[w]);
+      for (std::uint32_t w = 0; w < words; ++w) b.or_word(w, bw[w]);
+
+      unsigned expected_count = 0, expected_intersect = 0;
+      for (std::uint32_t w = 0; w < words; ++w) {
+        ASSERT_EQ(a.word(w), aw[w]);
+        ASSERT_EQ(b.word(w), bw[w]);
+        expected_count +=
+            static_cast<unsigned>(std::popcount(aw[w]));
+        expected_intersect +=
+            static_cast<unsigned>(std::popcount(aw[w] & bw[w]));
+      }
+      EXPECT_EQ(a.count(), expected_count);
+      EXPECT_EQ(a.intersect_count(b), expected_intersect);
+      for (std::uint32_t bit = 0; bit < capacity; ++bit)
+        ASSERT_EQ(a.test(bit), ((aw[bit >> 6] >> (bit & 63)) & 1U) != 0);
+
+      NodeSet diff = a;
+      diff.and_not_assign(b);
+      for (std::uint32_t w = 0; w < words; ++w)
+        ASSERT_EQ(diff.word(w), aw[w] & ~bw[w]);
+
+      // The kernel's frontier idiom: fresh = b & ~a per word, OR'd into
+      // a, must land exactly on the per-bit union.
+      NodeSet visited = a;
+      unsigned fresh_bits = 0;
+      for (std::uint32_t w = 0; w < words; ++w) {
+        const std::uint64_t fresh = b.word(w) & ~visited.word(w);
+        fresh_bits += static_cast<unsigned>(std::popcount(fresh));
+        visited.or_word(w, fresh);
+      }
+      for (std::uint32_t w = 0; w < words; ++w)
+        ASSERT_EQ(visited.word(w), aw[w] | bw[w]);
+      EXPECT_EQ(fresh_bits, visited.count() - a.count());
+    }
+  }
+}
+
+TEST(NodeSet, InlineHeapBoundaryAt128Bits) {
+  // Bit 127 is the last inline bit; bit 128 forces the heap spill. The
+  // word kernels rely on the spill preserving content, on equality and
+  // hashing ignoring backing capacity, and on zero-valued word writes
+  // beyond the storage never growing it.
+  NodeSet s(128);
+  EXPECT_EQ(s.num_words(), NodeSet::kInlineWords);
+  s.set(0);
+  s.set(127);
+  EXPECT_EQ(s.num_words(), NodeSet::kInlineWords);
+
+  NodeSet grown = s;
+  grown.set(128);
+  EXPECT_GT(grown.num_words(), NodeSet::kInlineWords);
+  EXPECT_TRUE(grown.test(0));
+  EXPECT_TRUE(grown.test(127));
+  EXPECT_TRUE(grown.test(128));
+
+  grown.reset(128);
+  EXPECT_EQ(grown, s);  // capacity is not part of the value.
+  EXPECT_EQ(NodeSetHash{}(grown), NodeSetHash{}(s));
+  EXPECT_EQ(grown.word(2), 0u);
+  EXPECT_EQ(s.word(2), 0u);  // reads beyond storage are zero, not UB.
+
+  NodeSet t(64);
+  t.set_word(9, 0);
+  t.or_word(9, 0);
+  EXPECT_EQ(t.num_words(), NodeSet::kInlineWords);  // zero writes free.
+  t.set_word(2, 0xffu);
+  EXPECT_GT(t.num_words(), NodeSet::kInlineWords);
+  EXPECT_EQ(t.word(2), 0xffu);
+  EXPECT_EQ(t.count(), 8u);
+
+  // ensure_capacity pre-sizing (the kernels' no-realloc guarantee):
+  // growing first, then writing words up to the capacity, keeps the
+  // storage stable.
+  NodeSet pre(64);
+  pre.ensure_capacity(1024);
+  const std::uint32_t sized = pre.num_words();
+  EXPECT_GE(sized, 16u);
+  for (std::uint32_t w = 0; w < 16; ++w) pre.set_word(w, 1u);
+  EXPECT_EQ(pre.num_words(), sized);
+  EXPECT_EQ(pre.count(), 16u);
 }
 
 }  // namespace
