@@ -11,7 +11,9 @@ Two classes of check, with very different trust levels:
   flood-kernel ratio is also machine-independent in the sense that both
   kernels ran in the *same* process on the same machine — the fresh file
   alone must show the word kernel no slower than the scalar oracle on
-  the city_2048-and-up tiers.
+  the city_2048-and-up tiers. Same for the resident-service gates: batch
+  bit-identity and the served-vs-cold throughput ratio are properties of
+  the fresh file alone.
 
 * Wall-clock comparisons against the committed baseline are gated
   loosely (--wall-tolerance, default 1.5x): the baseline was produced on
@@ -44,6 +46,17 @@ WORD_KERNEL_MARGIN = 0.95
 # allow a hair of slack rather than demanding textual equality.
 SUCCESS_RATE_TOLERANCE = 1e-6
 BYTES_PER_CONTACT_TOLERANCE = 1.05
+
+# Fresh-file resident-service gates: the served phase must beat the cold
+# one-shot loop by this multiple (cold pays dataset + graph construction
+# per request; the service pays it once — both measured in the same
+# process, so machine noise largely cancels), and every served payload
+# must be byte-identical to the one-shot reference. The cache hit rate is
+# compared against the baseline with slack for one batching-window split
+# (a split only ever ADDS hits, but the baseline itself may have recorded
+# a lucky split).
+SERVE_MIN_THROUGHPUT_RATIO = 5.0
+SERVE_HIT_RATE_TOLERANCE = 0.05
 
 
 def mean(values):
@@ -204,6 +217,42 @@ def check_model(gate, fresh, baseline, wall_tol):
             )
 
 
+def check_serve(gate, fresh, baseline, wall_tol):
+    fresh_pts = by_scenario(fresh.get("serve", []))
+    base_pts = by_scenario(baseline.get("serve", []))
+    gate.coverage("serve", base_pts, fresh_pts)
+    for name, fp in fresh_pts.items():
+        gate.check(
+            fp.get("batch_bit_identical") is True,
+            f"serve/{name}: coalesced responses not bit-identical to the "
+            f"one-shot reference (batching changed results)",
+        )
+        gate.check(
+            fp.get("throughput_ratio", 0) >= SERVE_MIN_THROUGHPUT_RATIO,
+            f"serve/{name}: resident service only "
+            f"{fp.get('throughput_ratio', 0):.2f}x over cold one-shots "
+            f"(floor {SERVE_MIN_THROUGHPUT_RATIO}x)",
+        )
+        bp = base_pts.get(name)
+        if bp is None:
+            continue
+        gate.check(
+            fp.get("cache_hit_rate", 0)
+            >= bp.get("cache_hit_rate", 0) - SERVE_HIT_RATE_TOLERANCE,
+            f"serve/{name}: cache hit rate fell "
+            f"{bp.get('cache_hit_rate', 0):.3f} -> "
+            f"{fp.get('cache_hit_rate', 0):.3f}",
+        )
+        if wall_tol is not None and bp.get("served_wall_seconds", 0) > 0:
+            gate.check(
+                fp.get("served_wall_seconds", 0)
+                <= bp["served_wall_seconds"] * wall_tol,
+                f"serve/{name}: served wall "
+                f"{fp.get('served_wall_seconds', 0):.3f}s vs baseline "
+                f"{bp['served_wall_seconds']:.3f}s (> {wall_tol}x)",
+            )
+
+
 def check_sweep_matrix(gate, fresh, baseline, wall_tol):
     if wall_tol is None:
         return
@@ -253,6 +302,7 @@ def main():
     check_event_timeline(gate, fresh, baseline, wall_tol)
     check_path_explosion(gate, fresh, baseline, wall_tol)
     check_model(gate, fresh, baseline, wall_tol)
+    check_serve(gate, fresh, baseline, wall_tol)
     check_sweep_matrix(gate, fresh, baseline, wall_tol)
 
     if gate.failures:

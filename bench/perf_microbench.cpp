@@ -21,7 +21,12 @@
 //    MC messages/s), and
 //  * the contended-traffic offered-load sweep (finite per-node buffers on
 //    the sizing tiers, Epidemic vs the Spray+Wait quota scheme across
-//    rate multipliers: success/drop rates, evictions, deliveries/s).
+//    rate multipliers: success/drop rates, evictions, deliveries/s), and
+//  * the resident-service comparison (N repeated forwarding requests
+//    through psn_serve's SweepService — batch coalescing plus the warm
+//    scenario cache — vs the same N as cold one-shot executions, with
+//    bit-identity of every served payload asserted against the one-shot
+//    reference).
 //
 // Knobs: PSN_BENCH_RUNS (matrix repetitions, default 3),
 // PSN_BENCH_SWEEP_THREADS (comma list, default "1,2,4,8"),
@@ -33,6 +38,9 @@
 // PSN_BENCH_SCALAR_MAX_NODES (largest tier that also re-runs the scalar
 // flood kernel, default 16384 — scalar Epidemic at 65k nodes is a ~6
 // minute run, not a per-PR trajectory point),
+// PSN_BENCH_FRESH_MAX_NODES (largest tier that includes FRESH in the
+// scaling series, default 16384 — FRESH's N x N last-encounter matrix
+// makes a single 65k-node run minutes long),
 // PSN_BENCH_TIMELINE_SCENARIOS (comma list, default
 // "campus_512,city_2048,city_2048_diurnal"; empty disables the timeline
 // comparison),
@@ -50,11 +58,14 @@
 // traffic sweep), PSN_BENCH_TRAFFIC_MULTIPLIERS (comma list of offered-
 // load multipliers, default "1,4,16"), PSN_BENCH_TRAFFIC_RUNS (default
 // 2), PSN_BENCH_TRAFFIC_CAPACITY (per-node buffer capacity in bytes,
-// default 8), and PSN_BENCH_TRAFFIC_RATE (base message rate in msgs/s,
-// default 0.01).
+// default 8), PSN_BENCH_TRAFFIC_RATE (base message rate in msgs/s,
+// default 0.01), PSN_BENCH_SERVE_SCENARIOS (comma list, default
+// "city_2048"; empty disables the resident-service comparison), and
+// PSN_BENCH_SERVE_REQUESTS (requests per serve scenario, default 32).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -82,6 +93,8 @@
 #include "psn/graph/reachability.hpp"
 #include "psn/graph/space_time_graph.hpp"
 #include "psn/paths/enumerator.hpp"
+#include "psn/serve/request.hpp"
+#include "psn/serve/service.hpp"
 #include "psn/synth/pairwise_poisson.hpp"
 
 namespace {
@@ -320,6 +333,13 @@ std::size_t scalar_max_nodes() {
   return psn::bench::env_size("PSN_BENCH_SCALAR_MAX_NODES", 16384);
 }
 
+// FRESH keeps an N x N last-encounter matrix and scans a growing
+// neighborhood per hop; at 65k nodes one run is minutes, not seconds, so
+// the 65k tier measures Epidemic only unless the cap is raised.
+std::size_t fresh_max_nodes() {
+  return psn::bench::env_size("PSN_BENCH_FRESH_MAX_NODES", 16384);
+}
+
 std::size_t scaling_runs() {
   if (const char* env = std::getenv("PSN_BENCH_SCALING_RUNS")) {
     const long long v = std::atoll(env);
@@ -335,6 +355,7 @@ std::vector<ScalePoint> run_scaling_bench() {
 
   const std::size_t runs = scaling_runs();
   const std::size_t scalar_cap = scalar_max_nodes();
+  const std::size_t fresh_cap = fresh_max_nodes();
   // Dataset generation and graph construction are sharded over this pool
   // (the metropolis tiers and the CSR build); results are byte-identical
   // to their serial builds, so the executor affects wall times only.
@@ -342,7 +363,7 @@ std::vector<ScalePoint> run_scaling_bench() {
   const psn::util::ParallelFor pool_executor = psn::engine::parallel_for(pool);
   std::cout << "\nnode-count scaling series: {epidemic, FRESH} x " << runs
             << " runs per tier (scalar-kernel baseline up to N="
-            << scalar_cap << ")\n";
+            << scalar_cap << ", FRESH up to N=" << fresh_cap << ")\n";
   for (const auto& name : names) {
     ScalePoint point;
     point.scenario = name;
@@ -377,8 +398,9 @@ std::vector<ScalePoint> run_scaling_bench() {
     // Fixed workload intensity across tiers: the scaling series measures
     // the cost of population size, not of message volume.
     pc.message_rate = 0.01;
-    const auto plan = psn::engine::make_plan(
-        {scenario}, {"Epidemic", "FRESH"}, pc);
+    std::vector<std::string> algorithms{"Epidemic"};
+    if (point.nodes <= fresh_cap) algorithms.push_back("FRESH");
+    const auto plan = psn::engine::make_plan({scenario}, algorithms, pc);
     psn::engine::SweepOptions options;
     options.keep_delays = false;
     const auto result = psn::engine::run_sweep(plan, options);
@@ -834,13 +856,170 @@ std::vector<TrafficPoint> run_traffic_bench() {
   return points;
 }
 
+// --- Resident-service comparison: the same N forwarding requests served
+// --- by one SweepService (batch coalescing + warm scenario cache) vs N
+// --- cold one-shot executions (cache cleared before each, so every
+// --- iteration pays dataset generation + graph construction again, like
+// --- N separate CLI invocations would).
+
+struct ServePoint {
+  std::string scenario;
+  std::size_t requests = 0;
+  double cold_wall_seconds = 0.0;    ///< N one-shots, cache cleared each.
+  double served_wall_seconds = 0.0;  ///< same N through the service.
+  double throughput_ratio = 0.0;     ///< cold_wall / served_wall.
+  std::uint64_t batches = 0;         ///< engine executions in served phase.
+  std::uint64_t coalesced_requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;
+  /// Every served response's result payload equals the one-shot
+  /// reference byte for byte (canonical JSON dump comparison).
+  bool batch_bit_identical = false;
+  double p50_latency_seconds = 0.0;
+  double p99_latency_seconds = 0.0;
+  std::uint64_t budget_bytes = 0;
+  std::uint64_t resident_bytes = 0;
+};
+
+std::vector<std::string> serve_scenario_names() {
+  return names_from_env("PSN_BENCH_SERVE_SCENARIOS", "city_2048");
+}
+
+std::size_t serve_requests() {
+  return psn::bench::env_size("PSN_BENCH_SERVE_REQUESTS", 32);
+}
+
+std::vector<ServePoint> run_serve_bench() {
+  const auto names = serve_scenario_names();
+  std::vector<ServePoint> points;
+  if (names.empty()) return points;
+
+  const std::size_t n = std::max<std::size_t>(serve_requests(), 2);
+  const auto known = psn::engine::scenario_names();
+  auto& cache = psn::engine::ScenarioContextCache::instance();
+  std::cout << "\nresident-service comparison: " << n
+            << " forwarding requests per scenario, served vs cold\n";
+  for (const auto& name : names) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      std::cerr << "perf_microbench: skipping serve scenario '" << name
+                << "': not a registered forwarding scenario\n";
+      continue;
+    }
+    psn::serve::Request request;
+    request.id = "bench";
+    request.family = psn::serve::Family::kForwarding;
+    request.forwarding.scenario = name;
+    request.forwarding.algorithms = {"Epidemic"};
+    request.forwarding.runs = 2;
+    request.forwarding.master_seed = 7;
+    request.forwarding.message_rate = 0.01;
+
+    ServePoint point;
+    point.scenario = name;
+    point.requests = n;
+
+    // Reference payload: one request on an unbatched service. Earlier
+    // bench sections leave contexts resident, so clear first — every
+    // phase of this comparison starts from the same cold state.
+    std::string reference;
+    {
+      cache.clear();
+      psn::serve::ServiceConfig sc;
+      sc.batch_window_seconds = 0.0;
+      psn::serve::SweepService one_shot(sc);
+      reference = one_shot.execute(request).at("result").dump();
+
+      // Cold phase on the same service: clearing the cache before each
+      // request drops the retained context AND the registry's weak
+      // dataset memo, so every iteration regenerates the trace and
+      // rebuilds the graph — the cost profile of N separate processes.
+      const auto cold_start = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < n; ++i) {
+        cache.clear();
+        const auto response = one_shot.execute(request);
+        if (response.at("result").dump() != reference) {
+          std::cerr << "perf_microbench: cold one-shot diverged from "
+                       "reference on "
+                    << name << "\n";
+          reference.clear();
+        }
+      }
+      point.cold_wall_seconds = seconds_since(cold_start);
+    }
+
+    // Served phase: a batching service, same N requests in two waves.
+    // Wave A arrives concurrently and coalesces into one engine call
+    // (one cache miss, shared); wave B finds the context resident. The
+    // window is generous so wave A reliably lands in one batch even on a
+    // loaded machine — more batches would only add cache hits.
+    cache.clear();
+    psn::serve::ServiceConfig sc;
+    sc.batch_window_seconds = 0.05;
+    psn::serve::SweepService served(sc);
+    std::vector<psn::serve::Json> responses(n);
+    const std::size_t wave = std::min<std::size_t>(8, n / 2);
+    const auto served_start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < wave; ++i)
+      served.enqueue(request,
+                     [&responses, i](const psn::serve::Json& r) {
+                       responses[i] = r;
+                     });
+    served.drain();
+    for (std::size_t i = wave; i < n; ++i)
+      served.enqueue(request,
+                     [&responses, i](const psn::serve::Json& r) {
+                       responses[i] = r;
+                     });
+    served.drain();
+    point.served_wall_seconds = seconds_since(served_start);
+    point.throughput_ratio =
+        point.served_wall_seconds > 0.0
+            ? point.cold_wall_seconds / point.served_wall_seconds
+            : 0.0;
+
+    point.batch_bit_identical = !reference.empty();
+    for (const auto& response : responses) {
+      if (!response.at("ok").is_bool() || !response.at("ok").as_bool() ||
+          response.at("result").dump() != reference)
+        point.batch_bit_identical = false;
+    }
+
+    const auto st = served.stats();
+    point.batches = st.batches;
+    point.coalesced_requests = st.coalesced_requests;
+    point.cache_hits = st.cache_hits;
+    point.cache_misses = st.cache_misses;
+    point.cache_hit_rate =
+        st.cache_hits + st.cache_misses > 0
+            ? static_cast<double>(st.cache_hits) /
+                  static_cast<double>(st.cache_hits + st.cache_misses)
+            : 0.0;
+    point.p50_latency_seconds = st.p50_latency_seconds;
+    point.p99_latency_seconds = st.p99_latency_seconds;
+    const auto cs = cache.stats();
+    point.budget_bytes = cs.budget_bytes;
+    point.resident_bytes = cs.resident_bytes;
+
+    std::cout << "  " << name << ": cold=" << point.cold_wall_seconds
+              << "s  served=" << point.served_wall_seconds << "s  ("
+              << point.throughput_ratio << "x, " << point.batches
+              << " batches, hit rate " << point.cache_hit_rate
+              << ", bit-identical="
+              << (point.batch_bit_identical ? "yes" : "NO") << ")\n";
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
 void write_bench_json(const std::string& json_path,
                       const MatrixResult& matrix,
                       const std::vector<ScalePoint>& scaling,
                       const std::vector<TimelinePoint>& timeline,
                       const std::vector<PathPoint>& paths,
                       const std::vector<ModelPoint>& model,
-                      const std::vector<TrafficPoint>& traffic) {
+                      const std::vector<TrafficPoint>& traffic,
+                      const std::vector<ServePoint>& serve) {
   std::ofstream out(json_path);
   if (!out) {
     std::cerr << "perf_microbench: cannot write " << json_path << '\n';
@@ -972,6 +1151,28 @@ void write_bench_json(const std::string& json_path,
     }
     out << "]}" << (i + 1 < traffic.size() ? "," : "") << '\n';
   }
+  out << "  ],\n"
+      << "  \"serve\": [\n";
+  for (std::size_t i = 0; i < serve.size(); ++i) {
+    const auto& p = serve[i];
+    out << "    {\"scenario\": \"" << p.scenario << "\", \"requests\": "
+        << p.requests
+        << ", \"cold_wall_seconds\": " << p.cold_wall_seconds
+        << ", \"served_wall_seconds\": " << p.served_wall_seconds
+        << ", \"throughput_ratio\": " << p.throughput_ratio
+        << ", \"batches\": " << p.batches
+        << ", \"coalesced_requests\": " << p.coalesced_requests
+        << ", \"cache_hits\": " << p.cache_hits
+        << ", \"cache_misses\": " << p.cache_misses
+        << ", \"cache_hit_rate\": " << p.cache_hit_rate
+        << ", \"batch_bit_identical\": "
+        << (p.batch_bit_identical ? "true" : "false")
+        << ", \"p50_latency_seconds\": " << p.p50_latency_seconds
+        << ", \"p99_latency_seconds\": " << p.p99_latency_seconds
+        << ", \"budget_bytes\": " << p.budget_bytes
+        << ", \"resident_bytes\": " << p.resident_bytes << "}"
+        << (i + 1 < serve.size() ? "," : "") << '\n';
+  }
   out << "  ]\n}\n";
   std::cout << "wrote " << json_path << '\n';
 }
@@ -993,7 +1194,8 @@ int main(int argc, char** argv) {
   const auto paths = run_path_explosion_bench();
   const auto model = run_model_bench();
   const auto traffic = run_traffic_bench();
+  const auto serve = run_serve_bench();
   write_bench_json(json_path, matrix, scaling, timeline, paths, model,
-                   traffic);
+                   traffic, serve);
   return 0;
 }

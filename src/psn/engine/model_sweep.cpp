@@ -1,5 +1,6 @@
 #include "psn/engine/model_sweep.hpp"
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -138,9 +139,13 @@ ModelSweepResult run_model_sweep(const ModelSweepPlan& plan,
   }
 
   const auto sweep_start = Clock::now();
-  const std::size_t threads =
-      options.threads == 0 ? ThreadPool::hardware_threads() : options.threads;
-  ThreadPool pool(threads);
+  // Run on the caller's pool when one is provided (the psn_serve batching
+  // hook); otherwise own a private pool for the duration of the sweep.
+  std::optional<ThreadPool> owned_pool;
+  if (options.pool == nullptr)
+    owned_pool.emplace(options.threads == 0 ? ThreadPool::hardware_threads()
+                                            : options.threads);
+  ThreadPool& pool = options.pool != nullptr ? *options.pool : *owned_pool;
   ErrorSlot errors;
 
   const std::size_t num_scenarios = plan.scenarios.size();

@@ -46,6 +46,8 @@
 
 namespace psn::engine {
 
+class ThreadPool;
+
 /// Output of SplitMix64 draw number `slot` (0-based) of the sequence
 /// seeded with `seed` — the sweep's per-slot substream derivation.
 [[nodiscard]] std::uint64_t model_substream_seed(std::uint64_t seed,
@@ -98,8 +100,12 @@ struct ModelSweepPlan {
 };
 
 struct ModelSweepOptions {
-  /// Worker threads; 0 means one per hardware thread.
+  /// Worker threads; 0 means one per hardware thread. Ignored when
+  /// `pool` is set.
   std::size_t threads = 0;
+  /// Execute on this caller-owned pool instead of a private one (the
+  /// psn_serve batching hook; see SweepOptions::pool).
+  ThreadPool* pool = nullptr;
   /// Retain the raw per-message MC results in the cells (the quadrant
   /// summary is always computed; large sweeps switch this off to bound
   /// memory).

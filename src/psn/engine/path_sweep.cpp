@@ -1,6 +1,7 @@
 #include "psn/engine/path_sweep.hpp"
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -56,9 +57,13 @@ PathSweepResult run_path_sweep(const PathSweepPlan& plan,
       throw std::invalid_argument("run_path_sweep: scenario without dataset");
 
   const auto sweep_start = Clock::now();
-  const std::size_t threads =
-      options.threads == 0 ? ThreadPool::hardware_threads() : options.threads;
-  ThreadPool pool(threads);
+  // Run on the caller's pool when one is provided (the psn_serve batching
+  // hook); otherwise own a private pool for the duration of the sweep.
+  std::optional<ThreadPool> owned_pool;
+  if (options.pool == nullptr)
+    owned_pool.emplace(options.threads == 0 ? ThreadPool::hardware_threads()
+                                            : options.threads);
+  ThreadPool& pool = options.pool != nullptr ? *options.pool : *owned_pool;
   ErrorSlot errors;
 
   // Phase 1: shared read-only inputs — one immutable ScenarioContext

@@ -33,6 +33,8 @@
 
 namespace psn::engine {
 
+class ThreadPool;
+
 /// The message-sample axis of a path sweep (the scenario axis is the
 /// plan's scenario list).
 struct PathPlanConfig {
@@ -51,8 +53,12 @@ struct PathSweepPlan {
 };
 
 struct PathSweepOptions {
-  /// Worker threads; 0 means one per hardware thread.
+  /// Worker threads; 0 means one per hardware thread. Ignored when
+  /// `pool` is set.
   std::size_t threads = 0;
+  /// Execute on this caller-owned pool instead of a private one (the
+  /// psn_serve batching hook; see SweepOptions::pool).
+  ThreadPool* pool = nullptr;
   /// Step sequence each enumeration replays. kSparse (default) walks only
   /// the graph's event timeline; kDense replays every step — bit-identical
   /// modes, kDense being the equivalence oracle.

@@ -31,6 +31,9 @@ Scenario make_scenario(const core::Dataset& dataset, trace::Seconds delta) {
   scenario.dataset =
       std::shared_ptr<const core::Dataset>(&dataset, [](const core::Dataset*) {});
   scenario.delta = delta;
+  // The alias above does not own the dataset, so the context cache must
+  // not keep the context alive past the caller (run_spec.hpp).
+  scenario.cache_retainable = false;
   return scenario;
 }
 

@@ -27,6 +27,13 @@ struct Scenario {
   std::string name;
   std::shared_ptr<const core::Dataset> dataset;
   trace::Seconds delta = 10.0;
+  /// Whether ScenarioContextCache may retain this scenario's context
+  /// beyond its live holders (the byte-budgeted residency psn_serve
+  /// relies on). make_scenario switches this off: it aliases a
+  /// caller-owned dataset with a no-op deleter, so a context retained
+  /// past the caller would dangle. Owning scenarios (the registry's)
+  /// keep it on.
+  bool cache_retainable = true;
 };
 
 /// Wraps a caller-owned dataset (which must outlive the sweep) without

@@ -1,12 +1,40 @@
 #include "psn/engine/scenario_context.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
+#include "psn/trace/contact.hpp"
+
 namespace psn::engine {
+
+namespace {
+
+std::uint64_t default_budget_from_env() {
+  if (const char* env = std::getenv("PSN_CONTEXT_CACHE_BUDGET_BYTES")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env) return v;
+  }
+  return ScenarioContextCache::kDefaultBudgetBytes;
+}
+
+}  // namespace
+
+ScenarioContextCache::ScenarioContextCache()
+    : budget_bytes_(default_budget_from_env()) {}
 
 ScenarioContextCache& ScenarioContextCache::instance() {
   static ScenarioContextCache cache;
   return cache;
+}
+
+std::uint64_t ScenarioContextCache::context_bytes(
+    const ScenarioContext& context) noexcept {
+  std::uint64_t bytes = 0;
+  if (context.graph) bytes += context.graph->arena_bytes();
+  if (context.dataset)
+    bytes += context.dataset->trace.size() * sizeof(trace::Contact);
+  return bytes;
 }
 
 std::shared_ptr<const ScenarioContext> ScenarioContextCache::acquire(
@@ -20,13 +48,15 @@ std::shared_ptr<const ScenarioContext> ScenarioContextCache::acquire(
     std::lock_guard lock(mu_);
     // Opportunistic pruning keeps the map proportional to live contexts
     // instead of growing with every scenario ever seen. Only erase
-    // entries nobody else holds: an expired entry with use_count > 1 is
-    // mid-build in another acquire() (which published its copy under
-    // mu_, and no new copies can appear while we hold mu_) — erasing it
-    // would let a third caller duplicate the build.
+    // entries nobody else holds and that retain nothing: an expired
+    // entry with use_count > 1 is mid-build in another acquire() (which
+    // published its copy under mu_, and no new copies can appear while
+    // we hold mu_) — erasing it would let a third caller duplicate the
+    // build.
     if (entries_.size() > 64) {
       std::erase_if(entries_, [](const auto& kv) {
-        return kv.second.use_count() == 1 && kv.second->context.expired();
+        return kv.second.use_count() == 1 && !kv.second->retained &&
+               kv.second->context.expired();
       });
     }
     auto& slot = entries_[{scenario.dataset.get(), scenario.delta}];
@@ -34,11 +64,21 @@ std::shared_ptr<const ScenarioContext> ScenarioContextCache::acquire(
     entry = slot;
   }
 
-  // Build (or revive) outside the map lock: distinct scenarios proceed in
+  // Build (or find) outside the map lock: distinct scenarios proceed in
   // parallel; same-key callers serialize here and all but one find the
   // context already present.
   std::lock_guard lock(entry->mu);
-  if (auto context = entry->context.lock()) return context;
+  if (auto context = entry->context.lock()) {
+    std::lock_guard stats_lock(mu_);
+    ++hits_;
+    entry->last_use = ++lru_tick_;
+    // A context that outlived its eviction (a caller still held it) is
+    // re-retained on the hit — it is hot again, and the budget sweep
+    // below keeps residency bounded.
+    if (!entry->retained && scenario.cache_retainable)
+      retain_locked(*entry, context);
+    return context;
+  }
 
   auto context = std::make_shared<ScenarioContext>();
   context->name = scenario.name;
@@ -55,12 +95,97 @@ std::shared_ptr<const ScenarioContext> ScenarioContextCache::acquire(
                 scenario.dataset->trace, scenario.delta);
   graphs_built_.fetch_add(1, std::memory_order_relaxed);
   entry->context = context;
+  {
+    std::lock_guard stats_lock(mu_);
+    ++misses_;
+    entry->last_use = ++lru_tick_;
+    if (scenario.cache_retainable) retain_locked(*entry, context);
+  }
   return context;
+}
+
+void ScenarioContextCache::retain_locked(
+    Entry& entry, const std::shared_ptr<const ScenarioContext>& context) {
+  const std::uint64_t bytes = context_bytes(*context);
+  // A context bigger than the whole budget is served to its caller but
+  // never retained: retaining it would blow the bound, and evicting
+  // everything else first would not help.
+  if (bytes > budget_bytes_) return;
+  // Make room *before* adding, excluding the entry being inserted, so
+  // resident_bytes_ never exceeds the budget even transiently.
+  if (resident_bytes_ + bytes > budget_bytes_)
+    shrink_to_locked(budget_bytes_ - bytes, &entry);
+  entry.retained = context;
+  entry.bytes = bytes;
+  resident_bytes_ += bytes;
+}
+
+void ScenarioContextCache::shrink_to_locked(std::uint64_t budget,
+                                            const Entry* keep) {
+  while (resident_bytes_ > budget) {
+    Entry* victim = nullptr;
+    for (auto& [key, entry] : entries_) {
+      if (!entry->retained || entry.get() == keep) continue;
+      if (victim == nullptr || entry->last_use < victim->last_use)
+        victim = entry.get();
+    }
+    if (victim == nullptr) break;  // nothing evictable left.
+    release_locked(*victim);
+  }
+}
+
+void ScenarioContextCache::release_locked(Entry& entry) {
+  resident_bytes_ -= entry.bytes;
+  entry.bytes = 0;
+  entry.retained.reset();
+  ++evictions_;
+}
+
+ScenarioCacheStats ScenarioContextCache::stats() const {
+  std::lock_guard lock(mu_);
+  ScenarioCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.resident_bytes = resident_bytes_;
+  s.budget_bytes = budget_bytes_;
+  for (const auto& [key, entry] : entries_)
+    if (entry->retained) ++s.resident_contexts;
+  return s;
+}
+
+void ScenarioContextCache::set_budget_bytes(std::uint64_t budget) {
+  std::lock_guard lock(mu_);
+  budget_bytes_ = budget;
+  shrink_to_locked(budget_bytes_, nullptr);
+}
+
+std::uint64_t ScenarioContextCache::budget_bytes() const {
+  std::lock_guard lock(mu_);
+  return budget_bytes_;
+}
+
+std::size_t ScenarioContextCache::evict(std::string_view name) {
+  std::lock_guard lock(mu_);
+  std::size_t released = 0;
+  for (auto& [key, entry] : entries_) {
+    if (entry->retained && entry->retained->name == name) {
+      release_locked(*entry);
+      ++released;
+    }
+  }
+  return released;
 }
 
 void ScenarioContextCache::clear() {
   std::lock_guard lock(mu_);
-  entries_.clear();
+  for (auto& [key, entry] : entries_)
+    if (entry->retained) release_locked(*entry);
+  // Keep entries a concurrent acquire() still holds (use_count > 1):
+  // erasing one would detach its residency accounting from the map, and
+  // the in-flight build would retain bytes no later eviction could find.
+  std::erase_if(entries_,
+                [](const auto& kv) { return kv.second.use_count() == 1; });
 }
 
 }  // namespace psn::engine

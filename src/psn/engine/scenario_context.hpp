@@ -2,18 +2,26 @@
 // scenario — its dataset plus the discretized space-time graph — and a
 // process-wide cache that memoizes graph construction.
 //
-// Ownership / thread-safety model (DESIGN.md §4):
+// Ownership / thread-safety model (DESIGN.md §4, §10):
 //  * A context is immutable after construction and holds shared ownership
 //    of its dataset, so any number of runs on any number of threads can
 //    read it concurrently with no synchronization.
-//  * The cache keys on (dataset identity, delta) and stores weak
-//    references: a context lives exactly as long as someone holds it, and
-//    an expired entry is rebuilt on demand. Holding a context across
-//    several run_sweep() calls (as the bench drivers do) therefore makes
-//    every sweep over that scenario reuse one graph build.
+//  * The cache keys on (dataset identity, delta) and RETAINS contexts up
+//    to a configurable byte budget (default 1 GiB): the dataset + graph
+//    build of a scenario is paid once ever while the cache is within
+//    budget, which is what makes a resident service (psn_serve) amortize
+//    build cost across requests. When retaining a new context would
+//    exceed the budget, least-recently-used retained contexts are
+//    released first; a context larger than the whole budget is served but
+//    never retained. Resident bytes never exceed the budget.
+//  * Entries also keep a weak reference, so a context that was evicted
+//    from the retained set but is still held by a caller is re-found (a
+//    hit) rather than rebuilt — the cache can only ever under-retain,
+//    never duplicate a live context.
 //  * acquire() serializes per entry, not globally: two scenarios build
 //    their graphs in parallel, while two threads asking for the same
-//    scenario perform exactly one build between them.
+//    scenario perform exactly one build between them (asserted by
+//    engine_test's concurrent-acquire probe).
 
 #pragma once
 
@@ -23,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "psn/engine/run_spec.hpp"
@@ -39,17 +48,34 @@ struct ScenarioContext {
   std::shared_ptr<const graph::SpaceTimeGraph> graph;
 };
 
+/// Counters of the context cache, all monotonically increasing except the
+/// two residency gauges. Telemetry for psn_serve and the cache tests.
+struct ScenarioCacheStats {
+  std::uint64_t hits = 0;        ///< acquire() found a live context.
+  std::uint64_t misses = 0;      ///< acquire() had to build.
+  std::uint64_t evictions = 0;   ///< retained contexts released (LRU + explicit).
+  std::uint64_t resident_bytes = 0;   ///< bytes currently retained (gauge).
+  std::uint64_t budget_bytes = 0;     ///< the configured cap (gauge).
+  std::size_t resident_contexts = 0;  ///< retained entry count (gauge).
+};
+
 /// Process-wide memoization of ScenarioContexts (see file comment).
 class ScenarioContextCache {
  public:
+  /// Default retention budget: 1 GiB, overridable per process via the
+  /// PSN_CONTEXT_CACHE_BUDGET_BYTES environment variable (read once at
+  /// first use) or at runtime via set_budget_bytes().
+  static constexpr std::uint64_t kDefaultBudgetBytes = 1ull << 30;
+
   /// The process-wide cache instance.
   [[nodiscard]] static ScenarioContextCache& instance();
 
   /// The context for `scenario`, building its graph on first use (or
-  /// after all previous holders released it). Thread-safe. When
-  /// `parallel` is non-null a cache miss runs the sharded graph build on
-  /// it (arenas byte-identical to the serial build, so callers sharing a
-  /// cache entry need not agree on an executor); null builds serially.
+  /// after eviction once all previous holders released it). Thread-safe.
+  /// When `parallel` is non-null a cache miss runs the sharded graph
+  /// build on it (arenas byte-identical to the serial build, so callers
+  /// sharing a cache entry need not agree on an executor); null builds
+  /// serially.
   [[nodiscard]] std::shared_ptr<const ScenarioContext> acquire(
       const Scenario& scenario, const util::ParallelFor* parallel = nullptr);
 
@@ -60,15 +86,40 @@ class ScenarioContextCache {
     return graphs_built_.load(std::memory_order_relaxed);
   }
 
-  /// Drops every cache entry (live contexts stay valid; only the
-  /// memoization is forgotten). Intended for tests.
+  /// Current counters. hits/misses/evictions are cumulative over the
+  /// process; tests compare deltas around the operation under test.
+  [[nodiscard]] ScenarioCacheStats stats() const;
+
+  /// Sets the retention budget, releasing LRU contexts immediately if the
+  /// new budget is below current residency. 0 disables retention (the
+  /// cache degenerates to the weak memoization it grew out of).
+  void set_budget_bytes(std::uint64_t budget);
+  [[nodiscard]] std::uint64_t budget_bytes() const;
+
+  /// Bytes acquire() accounts for `context` against the budget: the
+  /// graph's CSR arena plus the contact-trace payload — the two
+  /// allocations that dominate a resident scenario.
+  [[nodiscard]] static std::uint64_t context_bytes(
+      const ScenarioContext& context) noexcept;
+
+  /// Releases every retained context whose scenario name is `name`
+  /// (normally one; distinct deltas of one dataset share the name).
+  /// Live holders keep their contexts valid — only the cache's retention
+  /// (and thus the next acquire's rebuild-or-hit) is affected. Returns
+  /// the number of entries released. psn_serve's admin `evict` and the
+  /// cache tests use this.
+  std::size_t evict(std::string_view name);
+
+  /// Drops every cache entry and every retained context (live contexts
+  /// stay valid; only the memoization is forgotten). Released retained
+  /// contexts count as evictions.
   void clear();
 
   ScenarioContextCache(const ScenarioContextCache&) = delete;
   ScenarioContextCache& operator=(const ScenarioContextCache&) = delete;
 
  private:
-  ScenarioContextCache() = default;
+  ScenarioContextCache();
 
   /// Identity of a context: the dataset instance and the discretization.
   /// The dataset pointer cannot alias a *different* dataset while its
@@ -76,14 +127,35 @@ class ScenarioContextCache {
   using Key = std::pair<const core::Dataset*, trace::Seconds>;
 
   /// Per-key slot with its own mutex so distinct scenarios build
-  /// concurrently while same-key builds collapse into one.
+  /// concurrently while same-key builds collapse into one. The weak
+  /// `context` is guarded by `mu`; the retention fields (`retained`,
+  /// `bytes`, `last_use`) are guarded by the cache-wide mu_ so eviction
+  /// never needs a per-entry lock.
   struct Entry {
     std::mutex mu;
     std::weak_ptr<const ScenarioContext> context;
+    std::shared_ptr<const ScenarioContext> retained;  ///< guarded by mu_.
+    std::uint64_t bytes = 0;                          ///< guarded by mu_.
+    std::uint64_t last_use = 0;                       ///< guarded by mu_.
   };
 
-  std::mutex mu_;  ///< guards entries_ (the map), not the builds.
+  /// Retains `context` in `entry` if it fits the budget, evicting LRU
+  /// entries as needed. Caller holds mu_.
+  void retain_locked(Entry& entry,
+                     const std::shared_ptr<const ScenarioContext>& context);
+  /// Releases retained contexts, LRU first, until residency fits
+  /// `budget`. `keep` (may be null) is never released. Caller holds mu_.
+  void shrink_to_locked(std::uint64_t budget, const Entry* keep);
+  void release_locked(Entry& entry);
+
+  mutable std::mutex mu_;  ///< guards entries_, retention fields, stats.
   std::map<Key, std::shared_ptr<Entry>> entries_;
+  std::uint64_t budget_bytes_ = kDefaultBudgetBytes;
+  std::uint64_t resident_bytes_ = 0;
+  std::uint64_t lru_tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
   std::atomic<std::uint64_t> graphs_built_{0};
 };
 

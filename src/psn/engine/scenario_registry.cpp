@@ -184,7 +184,13 @@ Scenario make_scenario_by_name(std::string_view name,
     });
   if (name == "metro_16k")
     return shared_dataset_scenario("metro_16k", [&parallel] {
-      return metropolis_at_scale("metro_16k", 16000, 384, 0.008, 0x16000,
+      // 0.012 (not the taper's 0.008): at 0.008 a node meets ~0.5% of the
+      // population over the window, the freshness gradient never forms,
+      // and FRESH delivers exactly nothing (the 0%-success pathology the
+      // node-scaling bench recorded). 0.012 matches city_2048's per-node
+      // contact volume, where FRESH still functions, while the contact
+      // graph stays Bluetooth-sighting sparse (~9 contacts/pair-million).
+      return metropolis_at_scale("metro_16k", 16000, 384, 0.012, 0x16000,
                                  parallel);
     });
   if (name == "megacity_65k")

@@ -20,6 +20,8 @@
 
 namespace psn::engine {
 
+class ThreadPool;
+
 /// Aggregated outcome of one (scenario, algorithm) cell of the matrix,
 /// pooled over all of that cell's runs.
 struct CellSummary {
@@ -58,8 +60,17 @@ struct SweepResult {
 };
 
 struct SweepOptions {
-  /// Worker threads; 0 means one per hardware thread.
+  /// Worker threads; 0 means one per hardware thread. Ignored when
+  /// `pool` is set.
   std::size_t threads = 0;
+  /// Execute on this caller-owned pool instead of constructing a private
+  /// one — the batching hook a resident service (psn_serve) uses so every
+  /// request shares one warm worker set (and its thread_local simulator
+  /// workspaces) instead of paying pool spin-up per request. Results are
+  /// identical either way (slot-addressed, pool-independent). Must not be
+  /// called from inside a task of the same pool (wait_idle would
+  /// self-deadlock).
+  ThreadPool* pool = nullptr;
   /// Retain pooled delay vectors in the cells (Fig. 10 style drivers need
   /// them; large sweeps can switch them off to bound memory).
   bool keep_delays = true;

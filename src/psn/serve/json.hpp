@@ -1,0 +1,117 @@
+// Minimal JSON for the serving layer: a value type, a strict
+// recursive-descent parser, and a deterministic writer.
+//
+// psn_serve speaks newline-delimited JSON (one request or response per
+// line), and the container bakes in no JSON dependency, so this is a
+// deliberately small in-tree implementation: objects, arrays, strings,
+// numbers (stored as double), booleans, null. Numbers are written with
+// std::to_chars shortest-roundtrip formatting, so a value survives a
+// write/parse cycle bit for bit — the property the serve bench's
+// batch-bit-identity comparison rests on. Object keys are kept in sorted
+// order (std::map), making the serialized form of a value canonical:
+// equal values produce equal text.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace psn::serve {
+
+/// Thrown by Json::parse on malformed input; the message carries the
+/// byte offset of the failure.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One JSON value. Cheap to move; copies deep-copy.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int v) : value_(static_cast<double>(v)) {}
+  Json(unsigned v) : value_(static_cast<double>(v)) {}
+  Json(long v) : value_(static_cast<double>(v)) {}
+  Json(unsigned long v) : value_(static_cast<double>(v)) {}
+  Json(long long v) : value_(static_cast<double>(v)) {}
+  Json(unsigned long long v) : value_(static_cast<double>(v)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return holds<std::nullptr_t>(); }
+  [[nodiscard]] bool is_bool() const { return holds<bool>(); }
+  [[nodiscard]] bool is_number() const { return holds<double>(); }
+  [[nodiscard]] bool is_string() const { return holds<std::string>(); }
+  [[nodiscard]] bool is_array() const { return holds<Array>(); }
+  [[nodiscard]] bool is_object() const { return holds<Object>(); }
+
+  /// Typed accessors; throw JsonError when the kind does not match.
+  [[nodiscard]] bool as_bool() const { return get<bool>("bool"); }
+  [[nodiscard]] double as_number() const { return get<double>("number"); }
+  [[nodiscard]] const std::string& as_string() const {
+    return get<std::string>("string");
+  }
+  [[nodiscard]] const Array& as_array() const { return get<Array>("array"); }
+  [[nodiscard]] const Object& as_object() const {
+    return get<Object>("object");
+  }
+  [[nodiscard]] Object& as_object() {
+    if (!is_object()) throw JsonError("Json: not an object");
+    return std::get<Object>(value_);
+  }
+
+  /// Object field access; null-Json reference for missing keys.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return is_object() && as_object().count(key) > 0;
+  }
+  /// Mutable object insertion: json["key"] = value.
+  Json& operator[](const std::string& key) {
+    if (is_null()) value_ = Object{};
+    return as_object()[key];
+  }
+
+  friend bool operator==(const Json& a, const Json& b) {
+    return a.value_ == b.value_;
+  }
+
+  /// Parses exactly one JSON value spanning all of `text` (trailing
+  /// whitespace allowed). Throws JsonError on malformed input.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  /// Canonical single-line serialization (sorted keys, shortest-roundtrip
+  /// numbers, no insignificant whitespace).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  template <typename T>
+  [[nodiscard]] bool holds() const {
+    return std::holds_alternative<T>(value_);
+  }
+  template <typename T>
+  [[nodiscard]] const T& get(const char* kind) const {
+    if (!holds<T>())
+      throw JsonError(std::string("Json: value is not a ") + kind);
+    return std::get<T>(value_);
+  }
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+}  // namespace psn::serve

@@ -8,7 +8,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "psn/core/dataset.hpp"
@@ -579,6 +582,181 @@ TEST(ForwardingStudy, ThreadCountInvariant) {
     EXPECT_EQ(serial.algorithms[a].delays, wide.algorithms[a].delays);
     EXPECT_EQ(serial.algorithms[a].cost_per_message,
               wide.algorithms[a].cost_per_message);
+  }
+}
+
+// An owning scenario (unlike make_scenario's caller-owned alias), so the
+// cache is allowed to retain its context — the paths the LRU-budget and
+// concurrency tests below exercise. Distinct names keep evict(name)
+// targeted at the test's own entries.
+Scenario owned_scenario(std::uint64_t seed, const std::string& name) {
+  auto dataset = std::make_shared<core::Dataset>(small_dataset(seed));
+  dataset->name = name;
+  Scenario scenario;
+  scenario.name = name;
+  scenario.dataset = std::move(dataset);
+  return scenario;
+}
+
+TEST(ScenarioContextCache, StatsEvictAndClear) {
+  auto& cache = ScenarioContextCache::instance();
+  const auto scenario = owned_scenario(101, "cache-stats");
+  const auto before = cache.stats();
+
+  auto held = cache.acquire(scenario);
+  const auto bytes = ScenarioContextCache::context_bytes(*held);
+  EXPECT_GT(bytes, 0u);
+  auto after_miss = cache.stats();
+  EXPECT_EQ(after_miss.misses, before.misses + 1);
+  EXPECT_EQ(after_miss.resident_bytes, before.resident_bytes + bytes);
+  EXPECT_EQ(after_miss.resident_contexts, before.resident_contexts + 1);
+
+  auto again = cache.acquire(scenario);
+  EXPECT_EQ(again.get(), held.get());
+  EXPECT_EQ(cache.stats().hits, after_miss.hits + 1);
+
+  // Retention alone keeps the context resident: with every strong ref
+  // dropped, the next acquire is still a hit, not a rebuild.
+  held.reset();
+  again.reset();
+  const auto builds = cache.graphs_built();
+  (void)cache.acquire(scenario);
+  EXPECT_EQ(cache.graphs_built(), builds);
+
+  // Explicit eviction releases the retained context; the next acquire
+  // rebuilds.
+  EXPECT_EQ(cache.evict("cache-stats"), 1u);
+  auto after_evict = cache.stats();
+  EXPECT_EQ(after_evict.evictions, after_miss.evictions + 1);
+  EXPECT_EQ(after_evict.resident_bytes, before.resident_bytes);
+  (void)cache.acquire(scenario);
+  EXPECT_EQ(cache.graphs_built(), builds + 1);
+
+  // clear() releases everything this test (and anything else) retained.
+  cache.clear();
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+  EXPECT_EQ(cache.evict("cache-stats"), 0u);
+}
+
+TEST(ScenarioContextCache, ConcurrentAcquireBuildsOnce) {
+  auto& cache = ScenarioContextCache::instance();
+  const auto scenario = owned_scenario(103, "cache-concurrent");
+  const auto builds = cache.graphs_built();
+
+  std::shared_ptr<const ScenarioContext> a;
+  std::shared_ptr<const ScenarioContext> b;
+  std::thread first([&] { a = cache.acquire(scenario); });
+  std::thread second([&] { b = cache.acquire(scenario); });
+  first.join();
+  second.join();
+
+  // Exactly one build between the two racing acquires, and both callers
+  // see the same context instance.
+  EXPECT_EQ(cache.graphs_built(), builds + 1);
+  ASSERT_TRUE(a != nullptr);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.evict("cache-concurrent"), 1u);
+}
+
+TEST(ScenarioContextCache, ByteBudgetBoundsResidencyWithLruEviction) {
+  auto& cache = ScenarioContextCache::instance();
+  const auto old_budget = cache.budget_bytes();
+  cache.clear();  // start from empty residency; budget asserts are exact.
+
+  const auto sa = owned_scenario(105, "cache-lru-a");
+  const auto sb = owned_scenario(106, "cache-lru-b");
+  auto ca = cache.acquire(sa);
+  auto cb = cache.acquire(sb);
+  const auto bytes_a = ScenarioContextCache::context_bytes(*ca);
+  const auto bytes_b = ScenarioContextCache::context_bytes(*cb);
+  ASSERT_LE(bytes_a + bytes_b, cache.budget_bytes());
+  EXPECT_EQ(cache.stats().resident_bytes, bytes_a + bytes_b);
+
+  // Touch a, then shrink the budget below a+b: the LRU victim must be b.
+  (void)cache.acquire(sa);
+  const auto evictions = cache.stats().evictions;
+  cache.set_budget_bytes(bytes_a + bytes_b - 1);
+  auto squeezed = cache.stats();
+  EXPECT_LE(squeezed.resident_bytes, squeezed.budget_bytes);
+  EXPECT_EQ(squeezed.resident_bytes, bytes_a);
+  EXPECT_EQ(squeezed.evictions, evictions + 1);
+
+  // With strong refs dropped: a (retained) is still a hit; b (evicted,
+  // weak expired) rebuilds — and retaining the rebuilt b displaces a,
+  // keeping residency under the budget at every step.
+  ca.reset();
+  cb.reset();
+  const auto builds = cache.graphs_built();
+  (void)cache.acquire(sa);
+  EXPECT_EQ(cache.graphs_built(), builds);
+  (void)cache.acquire(sb);
+  EXPECT_EQ(cache.graphs_built(), builds + 1);
+  EXPECT_LE(cache.stats().resident_bytes, cache.budget_bytes());
+
+  // A context larger than the whole budget is served but never retained.
+  cache.set_budget_bytes(1);
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+  const auto sc = owned_scenario(107, "cache-lru-c");
+  const auto cc = cache.acquire(sc);
+  EXPECT_TRUE(cc != nullptr);
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+
+  cache.set_budget_bytes(old_budget);
+}
+
+// The engine-level coalescing lemma psn_serve's request batching rests
+// on: per-run seeds never see the algorithm index, so a single-scenario
+// plan with a merged algorithm axis produces per-algorithm cells
+// bit-identical to standalone single-algorithm plans.
+TEST(Sweep, MergedAlgorithmAxisMatchesStandalonePlans) {
+  const auto ds = small_dataset(41);
+  PlanConfig config;
+  config.runs = 2;
+  config.message_rate = 0.02;
+  const std::vector<std::string> algorithms = {"Epidemic", "FRESH", "Greedy"};
+
+  SweepOptions options;
+  options.threads = 4;
+  const auto merged =
+      run_sweep(make_plan({make_scenario(ds)}, algorithms, config), options);
+
+  for (std::size_t i = 0; i < algorithms.size(); ++i) {
+    const auto standalone = run_sweep(
+        make_plan({make_scenario(ds)}, {algorithms[i]}, config), options);
+    const auto& a = merged.cell(0, i);
+    const auto& b = standalone.cell(0, 0);
+    EXPECT_EQ(a.algorithm, b.algorithm);
+    EXPECT_EQ(a.overall.success_rate, b.overall.success_rate);
+    EXPECT_EQ(a.overall.average_delay, b.overall.average_delay);
+    EXPECT_EQ(a.overall.average_hops, b.overall.average_hops);
+    EXPECT_EQ(a.overall.delivered, b.overall.delivered);
+    EXPECT_EQ(a.cost_per_message, b.cost_per_message);
+    EXPECT_EQ(a.delays, b.delays);
+    EXPECT_EQ(a.messages_offered, b.messages_offered);
+  }
+}
+
+// The shared-pool hook behind psn_serve: running several sweeps on one
+// caller-owned pool produces the same cells as private per-sweep pools.
+TEST(Sweep, CallerOwnedPoolMatchesPrivatePool) {
+  const auto ds = small_dataset(43);
+  PlanConfig config;
+  config.runs = 2;
+  config.message_rate = 0.02;
+  const auto plan =
+      make_plan({make_scenario(ds)}, {"Epidemic", "FRESH"}, config);
+
+  SweepOptions private_pool;
+  private_pool.threads = 3;
+  const auto expected = run_sweep(plan, private_pool);
+
+  ThreadPool shared(3);
+  SweepOptions shared_pool;
+  shared_pool.pool = &shared;
+  for (int round = 0; round < 2; ++round) {
+    const auto got = run_sweep(plan, shared_pool);
+    EXPECT_EQ(got.threads, 3u);
+    expect_cells_identical(expected, got);
   }
 }
 

@@ -1,0 +1,411 @@
+// Tests for psn::serve — the JSON layer, request parsing/validation, and
+// the SweepService's load-bearing properties: responses bit-identical to
+// direct engine execution, lossless request coalescing, byte-budgeted
+// scenario caching, telemetry, and the admin surface.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "psn/engine/scenario_context.hpp"
+#include "psn/engine/scenario_registry.hpp"
+#include "psn/engine/sweep.hpp"
+#include "psn/serve/json.hpp"
+#include "psn/serve/request.hpp"
+#include "psn/serve/server.hpp"
+#include "psn/serve/service.hpp"
+
+namespace psn::serve {
+namespace {
+
+// ---------------------------------------------------------------- Json --
+
+TEST(Json, ParseDumpRoundTripIsCanonical) {
+  const std::string text =
+      R"({"b":[1,2.5,true,null],"a":"x","nested":{"k":-3.25}})";
+  const Json parsed = Json::parse(text);
+  // Keys come back sorted (std::map), values exact.
+  EXPECT_EQ(parsed.dump(),
+            R"({"a":"x","b":[1,2.5,true,null],"nested":{"k":-3.25}})");
+  // Canonical: dump(parse(dump)) is a fixpoint.
+  EXPECT_EQ(Json::parse(parsed.dump()).dump(), parsed.dump());
+}
+
+TEST(Json, NumbersSurviveWriteParseCycleBitForBit) {
+  for (const double value :
+       {0.0, 1.0, -1.0, 0.1, 1e-300, 1e300, 0.9586776859504132,
+        461.83257245856413, 2147483648.0, 1e17 + 1}) {
+    const Json out(value);
+    const Json back = Json::parse(out.dump());
+    EXPECT_EQ(back.as_number(), value) << out.dump();
+  }
+}
+
+TEST(Json, StringEscapes) {
+  Json value(std::string("line\n\"quote\"\ttab\\"));
+  const Json back = Json::parse(value.dump());
+  EXPECT_EQ(back.as_string(), value.as_string());
+  EXPECT_EQ(Json::parse(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, MalformedInputThrows) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "1.2.3", "\"unterminated",
+        "{\"a\":1}trailing", "{1:2}", "nullx"}) {
+    EXPECT_THROW((void)Json::parse(bad), JsonError) << bad;
+  }
+}
+
+TEST(Json, AccessorsAndMissingKeys) {
+  const Json json = Json::parse(R"({"a":1,"s":"v"})");
+  EXPECT_TRUE(json.at("missing").is_null());
+  EXPECT_FALSE(json.contains("missing"));
+  EXPECT_TRUE(json.contains("a"));
+  EXPECT_THROW((void)json.at("s").as_number(), JsonError);
+}
+
+// ------------------------------------------------------------- Request --
+
+Json request_json(const std::string& text) { return Json::parse(text); }
+
+TEST(Request, ParsesForwardingWithDefaults) {
+  const Request request = parse_request(request_json(
+      R"({"id":"r1","family":"forwarding","scenario":"conference_small"})"));
+  EXPECT_EQ(request.id, "r1");
+  EXPECT_EQ(request.family, Family::kForwarding);
+  EXPECT_EQ(request.forwarding.scenario, "conference_small");
+  EXPECT_EQ(request.forwarding.algorithms,
+            std::vector<std::string>{"Epidemic"});
+  EXPECT_EQ(request.forwarding.runs, 2u);
+  EXPECT_EQ(request.forwarding.master_seed, 7u);
+}
+
+TEST(Request, ValidationErrors) {
+  const auto expect_rejected = [](const char* text) {
+    EXPECT_THROW((void)parse_request(request_json(text)), RequestError)
+        << text;
+  };
+  expect_rejected(R"({"family":"forwarding","scenario":"conference_small"})");
+  expect_rejected(R"({"id":"x","family":"nope"})");
+  expect_rejected(R"({"id":"x","family":"forwarding","scenario":"nope"})");
+  expect_rejected(
+      R"({"id":"x","family":"forwarding","scenario":"conference_small",
+          "algorithms":["NoSuch"]})");
+  expect_rejected(
+      R"({"id":"x","family":"forwarding","scenario":"conference_small",
+          "algorithms":[]})");
+  expect_rejected(
+      R"({"id":"x","family":"forwarding","scenario":"conference_small",
+          "runs":0})");
+  expect_rejected(
+      R"({"id":"x","family":"forwarding","scenario":"conference_small",
+          "runs":2.5})");
+  expect_rejected(
+      R"({"id":"x","family":"forwarding","scenario":"conference_small",
+          "algorithm":["Epidemic"]})");  // typoed field name
+  expect_rejected(R"({"id":"x","family":"path","scenario":"conference_small",
+                      "messages":0})");
+  expect_rejected(R"({"id":"x","family":"model","scenario":"nope"})");
+  expect_rejected(R"({"id":"x","family":"admin","command":"nope"})");
+}
+
+TEST(Request, BatchKeyIgnoresAlgorithmsAndRespectsConfig) {
+  const Request a = parse_request(request_json(
+      R"({"id":"a","family":"forwarding","scenario":"conference_small",
+          "algorithms":["Epidemic"]})"));
+  const Request b = parse_request(request_json(
+      R"({"id":"b","family":"forwarding","scenario":"conference_small",
+          "algorithms":["FRESH","Greedy"]})"));
+  const Request c = parse_request(request_json(
+      R"({"id":"c","family":"forwarding","scenario":"conference_small",
+          "algorithms":["Epidemic"],"runs":3})"));
+  const Request d = parse_request(request_json(
+      R"({"id":"d","family":"forwarding","scenario":"random_waypoint",
+          "algorithms":["Epidemic"]})"));
+  EXPECT_EQ(a.batch_key(), b.batch_key());
+  EXPECT_NE(a.batch_key(), c.batch_key());
+  EXPECT_NE(a.batch_key(), d.batch_key());
+
+  const Request p1 = parse_request(request_json(
+      R"({"id":"p1","family":"path","scenario":"random_waypoint"})"));
+  const Request p2 = parse_request(request_json(
+      R"({"id":"p2","family":"path","scenario":"random_waypoint"})"));
+  const Request p3 = parse_request(request_json(
+      R"({"id":"p3","family":"path","scenario":"random_waypoint","k":8})"));
+  EXPECT_EQ(p1.batch_key(), p2.batch_key());
+  EXPECT_NE(p1.batch_key(), p3.batch_key());
+  EXPECT_NE(a.batch_key(), p1.batch_key());
+}
+
+// ------------------------------------------------------------- Service --
+
+Request forwarding_request(const std::string& id,
+                           std::vector<std::string> algorithms) {
+  Request request;
+  request.id = id;
+  request.family = Family::kForwarding;
+  request.forwarding.scenario = "random_waypoint";
+  request.forwarding.algorithms = std::move(algorithms);
+  request.forwarding.runs = 2;
+  request.forwarding.message_rate = 0.02;
+  return request;
+}
+
+TEST(Service, ForwardingResponseMatchesDirectEngineExecution) {
+  ServiceConfig config;
+  config.threads = 2;
+  config.batch_window_seconds = 0.0;
+  SweepService service(config);
+  const Json response =
+      service.execute(forwarding_request("r1", {"Epidemic", "FRESH"}));
+
+  ASSERT_TRUE(response.at("ok").as_bool()) << response.dump();
+  const Json& result = response.at("result");
+  EXPECT_EQ(result.at("scenario").as_string(), "random_waypoint");
+
+  // The same sweep executed directly on the engine.
+  const auto scenario = engine::make_scenario_by_name("random_waypoint");
+  engine::PlanConfig plan_config;
+  plan_config.runs = 2;
+  plan_config.message_rate = 0.02;
+  engine::SweepOptions options;
+  options.threads = 2;
+  const auto direct = engine::run_sweep(
+      engine::make_plan({scenario}, {"Epidemic", "FRESH"}, plan_config),
+      options);
+
+  const Json::Array& cells = result.at("cells").as_array();
+  ASSERT_EQ(cells.size(), 2u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& cell = direct.cell(0, i);
+    EXPECT_EQ(cells[i].at("algorithm").as_string(), cell.algorithm);
+    EXPECT_EQ(cells[i].at("success_rate").as_number(),
+              cell.overall.success_rate);
+    EXPECT_EQ(cells[i].at("average_delay").as_number(),
+              cell.overall.average_delay);
+    EXPECT_EQ(cells[i].at("average_hops").as_number(),
+              cell.overall.average_hops);
+    EXPECT_EQ(cells[i].at("delivered").as_number(),
+              static_cast<double>(cell.overall.delivered));
+    EXPECT_EQ(cells[i].at("cost_per_message").as_number(),
+              cell.cost_per_message);
+  }
+
+  // Telemetry is present and self-consistent.
+  const Json& telemetry = response.at("telemetry");
+  EXPECT_TRUE(telemetry.at("cache_hit").is_bool());
+  EXPECT_EQ(telemetry.at("batch_size").as_number(), 1.0);
+  EXPECT_GE(telemetry.at("latency_seconds").as_number(),
+            telemetry.at("run_wall_seconds").as_number());
+}
+
+TEST(Service, CoalescedBatchIsBitIdenticalToSerialExecution) {
+  // Serial reference: each request alone (no batching window).
+  ServiceConfig serial_config;
+  serial_config.threads = 2;
+  serial_config.batch_window_seconds = 0.0;
+  std::string serial_a;
+  std::string serial_b;
+  {
+    SweepService service(serial_config);
+    serial_a =
+        service.execute(forwarding_request("a", {"Epidemic"})).at("result")
+            .dump();
+    serial_b =
+        service.execute(forwarding_request("b", {"FRESH", "Greedy"}))
+            .at("result")
+            .dump();
+  }
+
+  // Batched: both requests admitted within one generous window coalesce
+  // into a single engine execution.
+  ServiceConfig batched_config;
+  batched_config.threads = 2;
+  batched_config.batch_window_seconds = 0.5;
+  SweepService service(batched_config);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Json> responses(2);
+  std::atomic<int> done{0};
+  const auto callback = [&](std::size_t slot) {
+    return [&, slot](const Json& response) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        responses[slot] = response;
+      }
+      ++done;
+      cv.notify_all();
+    };
+  };
+  service.enqueue(forwarding_request("a", {"Epidemic"}), callback(0));
+  service.enqueue(forwarding_request("b", {"FRESH", "Greedy"}), callback(1));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done.load() == 2; });
+  }
+
+  for (const Json& response : responses) {
+    ASSERT_TRUE(response.at("ok").as_bool()) << response.dump();
+    // Both were served by one coalesced engine execution...
+    EXPECT_EQ(response.at("telemetry").at("batch_size").as_number(), 2.0);
+    EXPECT_TRUE(response.at("telemetry").at("coalesced").as_bool());
+  }
+  // ...and their result payloads are bit-identical (canonical dump) to
+  // the serial single-request executions.
+  EXPECT_EQ(responses[0].at("result").dump(), serial_a);
+  EXPECT_EQ(responses[1].at("result").dump(), serial_b);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.coalesced_requests, 2u);
+  EXPECT_EQ(stats.batches, 1u);
+}
+
+TEST(Service, SecondRequestHitsScenarioCache) {
+  engine::ScenarioContextCache::instance().clear();
+  ServiceConfig config;
+  config.threads = 2;
+  config.batch_window_seconds = 0.0;
+  SweepService service(config);
+
+  const Json cold = service.execute(forwarding_request("c", {"Epidemic"}));
+  const Json warm = service.execute(forwarding_request("w", {"Epidemic"}));
+  EXPECT_FALSE(cold.at("telemetry").at("cache_hit").as_bool());
+  EXPECT_TRUE(warm.at("telemetry").at("cache_hit").as_bool());
+  // Identical requests produce identical result payloads either way.
+  EXPECT_EQ(cold.at("result").dump(), warm.at("result").dump());
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+}
+
+TEST(Service, TinyBudgetForcesRebuildEveryRequest) {
+  auto& cache = engine::ScenarioContextCache::instance();
+  const auto old_budget = cache.budget_bytes();
+  cache.clear();
+
+  {
+    ServiceConfig config;
+    config.threads = 2;
+    config.batch_window_seconds = 0.0;
+    config.cache_budget_bytes = 1;  // nothing fits: no retention at all.
+    SweepService service(config);
+    const Json first = service.execute(forwarding_request("1", {"Epidemic"}));
+    const Json second =
+        service.execute(forwarding_request("2", {"Epidemic"}));
+    EXPECT_FALSE(first.at("telemetry").at("cache_hit").as_bool());
+    EXPECT_FALSE(second.at("telemetry").at("cache_hit").as_bool());
+    // Residency is pinned at zero the whole time.
+    EXPECT_EQ(cache.stats().resident_bytes, 0u);
+    // Both rebuilds produced the same bits regardless.
+    EXPECT_EQ(first.at("result").dump(), second.at("result").dump());
+  }
+
+  cache.set_budget_bytes(old_budget);
+}
+
+TEST(Service, PathAndModelFamilies) {
+  ServiceConfig config;
+  config.threads = 2;
+  config.batch_window_seconds = 0.0;
+  SweepService service(config);
+
+  Request path;
+  path.id = "p";
+  path.family = Family::kPath;
+  path.path.scenario = "random_waypoint";
+  path.path.messages = 4;
+  path.path.k = 32;
+  const Json path_response = service.execute(std::move(path));
+  ASSERT_TRUE(path_response.at("ok").as_bool()) << path_response.dump();
+  EXPECT_EQ(path_response.at("result").at("messages").as_number(), 4.0);
+  EXPECT_EQ(path_response.at("result").at("records").as_array().size(), 4u);
+
+  Request model;
+  model.id = "m";
+  model.family = Family::kModel;
+  model.model.scenario = "model_100";
+  model.model.jump_replicas = 2;
+  model.model.mc_messages = 4;
+  const Json model_response = service.execute(std::move(model));
+  ASSERT_TRUE(model_response.at("ok").as_bool()) << model_response.dump();
+  EXPECT_EQ(model_response.at("result").at("population").as_number(), 100.0);
+  EXPECT_EQ(model_response.at("result").at("mc_messages").as_number(), 4.0);
+}
+
+TEST(Service, AdminStatsEvictClearShutdown) {
+  ServiceConfig config;
+  config.threads = 1;
+  config.batch_window_seconds = 0.0;
+  SweepService service(config);
+
+  // Warm one scenario so evict has a target.
+  (void)service.execute(forwarding_request("warm", {"Epidemic"}));
+
+  Request stats;
+  stats.id = "s";
+  stats.family = Family::kAdmin;
+  stats.admin.command = AdminCommand::kStats;
+  const Json stats_response = service.execute(std::move(stats));
+  ASSERT_TRUE(stats_response.at("ok").as_bool());
+  EXPECT_GE(stats_response.at("result").at("requests").as_number(), 1.0);
+  EXPECT_TRUE(stats_response.at("result").at("cache").is_object());
+
+  Request evict;
+  evict.id = "e";
+  evict.family = Family::kAdmin;
+  evict.admin.command = AdminCommand::kEvict;
+  evict.admin.scenario = "random_waypoint";
+  const Json evict_response = service.execute(std::move(evict));
+  EXPECT_EQ(evict_response.at("result").at("evicted").as_number(), 1.0);
+
+  Request clear;
+  clear.id = "c";
+  clear.family = Family::kAdmin;
+  clear.admin.command = AdminCommand::kClear;
+  EXPECT_TRUE(service.execute(std::move(clear)).at("ok").as_bool());
+
+  EXPECT_FALSE(service.shutdown_requested());
+  Request shutdown;
+  shutdown.id = "x";
+  shutdown.family = Family::kAdmin;
+  shutdown.admin.command = AdminCommand::kShutdown;
+  const Json shutdown_response = service.execute(std::move(shutdown));
+  EXPECT_TRUE(shutdown_response.at("result").at("shutting_down").as_bool());
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(Server, ProcessLineRejectsMalformedInputWithoutDying) {
+  ServiceConfig config;
+  config.threads = 1;
+  config.batch_window_seconds = 0.0;
+  SweepService service(config);
+
+  std::vector<std::string> lines;
+  std::mutex mu;
+  const auto write_line = [&](const std::string& text) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(text);
+  };
+
+  process_line(service, "not json", write_line);
+  process_line(service, R"({"id":"v","family":"nope"})", write_line);
+  process_line(service, "   ", write_line);  // blank: ignored entirely.
+  service.drain();
+
+  ASSERT_EQ(lines.size(), 2u);
+  const Json parse_error = Json::parse(lines[0]);
+  EXPECT_FALSE(parse_error.at("ok").as_bool());
+  const Json validation_error = Json::parse(lines[1]);
+  EXPECT_FALSE(validation_error.at("ok").as_bool());
+  EXPECT_EQ(validation_error.at("id").as_string(), "v");
+}
+
+}  // namespace
+}  // namespace psn::serve

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Smoke test for the psn_serve binary: pipe a canned NDJSON session
+through stdin and validate the responses.
+
+The session exercises one request per family (forwarding, path, admin
+stats) plus the shutdown command, i.e. the full stdio protocol path:
+line parsing, validation, engine execution, telemetry stamping, and the
+clean-exit handshake. Intended for CI (one Release-job step) and local
+checks after touching src/psn/serve/ — it finishes in a couple of
+seconds on the conference_small scenario.
+
+Usage:
+  serve_smoke.py path/to/psn_serve
+
+Exit status 0 = all responses valid, 1 = protocol/validation failure,
+2 = bad invocation or the binary died / timed out.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+REQUESTS = [
+    {
+        "id": "smoke-forwarding",
+        "family": "forwarding",
+        "scenario": "conference_small",
+        "algorithms": ["Epidemic", "FRESH"],
+        "runs": 2,
+        "message_rate": 0.05,
+    },
+    {
+        "id": "smoke-path",
+        "family": "path",
+        "scenario": "conference_small",
+        "messages": 4,
+        "k": 64,
+    },
+    {"id": "smoke-stats", "family": "admin", "command": "stats"},
+    {"id": "smoke-shutdown", "family": "admin", "command": "shutdown"},
+]
+
+TELEMETRY_KEYS = (
+    "cache_hit",
+    "queue_depth_at_admission",
+    "batch_size",
+    "coalesced",
+    "build_wall_seconds",
+    "run_wall_seconds",
+    "latency_seconds",
+)
+
+
+def fail(message):
+    print(f"serve_smoke: FAIL: {message}")
+    sys.exit(1)
+
+
+def require(condition, message):
+    if not condition:
+        fail(message)
+
+
+def validate_envelope(response):
+    require(response.get("ok") is True,
+            f"{response.get('id')}: ok != true ({response.get('error')})")
+    telemetry = response.get("telemetry")
+    require(isinstance(telemetry, dict),
+            f"{response.get('id')}: missing telemetry object")
+    for key in TELEMETRY_KEYS:
+        require(key in telemetry,
+                f"{response.get('id')}: telemetry missing '{key}'")
+    require(telemetry["latency_seconds"] >= 0,
+            f"{response.get('id')}: negative latency")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        sys.exit(2)
+    session = "".join(json.dumps(r) + "\n" for r in REQUESTS)
+    try:
+        proc = subprocess.run(
+            [sys.argv[1]],
+            input=session,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+    except (OSError, subprocess.TimeoutExpired) as e:
+        print(f"serve_smoke: cannot run {sys.argv[1]}: {e}")
+        sys.exit(2)
+    if proc.returncode != 0:
+        print(f"serve_smoke: psn_serve exited {proc.returncode}")
+        print(proc.stderr)
+        sys.exit(2)
+
+    responses = {}
+    for line in proc.stdout.splitlines():
+        if not line.strip():
+            continue
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"non-JSON line on stdout: {line!r} ({e})")
+        # Periodic stats lines go to stderr, so everything on stdout must
+        # be a response envelope.
+        require("id" in response, f"response without id: {line!r}")
+        responses[response["id"]] = response
+
+    for request in REQUESTS:
+        require(request["id"] in responses,
+                f"no response for {request['id']}")
+
+    forwarding = responses["smoke-forwarding"]
+    validate_envelope(forwarding)
+    cells = forwarding["result"]["cells"]
+    require(len(cells) == 2, f"expected 2 cells, got {len(cells)}")
+    for cell, name in zip(cells, ("Epidemic", "FRESH")):
+        require(cell["algorithm"] == name,
+                f"cell order wrong: {cell['algorithm']} != {name}")
+        require(0.0 <= cell["success_rate"] <= 1.0,
+                f"{name}: success_rate {cell['success_rate']} out of range")
+    require(cells[0]["success_rate"] >= cells[1]["success_rate"],
+            "Epidemic (flooding upper bound) below FRESH")
+
+    path = responses["smoke-path"]
+    validate_envelope(path)
+    require(path["result"]["messages"] == 4,
+            f"path: expected 4 messages, got {path['result']['messages']}")
+    require(len(path["result"]["records"]) == 4,
+            "path: record count != messages")
+
+    stats = responses["smoke-stats"]
+    validate_envelope(stats)
+    require(stats["result"]["requests"] >= 3,
+            f"stats: requests {stats['result']['requests']} < 3")
+    require(stats["result"]["cache"]["misses"] >= 1,
+            "stats: no cache miss recorded for the first scenario build")
+
+    shutdown = responses["smoke-shutdown"]
+    validate_envelope(shutdown)
+
+    print(f"serve_smoke: OK ({len(responses)} responses; "
+          f"Epidemic success {cells[0]['success_rate']:.4f}, "
+          f"FRESH success {cells[1]['success_rate']:.4f})")
+
+
+if __name__ == "__main__":
+    main()
