@@ -7,13 +7,15 @@ Two classes of check, with very different trust levels:
 * Machine-independent metrics are gated strictly: graph arena
   bytes/contact (deterministic layout), success rates (deterministic
   seeds), and scenario coverage (a tier disappearing from a section is a
-  regression even if everything left got faster). The word-vs-scalar
-  flood-kernel ratio is also machine-independent in the sense that both
-  kernels ran in the *same* process on the same machine — the fresh file
-  alone must show the word kernel no slower than the scalar oracle on
-  the city_2048-and-up tiers. Same for the resident-service gates: batch
-  bit-identity and the served-vs-cold throughput ratio are properties of
-  the fresh file alone.
+  regression even if everything left got faster). The fast-vs-oracle
+  ratios are also machine-independent in the sense that both legs ran in
+  the *same* process on the same machine — the fresh file alone must
+  show the word flood kernel no slower than the scalar oracle for
+  Epidemic, and the holder-incident + shared-snapshot fast path no
+  slower than the full-replay per-run-observation oracle for the
+  non-flood schemes, on the city_2048-and-up tiers. Same for the
+  resident-service gates: batch bit-identity and the served-vs-cold
+  throughput ratio are properties of the fresh file alone.
 
 * Wall-clock comparisons against the committed baseline are gated
   loosely (--wall-tolerance, default 1.5x): the baseline was produced on
@@ -41,6 +43,14 @@ import sys
 # other and the gate would just flake.
 WORD_KERNEL_MIN_NODES = 2048
 WORD_KERNEL_MARGIN = 0.95
+
+# Fresh-file non-flood fast-path gate: on tiers at or above this node
+# count, the holder-incident + shared-snapshot fast path must be no
+# slower than the full-replay per-run-observation oracle for every
+# non-flooding algorithm that carries both wall columns. Same margin
+# rationale as the word-kernel gate.
+NONFLOOD_FAST_MIN_NODES = 2048
+NONFLOOD_FAST_MARGIN = 0.95
 
 # Deterministic metrics still pass through floating-point printing, so
 # allow a hair of slack rather than demanding textual equality.
@@ -95,29 +105,48 @@ def by_scenario(points):
     return {p["scenario"]: p for p in points}
 
 
+def fast_walls(algo):
+    # The fast column was named run_wall_seconds before the non-flood
+    # fast path landed; accept either so old baselines stay readable.
+    return algo.get("fast_run_wall_seconds") or algo.get("run_wall_seconds") or []
+
+
 def check_node_scaling(gate, fresh, baseline, wall_tol):
     fresh_pts = by_scenario(fresh.get("node_scaling", []))
     base_pts = by_scenario(baseline.get("node_scaling", []))
     gate.coverage("node_scaling", base_pts, fresh_pts)
 
     for name, fp in fresh_pts.items():
-        # Word kernel must beat (or at worst tie) the scalar oracle on the
-        # large tiers — compared within the fresh file, so machine noise
-        # between runs of the gate does not apply.
+        # Every fast path must beat (or at worst tie) its oracle re-run
+        # on the large tiers — compared within the fresh file, so machine
+        # noise between runs of the gate does not apply. For Epidemic
+        # that is word-parallel vs scalar flood kernel; for the non-flood
+        # schemes it is holder-incident replay + shared observation
+        # snapshots vs full per-step scans + per-run observation state.
         for algo in fp.get("algorithms", []):
             scalar = algo.get("scalar_run_wall_seconds", [])
-            word = algo.get("run_wall_seconds", [])
+            fast = fast_walls(algo)
+            if not scalar or not fast:
+                continue
             if (
                 algo["name"] == "Epidemic"
-                and scalar
-                and word
                 and fp.get("nodes", 0) >= WORD_KERNEL_MIN_NODES
             ):
                 gate.check(
-                    mean(scalar) >= WORD_KERNEL_MARGIN * mean(word),
+                    mean(scalar) >= WORD_KERNEL_MARGIN * mean(fast),
                     f"node_scaling/{name}: word-parallel Epidemic "
-                    f"({mean(word):.3f}s/run) slower than scalar oracle "
+                    f"({mean(fast):.3f}s/run) slower than scalar oracle "
                     f"({mean(scalar):.3f}s/run)",
+                )
+            elif (
+                algo["name"] != "Epidemic"
+                and fp.get("nodes", 0) >= NONFLOOD_FAST_MIN_NODES
+            ):
+                gate.check(
+                    mean(scalar) >= NONFLOOD_FAST_MARGIN * mean(fast),
+                    f"node_scaling/{name}: {algo['name']} fast path "
+                    f"({mean(fast):.3f}s/run) slower than full-replay "
+                    f"oracle ({mean(scalar):.3f}s/run)",
                 )
 
         bp = base_pts.get(name)
@@ -143,13 +172,13 @@ def check_node_scaling(gate, fresh, baseline, wall_tol):
                 f"{ba['success_rate']} -> {algo['success_rate']} "
                 f"(runs are seeded; this is a behavior change, not noise)",
             )
-            if wall_tol is not None and ba.get("run_wall_seconds"):
+            if wall_tol is not None and fast_walls(ba):
                 gate.check(
-                    mean(algo["run_wall_seconds"])
-                    <= mean(ba["run_wall_seconds"]) * wall_tol,
+                    mean(fast_walls(algo))
+                    <= mean(fast_walls(ba)) * wall_tol,
                     f"node_scaling/{name}/{algo['name']}: "
-                    f"{mean(algo['run_wall_seconds']):.3f}s/run vs baseline "
-                    f"{mean(ba['run_wall_seconds']):.3f}s/run "
+                    f"{mean(fast_walls(algo)):.3f}s/run vs baseline "
+                    f"{mean(fast_walls(ba)):.3f}s/run "
                     f"(> {wall_tol}x)",
                 )
 

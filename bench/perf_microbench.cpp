@@ -5,10 +5,11 @@
 // PRs have a perf trajectory:
 //  * the thread-scaling matrix (wall time and runs/sec per thread count
 //    on the paper-scale dataset),
-//  * the node-count scaling series (per-run wall times for epidemic and a
-//    single-copy scheme on the registry's town_128 … megacity_65k tiers,
-//    with graph arena bytes/contact as the memory column and the scalar
-//    flood kernel re-run as the word-parallel kernel's baseline), and
+//  * the node-count scaling series (per-run wall times for epidemic,
+//    FRESH, and PRoPHET on the registry's town_128 … megacity_65k tiers,
+//    with graph arena bytes/contact as the memory column and an oracle
+//    re-run — scalar flood kernel + full per-step scans + per-run
+//    observation state — as every fast path's baseline), and
 //  * the event-timeline comparison (dense step-by-step replay vs the
 //    sparse active-step timeline, per-run wall seconds on the large
 //    sparse tiers), and
@@ -35,12 +36,13 @@
 // (comma list, default
 // "town_128,campus_512,city_2048,metro_16k,megacity_65k"; empty disables
 // the scaling series), PSN_BENCH_SCALING_RUNS (default 2),
-// PSN_BENCH_SCALAR_MAX_NODES (largest tier that also re-runs the scalar
-// flood kernel, default 16384 — scalar Epidemic at 65k nodes is a ~6
-// minute run, not a per-PR trajectory point),
-// PSN_BENCH_FRESH_MAX_NODES (largest tier that includes FRESH in the
-// scaling series, default 16384 — FRESH's N x N last-encounter matrix
-// makes a single 65k-node run minutes long),
+// PSN_BENCH_SCALAR_MAX_NODES (largest tier that also re-runs the
+// full-replay scalar oracle, default 16384 — the oracle at 65k nodes is
+// minutes per run, not a per-PR trajectory point),
+// PSN_BENCH_FRESH_MAX_NODES (largest tier that includes the non-flood
+// legs FRESH and PRoPHET in the scaling series, default 65536 — the
+// shared observation snapshots and holder-incident replay make them
+// seconds, not minutes, at 65k nodes),
 // PSN_BENCH_TIMELINE_SCENARIOS (comma list, default
 // "campus_512,city_2048,city_2048_diurnal"; empty disables the timeline
 // comparison),
@@ -248,9 +250,14 @@ struct ScalePoint {
   double bytes_per_contact = 0.0;     ///< arena_bytes / contacts.
   struct AlgorithmRuns {
     std::string name;
-    std::vector<double> run_walls;  ///< word-parallel kernel, run order.
-    /// Scalar-oracle kernel walls for the same runs; empty above the
-    /// PSN_BENCH_SCALAR_MAX_NODES cap.
+    /// Fast-path walls, run order: word-parallel flood kernel for the
+    /// replicators, holder-incident scan + shared observation snapshots
+    /// for the non-flood schemes.
+    std::vector<double> run_walls;
+    /// Oracle walls for the same runs — scalar flood kernel, full
+    /// per-step scans, per-run observation state. Outcomes are
+    /// bit-identical to the fast path; only walls differ. Empty above
+    /// the PSN_BENCH_SCALAR_MAX_NODES cap.
     std::vector<double> scalar_run_walls;
     double success_rate = 0.0;
   };
@@ -309,7 +316,7 @@ MatrixResult run_sweep_matrix_bench() {
 }
 
 // --- Node-count scaling series: the registry's town/campus/city tiers,
-// --- epidemic + one single-copy scheme, per-run wall times.
+// --- epidemic + the non-flood schemes, per-run wall times.
 
 std::vector<std::string> names_from_env(const char* var,
                                         const char* fallback) {
@@ -333,11 +340,13 @@ std::size_t scalar_max_nodes() {
   return psn::bench::env_size("PSN_BENCH_SCALAR_MAX_NODES", 16384);
 }
 
-// FRESH keeps an N x N last-encounter matrix and scans a growing
-// neighborhood per hop; at 65k nodes one run is minutes, not seconds, so
-// the 65k tier measures Epidemic only unless the cap is raised.
+// The non-flood legs (FRESH, PRoPHET) historically stopped at 16k: the
+// per-run N x N observation tables and full per-step scans made one 65k
+// run minutes, not seconds. With shared observation snapshots and the
+// holder-incident replay they complete at every tier, so the default cap
+// now includes megacity_65k; the env knob remains for slow machines.
 std::size_t fresh_max_nodes() {
-  return psn::bench::env_size("PSN_BENCH_FRESH_MAX_NODES", 16384);
+  return psn::bench::env_size("PSN_BENCH_FRESH_MAX_NODES", 65536);
 }
 
 std::size_t scaling_runs() {
@@ -361,9 +370,10 @@ std::vector<ScalePoint> run_scaling_bench() {
   // to their serial builds, so the executor affects wall times only.
   psn::engine::ThreadPool pool(psn::engine::ThreadPool::hardware_threads());
   const psn::util::ParallelFor pool_executor = psn::engine::parallel_for(pool);
-  std::cout << "\nnode-count scaling series: {epidemic, FRESH} x " << runs
-            << " runs per tier (scalar-kernel baseline up to N="
-            << scalar_cap << ", FRESH up to N=" << fresh_cap << ")\n";
+  std::cout << "\nnode-count scaling series: {epidemic, FRESH, PRoPHET} x "
+            << runs << " runs per tier (scalar/full-replay oracle up to N="
+            << scalar_cap << ", non-flood legs up to N=" << fresh_cap
+            << ")\n";
   for (const auto& name : names) {
     ScalePoint point;
     point.scenario = name;
@@ -399,19 +409,25 @@ std::vector<ScalePoint> run_scaling_bench() {
     // the cost of population size, not of message volume.
     pc.message_rate = 0.01;
     std::vector<std::string> algorithms{"Epidemic"};
-    if (point.nodes <= fresh_cap) algorithms.push_back("FRESH");
+    if (point.nodes <= fresh_cap) {
+      algorithms.push_back("FRESH");
+      algorithms.push_back("PRoPHET");
+    }
     const auto plan = psn::engine::make_plan({scenario}, algorithms, pc);
     psn::engine::SweepOptions options;
     options.keep_delays = false;
     const auto result = psn::engine::run_sweep(plan, options);
-    // The scalar-oracle kernel replays the identical runs as the word
-    // kernel's baseline — outcomes are bit-identical, only walls differ.
-    // Above the cap the scalar re-run is skipped (it is minutes, not
-    // seconds, at 65k nodes).
+    // The oracle leg replays the identical runs with every fast path
+    // disabled: scalar flood kernel, full per-step contact scans, and
+    // per-run observation state. Outcomes are bit-identical to the fast
+    // sweep above — only walls differ. Above the cap the oracle re-run
+    // is skipped (it is minutes, not seconds, at 65k nodes).
     psn::engine::SweepResult scalar_result;
     const bool run_scalar = point.nodes <= scalar_cap;
     if (run_scalar) {
       options.flood_kernel = psn::forward::FloodKernel::kScalar;
+      options.contact_scan = psn::forward::ContactScan::kFull;
+      options.observation = psn::engine::ObservationMode::kPerRun;
       scalar_result = psn::engine::run_sweep(plan, options);
     }
 
@@ -1062,7 +1078,7 @@ void write_bench_json(const std::string& json_path,
     for (std::size_t a = 0; a < p.algorithms.size(); ++a) {
       const auto& algo = p.algorithms[a];
       out << "{\"name\": \"" << algo.name << "\", \"success_rate\": "
-          << algo.success_rate << ", \"run_wall_seconds\": [";
+          << algo.success_rate << ", \"fast_run_wall_seconds\": [";
       for (std::size_t r = 0; r < algo.run_walls.size(); ++r)
         out << algo.run_walls[r] << (r + 1 < algo.run_walls.size() ? ", " : "");
       out << "], \"scalar_run_wall_seconds\": [";

@@ -20,6 +20,40 @@ std::uint64_t default_budget_from_env() {
 
 }  // namespace
 
+std::pair<ObservationStore::SnapshotPtr, bool> ObservationStore::get_or_build(
+    const std::string& key, const std::function<SnapshotPtr()>& build) {
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard lock(mu_);
+    if (const auto it = published_.find(key); it != published_.end())
+      return {it->second, false};
+    auto& s = building_[key];
+    if (!s) s = std::make_shared<Slot>();
+    slot = s;
+  }
+  // Build outside the store lock: distinct keys proceed in parallel,
+  // same-key callers serialize here and all but one find it published.
+  std::lock_guard build_lock(slot->mu);
+  {
+    std::lock_guard lock(mu_);
+    if (const auto it = published_.find(key); it != published_.end())
+      return {it->second, false};
+  }
+  SnapshotPtr snapshot = build();
+  std::lock_guard lock(mu_);
+  published_[key] = snapshot;
+  building_.erase(key);  // stragglers re-find it via published_.
+  return {snapshot, true};
+}
+
+std::uint64_t ObservationStore::bytes() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [key, snapshot] : published_)
+    if (snapshot) total += snapshot->bytes();
+  return total;
+}
+
 ScenarioContextCache::ScenarioContextCache()
     : budget_bytes_(default_budget_from_env()) {}
 
@@ -34,7 +68,24 @@ std::uint64_t ScenarioContextCache::context_bytes(
   if (context.graph) bytes += context.graph->arena_bytes();
   if (context.dataset)
     bytes += context.dataset->trace.size() * sizeof(trace::Contact);
+  if (context.observations) bytes += context.observations->bytes();
   return bytes;
+}
+
+void ScenarioContextCache::reaccount(const ScenarioContext& context) {
+  std::lock_guard lock(mu_);
+  const auto it = entries_.find({context.dataset.get(), context.delta});
+  if (it == entries_.end()) return;
+  Entry& entry = *it->second;
+  if (!entry.retained || entry.retained.get() != &context) return;
+  const std::uint64_t bytes = context_bytes(context);
+  resident_bytes_ += bytes;
+  resident_bytes_ -= entry.bytes;
+  entry.bytes = bytes;
+  if (resident_bytes_ > budget_bytes_) shrink_to_locked(budget_bytes_, &entry);
+  // Shrinking spares the entry being re-accounted; if it alone has
+  // outgrown the budget, release it — residency never exceeds the budget.
+  if (resident_bytes_ > budget_bytes_) release_locked(entry);
 }
 
 std::shared_ptr<const ScenarioContext> ScenarioContextCache::acquire(
@@ -84,6 +135,7 @@ std::shared_ptr<const ScenarioContext> ScenarioContextCache::acquire(
   context->name = scenario.name;
   context->dataset = scenario.dataset;
   context->delta = scenario.delta;
+  context->observations = std::make_shared<ObservationStore>();
   // Sharded and serial builds produce byte-identical arenas (asserted by
   // graph_test / scale_test), so the executor choice never leaks into the
   // cached context.

@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -35,17 +36,54 @@
 #include <utility>
 
 #include "psn/engine/run_spec.hpp"
+#include "psn/forward/algorithm.hpp"
 #include "psn/graph/space_time_graph.hpp"
 #include "psn/util/parallel.hpp"
 
 namespace psn::engine {
 
-/// One scenario's shared read-only inputs: dataset + space-time graph.
+/// Internally synchronized store of shared observation snapshots — the
+/// immutable, trace-derived state a ForwardingAlgorithm publishes under
+/// its shared_snapshot_key() (algorithm.hpp). Snapshots are pure
+/// functions of the scenario's graph, so one build serves every run,
+/// algorithm instance, and thread of every sweep that shares the
+/// context. Built lazily: a scenario swept only by history-free
+/// algorithms never pays for one.
+class ObservationStore {
+ public:
+  using SnapshotPtr = std::shared_ptr<const forward::ObservationSnapshot>;
+
+  /// The snapshot under `key`, invoking `build` exactly once per key
+  /// across all threads (concurrent same-key callers block on the one
+  /// build; distinct keys build in parallel). The bool is true for the
+  /// caller whose invocation built it — that caller re-accounts the
+  /// owning context against the cache budget.
+  std::pair<SnapshotPtr, bool> get_or_build(
+      const std::string& key, const std::function<SnapshotPtr()>& build);
+
+  /// Total bytes of all published snapshots.
+  [[nodiscard]] std::uint64_t bytes() const;
+
+ private:
+  struct Slot {
+    std::mutex mu;
+  };
+
+  mutable std::mutex mu_;  ///< guards published_ and building_.
+  std::map<std::string, SnapshotPtr> published_;
+  std::map<std::string, std::shared_ptr<Slot>> building_;
+};
+
+/// One scenario's shared read-only inputs: dataset + space-time graph,
+/// plus the lazily-populated observation snapshots derived from them.
 struct ScenarioContext {
   std::string name;
   std::shared_ptr<const core::Dataset> dataset;
   trace::Seconds delta = 10.0;
   std::shared_ptr<const graph::SpaceTimeGraph> graph;
+  /// Always non-null for cache-acquired contexts. The store is the one
+  /// internally-mutable member — everything it publishes is immutable.
+  std::shared_ptr<ObservationStore> observations;
 };
 
 /// Counters of the context cache, all monotonically increasing except the
@@ -97,10 +135,20 @@ class ScenarioContextCache {
   [[nodiscard]] std::uint64_t budget_bytes() const;
 
   /// Bytes acquire() accounts for `context` against the budget: the
-  /// graph's CSR arena plus the contact-trace payload — the two
-  /// allocations that dominate a resident scenario.
+  /// graph's CSR arena, the contact-trace payload, and any observation
+  /// snapshots published so far — the allocations that dominate a
+  /// resident scenario.
   [[nodiscard]] static std::uint64_t context_bytes(
       const ScenarioContext& context) noexcept;
+
+  /// Recomputes the accounted bytes of the retained entry holding
+  /// `context` — observation snapshots are built lazily *after*
+  /// acquire(), so whoever builds one calls this to keep residency
+  /// honest. Shrinks the LRU set if residency now exceeds the budget,
+  /// releasing the grown entry itself when it alone no longer fits
+  /// (resident bytes never exceed the budget). No-op when the context is
+  /// not currently retained.
+  void reaccount(const ScenarioContext& context);
 
   /// Releases every retained context whose scenario name is `name`
   /// (normally one; distinct deltas of one dataset share the name).

@@ -85,6 +85,45 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
   pool.wait_idle();
   errors.rethrow_if_set();
 
+  // Phase 1.5: shared observation snapshots. Each algorithm that
+  // publishes a snapshot key gets its snapshot built once per scenario,
+  // here, in parallel across (scenario, key) — not inside phase-2 tasks,
+  // where every run of a scenario would serialize on the one build. The
+  // adoption path below still calls get_or_build, so correctness never
+  // depends on this wave (it is purely a scheduling optimization).
+  std::vector<std::pair<std::string, std::string>> snapshot_jobs;  // key, algo
+  if (options.observation == ObservationMode::kShared) {
+    for (const std::string& name : plan.algorithms) {
+      const std::string key =
+          forward::make_algorithm(name)->shared_snapshot_key();
+      if (key.empty()) continue;
+      bool seen = false;
+      for (const auto& [k, a] : snapshot_jobs) seen = seen || k == key;
+      if (!seen) snapshot_jobs.emplace_back(key, name);
+    }
+    for (std::size_t s = 0; s < plan.scenarios.size(); ++s) {
+      for (std::size_t j = 0; j < snapshot_jobs.size(); ++j) {
+        pool.submit([&contexts, &snapshot_jobs, &errors, s, j] {
+          try {
+            const ScenarioContext& context = *contexts[s];
+            const auto proto =
+                forward::make_algorithm(snapshot_jobs[j].second);
+            const auto [snapshot, built] =
+                context.observations->get_or_build(snapshot_jobs[j].first, [&] {
+                  return proto->build_shared_snapshot(*context.graph,
+                                                      context.dataset->trace);
+                });
+            if (built) ScenarioContextCache::instance().reaccount(context);
+          } catch (...) {
+            errors.capture();
+          }
+        });
+      }
+    }
+    pool.wait_idle();
+    errors.rethrow_if_set();
+  }
+
   // Phase 2: the run matrix. Each task is self-contained — it derives its
   // workload and algorithm instance from the spec alone and writes into
   // its plan slot, so nothing here depends on scheduling order.
@@ -123,6 +162,20 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
         const auto algorithm =
             forward::make_algorithm(plan.algorithms[spec.algorithm]);
         const ScenarioContext& context = *contexts[spec.scenario];
+        if (options.observation == ObservationMode::kShared) {
+          const std::string key = algorithm->shared_snapshot_key();
+          if (!key.empty()) {
+            // Normally a hit on the phase-1.5 prebuild; builds here only
+            // when that wave was skipped or the snapshot was evicted.
+            const auto [snapshot, built] =
+                context.observations->get_or_build(key, [&] {
+                  return algorithm->build_shared_snapshot(
+                      *context.graph, context.dataset->trace);
+                });
+            if (built) ScenarioContextCache::instance().reaccount(context);
+            algorithm->adopt_shared_snapshot(snapshot);
+          }
+        }
         forward::SimulationRequest request;
         request.algorithm = algorithm.get();
         request.graph = context.graph.get();
@@ -132,6 +185,7 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
         request.seed = spec.sim_seed;
         request.replay = options.replay;
         request.flood_kernel = options.flood_kernel;
+        request.contact_scan = options.contact_scan;
         if (options.intra_run_parallel) request.parallel = &pool_executor;
         // One workspace per worker thread, reused across every run the
         // thread executes: the sweep's steady state simulates without

@@ -59,6 +59,20 @@ struct SweepResult {
   }
 };
 
+/// Where algorithms get their trace-derived observation state.
+enum class ObservationMode {
+  /// Algorithms that publish a shared_snapshot_key() adopt the
+  /// scenario's shared observation snapshot (built once per scenario,
+  /// cached on its ScenarioContext, counted against the context-cache
+  /// budget). Bit-identical to kPerRun per algorithm; adopted runs also
+  /// qualify for the simulator's holder-incident fast path.
+  kShared,
+  /// Every run rebuilds its observation tables online, replaying each
+  /// contact through observe_contact — the permanent oracle the
+  /// equivalence tests pin kShared against.
+  kPerRun,
+};
+
 struct SweepOptions {
   /// Worker threads; 0 means one per hardware thread. Ignored when
   /// `pool` is set.
@@ -83,6 +97,13 @@ struct SweepOptions {
   /// kScalar exists for the equivalence harness and the scalar-vs-word
   /// columns of the node-scaling bench).
   forward::FloodKernel flood_kernel = forward::FloodKernel::kWordParallel;
+  /// Simulator contact-scan mode handed to every run. kHolderIncident
+  /// (default) lets eligible non-flood runs visit only holder-incident
+  /// contacts; kFull is the scalar full-replay oracle. Bit-identical
+  /// (simulator.hpp).
+  forward::ContactScan contact_scan = forward::ContactScan::kHolderIncident;
+  /// Observation state sourcing (see ObservationMode). kShared default.
+  ObservationMode observation = ObservationMode::kShared;
   /// Fan each run's per-step flood closures out across the sweep pool in
   /// addition to the run-level parallelism. Off by default: with more runs
   /// than workers the run-level fan-out already saturates the pool, and

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "psn/graph/space_time_graph.hpp"
@@ -40,6 +41,22 @@ namespace psn::forward {
 
 using graph::NodeId;
 using graph::Step;
+
+/// An immutable, step-indexed precomputation of the observation state an
+/// algorithm would otherwise rebuild from observe_contact() every run —
+/// for FRESH and PRoPHET that state is a pure function of the trace,
+/// independent of the message and the run, so one snapshot per scenario
+/// serves every run. Built by ForwardingAlgorithm::build_shared_snapshot,
+/// owned by engine::ScenarioContext (cached alongside the graph and
+/// counted against the cache byte budget), and handed back to fresh
+/// algorithm instances via adopt_shared_snapshot. Concrete types are
+/// private to the algorithm family that builds them.
+class ObservationSnapshot {
+ public:
+  virtual ~ObservationSnapshot() = default;
+  /// Resident bytes, for cache accounting.
+  [[nodiscard]] virtual std::uint64_t bytes() const = 0;
+};
 
 class ForwardingAlgorithm {
  public:
@@ -88,6 +105,35 @@ class ForwardingAlgorithm {
   /// Copy budget a message starts with at its source (quota schemes
   /// override; 1 means pure single-copy, 0 means unbounded replication).
   [[nodiscard]] virtual std::uint32_t initial_copies() const { return 1; }
+
+  /// Non-empty iff this algorithm's observation state is a pure function
+  /// of the trace and can be shared across runs as an ObservationSnapshot.
+  /// The key identifies the snapshot in the scenario's store — include
+  /// every parameter the snapshot depends on (e.g. PRoPHET's constants),
+  /// so differently-parameterized instances never share state.
+  [[nodiscard]] virtual std::string shared_snapshot_key() const { return {}; }
+
+  /// Builds the shared snapshot for (graph, trace). Called at most once
+  /// per (scenario, key) by the engine; must be deterministic. Default:
+  /// no snapshot (only meaningful with a non-empty key).
+  [[nodiscard]] virtual std::shared_ptr<const ObservationSnapshot>
+  build_shared_snapshot(const graph::SpaceTimeGraph& graph,
+                        const trace::ContactTrace& trace) const {
+    (void)graph;
+    (void)trace;
+    return nullptr;
+  }
+
+  /// Hands a snapshot (previously produced by build_shared_snapshot of an
+  /// instance with the same key) to this instance. An adopted algorithm
+  /// answers should_forward() from the snapshot, reports
+  /// observes_contacts() == false, and must produce bit-identical
+  /// decisions to its un-adopted self — which is what lets the simulator
+  /// skip the per-run contact replay entirely.
+  virtual void adopt_shared_snapshot(
+      std::shared_ptr<const ObservationSnapshot> snapshot) {
+    (void)snapshot;
+  }
 };
 
 }  // namespace psn::forward

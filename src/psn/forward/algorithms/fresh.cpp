@@ -9,7 +9,25 @@ void FreshForwarding::prepare(const graph::SpaceTimeGraph& graph,
 }
 
 void FreshForwarding::reset() {
+  // Adopted instances answer from the snapshot: no per-run dense table —
+  // at 65k nodes the n² last-met matrix alone would be 34 GB.
+  if (snapshot_ != nullptr) {
+    last_met_.clear();
+    return;
+  }
   last_met_.assign(static_cast<std::size_t>(n_) * n_, -1);
+}
+
+std::shared_ptr<const ObservationSnapshot> FreshForwarding::
+    build_shared_snapshot(const graph::SpaceTimeGraph& graph,
+                          const trace::ContactTrace& /*trace*/) const {
+  return std::make_shared<ContactHistoryIndex>(graph);
+}
+
+void FreshForwarding::adopt_shared_snapshot(
+    std::shared_ptr<const ObservationSnapshot> snapshot) {
+  snapshot_ =
+      std::dynamic_pointer_cast<const ContactHistoryIndex>(std::move(snapshot));
 }
 
 void FreshForwarding::observe_contact(NodeId a, NodeId b, Step s,
@@ -19,7 +37,10 @@ void FreshForwarding::observe_contact(NodeId a, NodeId b, Step s,
 }
 
 bool FreshForwarding::should_forward(NodeId holder, NodeId peer, NodeId dest,
-                                     Step /*s*/, std::uint32_t /*copies*/) {
+                                     Step s, std::uint32_t /*copies*/) {
+  if (snapshot_ != nullptr)
+    return snapshot_->last_met(peer, dest, s) >
+           snapshot_->last_met(holder, dest, s);
   const auto peer_met = last_met_[static_cast<std::size_t>(peer) * n_ + dest];
   const auto holder_met =
       last_met_[static_cast<std::size_t>(holder) * n_ + dest];

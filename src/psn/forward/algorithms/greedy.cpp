@@ -9,7 +9,23 @@ void GreedyForwarding::prepare(const graph::SpaceTimeGraph& graph,
 }
 
 void GreedyForwarding::reset() {
+  if (snapshot_ != nullptr) {
+    met_count_.clear();
+    return;
+  }
   met_count_.assign(static_cast<std::size_t>(n_) * n_, 0);
+}
+
+std::shared_ptr<const ObservationSnapshot> GreedyForwarding::
+    build_shared_snapshot(const graph::SpaceTimeGraph& graph,
+                          const trace::ContactTrace& /*trace*/) const {
+  return std::make_shared<ContactHistoryIndex>(graph);
+}
+
+void GreedyForwarding::adopt_shared_snapshot(
+    std::shared_ptr<const ObservationSnapshot> snapshot) {
+  snapshot_ =
+      std::dynamic_pointer_cast<const ContactHistoryIndex>(std::move(snapshot));
 }
 
 void GreedyForwarding::observe_contact(NodeId a, NodeId b, Step /*s*/,
@@ -20,7 +36,10 @@ void GreedyForwarding::observe_contact(NodeId a, NodeId b, Step /*s*/,
 }
 
 bool GreedyForwarding::should_forward(NodeId holder, NodeId peer, NodeId dest,
-                                      Step /*s*/, std::uint32_t /*copies*/) {
+                                      Step s, std::uint32_t /*copies*/) {
+  if (snapshot_ != nullptr)
+    return snapshot_->pair_count(peer, dest, s) >
+           snapshot_->pair_count(holder, dest, s);
   return met_count_[static_cast<std::size_t>(peer) * n_ + dest] >
          met_count_[static_cast<std::size_t>(holder) * n_ + dest];
 }

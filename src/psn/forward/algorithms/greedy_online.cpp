@@ -8,7 +8,25 @@ void GreedyOnlineForwarding::prepare(const graph::SpaceTimeGraph& graph,
   reset();
 }
 
-void GreedyOnlineForwarding::reset() { contacts_so_far_.assign(n_, 0); }
+void GreedyOnlineForwarding::reset() {
+  if (snapshot_ != nullptr) {
+    contacts_so_far_.clear();
+    return;
+  }
+  contacts_so_far_.assign(n_, 0);
+}
+
+std::shared_ptr<const ObservationSnapshot> GreedyOnlineForwarding::
+    build_shared_snapshot(const graph::SpaceTimeGraph& graph,
+                          const trace::ContactTrace& /*trace*/) const {
+  return std::make_shared<ContactHistoryIndex>(graph);
+}
+
+void GreedyOnlineForwarding::adopt_shared_snapshot(
+    std::shared_ptr<const ObservationSnapshot> snapshot) {
+  snapshot_ =
+      std::dynamic_pointer_cast<const ContactHistoryIndex>(std::move(snapshot));
+}
 
 void GreedyOnlineForwarding::observe_contact(NodeId a, NodeId b, Step /*s*/,
                                              bool new_contact) {
@@ -18,8 +36,10 @@ void GreedyOnlineForwarding::observe_contact(NodeId a, NodeId b, Step /*s*/,
 }
 
 bool GreedyOnlineForwarding::should_forward(NodeId holder, NodeId peer,
-                                            NodeId /*dest*/, Step /*s*/,
+                                            NodeId /*dest*/, Step s,
                                             std::uint32_t /*copies*/) {
+  if (snapshot_ != nullptr)
+    return snapshot_->node_count(peer, s) > snapshot_->node_count(holder, s);
   return contacts_so_far_[peer] > contacts_so_far_[holder];
 }
 

@@ -1,8 +1,188 @@
 #include "psn/forward/algorithms/prophet.hpp"
 
-#include <cmath>
+#include <algorithm>
+#include <cstdio>
 
 namespace psn::forward {
+
+// ---------------------------------------------------------------- table ---
+
+void ProphetTable::init(NodeId n, const ProphetParams& params) {
+  params_ = params;
+  rows_.resize(n);
+  clear();
+}
+
+void ProphetTable::clear() {
+  for (auto& row : rows_) row.clear();
+  decay_.assign(1, 1.0);
+}
+
+double ProphetTable::decay(Step units) const {
+  while (decay_.size() <= units)
+    decay_.push_back(decay_.back() * params_.gamma);
+  return decay_[units];
+}
+
+double ProphetTable::read(NodeId x, NodeId c, Step s) const {
+  const auto& row = rows_[x];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), c,
+      [](const Cell& cell, NodeId key) { return cell.c < key; });
+  if (it == row.end() || it->c != c) return 0.0;
+  // Aging epochs align to aging-unit boundaries, so the decay since the
+  // write depends only on the two steps — not on when reads happened.
+  return it->v * decay(s / params_.aging_unit - it->w / params_.aging_unit);
+}
+
+void ProphetTable::upsert(NodeId x, NodeId c, Step s, double v,
+                          std::vector<Write>* log) {
+  auto& row = rows_[x];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), c,
+      [](const Cell& cell, NodeId key) { return cell.c < key; });
+  if (it != row.end() && it->c == c) {
+    it->w = s;
+    it->v = v;
+  } else {
+    row.insert(it, Cell{c, s, v});
+  }
+  if (log != nullptr) log->push_back(Write{x, c, s, v});
+}
+
+void ProphetTable::observe(NodeId a, NodeId b, Step s,
+                           std::vector<Write>* log) {
+  // Direct encounter updates, both directions, always stored.
+  {
+    const double old = read(a, b, s);
+    upsert(a, b, s, old + (1.0 - old) * params_.p_init, log);
+  }
+  {
+    const double old = read(b, a, s);
+    upsert(b, a, s, old + (1.0 - old) * params_.p_init, log);
+  }
+
+  // Transitivity touches exactly the peers either endpoint already has a
+  // cell for (any other candidate is a product with zero). Materialize
+  // the union up front: upserts below may reallocate the rows.
+  union_keys_.clear();
+  {
+    const auto& ra = rows_[a];
+    const auto& rb = rows_[b];
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < ra.size() || j < rb.size()) {
+      NodeId c;
+      if (j == rb.size())
+        c = ra[i++].c;
+      else if (i == ra.size())
+        c = rb[j++].c;
+      else if (ra[i].c < rb[j].c)
+        c = ra[i++].c;
+      else if (rb[j].c < ra[i].c)
+        c = rb[j++].c;
+      else {
+        c = ra[i++].c;
+        ++j;
+      }
+      if (c != a && c != b) union_keys_.push_back(c);
+    }
+  }
+
+  // Per peer, a-side then b-side — the b-side candidate deliberately
+  // reads the a-side value just written, preserving the sequencing of
+  // the eager row-by-row formulation.
+  const double p_ab = read(a, b, s);
+  const double p_ba = read(b, a, s);
+  for (const NodeId c : union_keys_) {
+    const double cand_a = p_ab * read(b, c, s) * params_.beta;
+    if (cand_a >= params_.transitive_floor && cand_a > read(a, c, s))
+      upsert(a, c, s, cand_a, log);
+    const double cand_b = p_ba * read(a, c, s) * params_.beta;
+    if (cand_b >= params_.transitive_floor && cand_b > read(b, c, s))
+      upsert(b, c, s, cand_b, log);
+  }
+}
+
+// ------------------------------------------------------------- snapshot ---
+
+ProphetSnapshot::ProphetSnapshot(const graph::SpaceTimeGraph& graph,
+                                 const ProphetParams& params)
+    : aging_unit_(params.aging_unit) {
+  const NodeId n = graph.num_nodes();
+
+  // Replay the trace's new-contact events through the same table the
+  // per-run algorithm uses, in the same order the simulator feeds
+  // observe_contact, recording every write.
+  ProphetTable table;
+  table.init(n, params);
+  std::vector<ProphetTable::Write> log;
+  for (const graph::Step s : graph.active_steps()) {
+    const auto edges = graph.edges(s);
+    const auto flags = graph.new_edge_flags(s);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (flags[i] == 0) continue;
+      table.observe(edges[i].a, edges[i].b, s, &log);
+    }
+  }
+
+  // CSR by (node, peer). Writes were appended in nondecreasing step
+  // order, so a stable sort on (x, c) alone keeps each group
+  // chronological.
+  std::stable_sort(log.begin(), log.end(),
+                   [](const ProphetTable::Write& l,
+                      const ProphetTable::Write& r) {
+                     return l.x != r.x ? l.x < r.x : l.c < r.c;
+                   });
+  node_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& w : log) ++node_offsets_[w.x + 1];
+  for (NodeId v = 0; v < n; ++v) node_offsets_[v + 1] += node_offsets_[v];
+  cell_c_.resize(log.size());
+  cell_step_.resize(log.size());
+  cell_val_.resize(log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    cell_c_[i] = log[i].c;
+    cell_step_[i] = log[i].s;
+    cell_val_[i] = log[i].v;
+  }
+
+  // Precompute the whole decay table (the iterated product the per-run
+  // table grows lazily) so queries are lock-free across sweep threads.
+  const Step max_units =
+      graph.num_steps() == 0
+          ? 0
+          : (static_cast<Step>(graph.num_steps()) - 1) / params.aging_unit;
+  decay_.resize(static_cast<std::size_t>(max_units) + 1);
+  decay_[0] = 1.0;
+  for (std::size_t k = 1; k < decay_.size(); ++k)
+    decay_[k] = decay_[k - 1] * params.gamma;
+}
+
+double ProphetSnapshot::query(NodeId x, NodeId c, Step s) const {
+  const auto lo = static_cast<std::ptrdiff_t>(node_offsets_[x]);
+  const auto hi = static_cast<std::ptrdiff_t>(node_offsets_[x + 1]);
+  const auto cb = cell_c_.begin();
+  const auto first = std::lower_bound(cb + lo, cb + hi, c);
+  const auto last = std::upper_bound(first, cb + hi, c);
+  if (first == last) return 0.0;
+  const auto sb = cell_step_.begin();
+  const auto it = std::upper_bound(sb + (first - cb), sb + (last - cb), s);
+  if (it == sb + (first - cb)) return 0.0;
+  const auto wi = static_cast<std::size_t>(it - sb) - 1;
+  const Step units = s / aging_unit_ - cell_step_[wi] / aging_unit_;
+  // Simulation steps never leave the precomputed window; a query decayed
+  // past it is vanishingly small either way.
+  const double d = units < decay_.size() ? decay_[units] : 0.0;
+  return cell_val_[wi] * d;
+}
+
+std::uint64_t ProphetSnapshot::bytes() const {
+  return node_offsets_.size() * sizeof(std::uint64_t) +
+         cell_c_.size() * sizeof(NodeId) + cell_step_.size() * sizeof(Step) +
+         cell_val_.size() * sizeof(double) + decay_.size() * sizeof(double);
+}
+
+// ------------------------------------------------------------ algorithm ---
 
 void ProphetForwarding::prepare(const graph::SpaceTimeGraph& graph,
                                 const trace::ContactTrace& /*trace*/) {
@@ -11,45 +191,50 @@ void ProphetForwarding::prepare(const graph::SpaceTimeGraph& graph,
 }
 
 void ProphetForwarding::reset() {
-  p_.assign(static_cast<std::size_t>(n_) * n_, 0.0);
-  last_aged_.assign(n_, 0);
-}
-
-void ProphetForwarding::age(NodeId x, Step now) {
-  const Step last = last_aged_[x];
-  if (now <= last) return;
-  const auto units = (now - last) / params_.aging_unit;
-  if (units == 0) return;
-  const double factor = std::pow(params_.gamma, static_cast<double>(units));
-  double* row = p_.data() + static_cast<std::size_t>(x) * n_;
-  for (NodeId y = 0; y < n_; ++y) row[y] *= factor;
-  last_aged_[x] = last + units * params_.aging_unit;
+  current_step_ = 0;
+  if (snapshot_ != nullptr) return;
+  table_.init(n_, params_);
 }
 
 void ProphetForwarding::observe_contact(NodeId a, NodeId b, Step s,
                                         bool new_contact) {
-  if (!new_contact) return;
-  age(a, s);
-  age(b, s);
-  double* row_a = p_.data() + static_cast<std::size_t>(a) * n_;
-  double* row_b = p_.data() + static_cast<std::size_t>(b) * n_;
-  row_a[b] += (1.0 - row_a[b]) * params_.p_init;
-  row_b[a] += (1.0 - row_b[a]) * params_.p_init;
-  // Transitivity through the encountered peer.
-  for (NodeId c = 0; c < n_; ++c) {
-    if (c == a || c == b) continue;
-    row_a[c] = std::max(row_a[c], row_a[b] * row_b[c] * params_.beta);
-    row_b[c] = std::max(row_b[c], row_b[a] * row_a[c] * params_.beta);
-  }
+  current_step_ = std::max(current_step_, s);
+  if (!new_contact || snapshot_ != nullptr) return;
+  table_.observe(a, b, s);
 }
 
-bool ProphetForwarding::should_forward(NodeId holder, NodeId peer,
-                                       NodeId dest, Step s,
-                                       std::uint32_t /*copies*/) {
-  age(holder, s);
-  age(peer, s);
-  return p_[static_cast<std::size_t>(peer) * n_ + dest] >
-         p_[static_cast<std::size_t>(holder) * n_ + dest];
+bool ProphetForwarding::should_forward(NodeId holder, NodeId peer, NodeId dest,
+                                       Step s, std::uint32_t /*copies*/) {
+  current_step_ = std::max(current_step_, s);
+  if (snapshot_ != nullptr)
+    return snapshot_->query(peer, dest, s) > snapshot_->query(holder, dest, s);
+  return table_.read(peer, dest, s) > table_.read(holder, dest, s);
+}
+
+std::string ProphetForwarding::shared_snapshot_key() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "prophet/p%.17g-b%.17g-g%.17g-u%u-f%.17g",
+                params_.p_init, params_.beta, params_.gamma,
+                static_cast<unsigned>(params_.aging_unit),
+                params_.transitive_floor);
+  return buf;
+}
+
+std::shared_ptr<const ObservationSnapshot> ProphetForwarding::
+    build_shared_snapshot(const graph::SpaceTimeGraph& graph,
+                          const trace::ContactTrace& /*trace*/) const {
+  return std::make_shared<ProphetSnapshot>(graph, params_);
+}
+
+void ProphetForwarding::adopt_shared_snapshot(
+    std::shared_ptr<const ObservationSnapshot> snapshot) {
+  snapshot_ =
+      std::dynamic_pointer_cast<const ProphetSnapshot>(std::move(snapshot));
+}
+
+double ProphetForwarding::predictability(NodeId from, NodeId to) const {
+  if (snapshot_ != nullptr) return snapshot_->query(from, to, current_step_);
+  return table_.read(from, to, current_step_);
 }
 
 }  // namespace psn::forward

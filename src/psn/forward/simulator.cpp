@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <span>
 #include <stdexcept>
@@ -117,6 +118,39 @@ SimulationResult simulate(const SimulationRequest& request,
   const bool quota_scheme = quota > 1;
   const bool observes = algorithm.observes_contacts();
 
+  // Holder-incident fast path: only steps where a current holder has a
+  // contact are visited, and only holder-incident edges enter the relay
+  // worklist. Requires sparse replay (the dense oracle visits everything
+  // by definition), a non-flooding algorithm (floods have their own
+  // kernels), no online contact observation (observe_contact must see
+  // every trace contact), and at least one relay pass (a zero-pass run
+  // counts every edge-bearing step as truncated, visited or not).
+  const bool fast_scan =
+      request.contact_scan == ContactScan::kHolderIncident &&
+      request.replay == ReplayMode::kSparse && !flooding && !observes &&
+      request.max_relay_passes > 0;
+
+  auto& holder_count = ws.holder_count;
+  std::uint64_t holder_nodes = 0;  // nodes with holder_count > 0.
+  auto& heap = ws.heap;
+  heap.clear();
+  if (fast_scan) {
+    if (holder_count.size() < n) holder_count.resize(n);
+    std::fill_n(holder_count.begin(), n, std::uint32_t{0});
+    if (ws.node_stamp.size() < n) ws.node_stamp.resize(n, 0);
+  }
+
+  // Schedules node v's next contact after step s (if any) as a visit.
+  // Entries are lazily discarded when v no longer holds anything by the
+  // time they surface; duplicates are harmless (visits coalesce).
+  const auto arm_node = [&](NodeId v, graph::Step s) {
+    const auto steps = graph.contact_steps(v);
+    const auto it = std::upper_bound(steps.begin(), steps.end(), s);
+    if (it == steps.end()) return;
+    heap.push_back((static_cast<std::uint64_t>(*it) << 32) | v);
+    std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+  };
+
   const auto deliver = [&](std::uint32_t id, graph::Step s,
                            std::uint16_t hops) {
     auto& st = state[id];
@@ -133,6 +167,10 @@ SimulationResult simulate(const SimulationRequest& request,
       const std::uint64_t sz = messages[id].size_bytes;
       st.holders.for_each([&](std::uint32_t v) { store_bytes[v] -= sz; });
     }
+    if (fast_scan)
+      st.holders.for_each([&](std::uint32_t v) {
+        if (--holder_count[v] == 0) --holder_nodes;
+      });
   };
 
   // Expires every finite-TTL message whose expiry time has passed by
@@ -155,6 +193,10 @@ SimulationResult simulate(const SimulationRequest& request,
           const std::uint64_t sz = messages[id].size_bytes;
           st.holders.for_each([&](std::uint32_t v) { store_bytes[v] -= sz; });
         }
+        if (fast_scan)
+          st.holders.for_each([&](std::uint32_t v) {
+            if (--holder_count[v] == 0) --holder_nodes;
+          });
         // Cleared holders make every remaining per-node list entry stale;
         // the relay and flood scans drop them lazily.
         st.holders.clear();
@@ -216,8 +258,11 @@ SimulationResult simulate(const SimulationRequest& request,
       vst.holders.reset(node);
       store_bytes[node] -= messages[vid].size_bytes;
       ++result.evictions;
-      list[victim] = list.back();
-      list.pop_back();
+      if (fast_scan && --holder_count[node] == 0) --holder_nodes;
+      // Order-preserving removal: the live order of every per-node list
+      // is the canonical insertion order in both scan modes, which keeps
+      // victim draws and algorithm callbacks subset-invariant.
+      list.erase(list.begin() + static_cast<std::ptrdiff_t>(victim));
       if (vst.holders.count() == 0) {
         vst.dropped = true;
         result.outcomes[vid].dropped = true;
@@ -240,7 +285,8 @@ SimulationResult simulate(const SimulationRequest& request,
     mark.resize(n, 0);
   }
   auto& buckets = ws.buckets;
-  // Settles hop levels for the component `mask` at step s, seeded by the
+  // Settles hop levels for the component `mask` at the step whose
+  // components (and step-local adjacency) ws.components holds, seeded by the
   // message's holders at their current hop counts. If `stop_at` is inside
   // the component, returns as soon as its level is known; otherwise
   // settles the whole component (level[] is valid where mark[] ==
@@ -250,7 +296,7 @@ SimulationResult simulate(const SimulationRequest& request,
   // binary heap: minimal levels are unique, so the values — the only
   // observable output — are unchanged while the log factor disappears.
   const auto settle_component =
-      [&](graph::Step s, const util::NodeSet& mask,
+      [&](const util::NodeSet& mask,
           const detail::SimulatorState::MessageState& st, NodeId stop_at,
           bool has_stop) -> std::uint32_t {
     const std::uint64_t gen = ++ws.mark_gen;
@@ -284,7 +330,10 @@ SimulationResult simulate(const SimulationRequest& request,
           drain(lvl);
           return lvl;
         }
-        for (const NodeId w : graph.neighbors(s, v)) {
+        // ws.components holds step s's adjacency: flood_step() runs
+        // step_components_at(s) before any settle. O(1) per lookup where
+        // graph.neighbors(s, v) pays a timeline binary search.
+        for (const NodeId w : ws.components.step_neighbors(v)) {
           if (mark[w] != gen) {
             if (lvl + 1 >= buckets.size()) buckets.resize(lvl + 2);
             buckets[lvl + 1].push_back(w);
@@ -310,7 +359,7 @@ SimulationResult simulate(const SimulationRequest& request,
   // the whole component, leaving sc.level[] valid for every member. All
   // scratch is cleared sparsely (component words only) before returning.
   const auto settle_word =
-      [&](graph::Step s, const graph::StepComponent& comp,
+      [&](const graph::StepComponent& comp,
           const detail::SimulatorState::MessageState& st,
           detail::SimulatorState::SettleScratch& sc, NodeId stop_at,
           bool has_stop) -> std::uint32_t {
@@ -385,7 +434,9 @@ SimulationResult simulate(const SimulationRequest& request,
           const auto v = static_cast<NodeId>(
               w * 64 + static_cast<std::uint32_t>(std::countr_zero(fresh)));
           fresh &= fresh - 1;
-          for (const NodeId nb : graph.neighbors(s, v)) {
+          // Same contract as the scalar kernel: ws.components carries
+          // step s's adjacency, read-only and shared across shards.
+          for (const NodeId nb : ws.components.step_neighbors(v)) {
             nf.set(nb);
             expanded = true;
           }
@@ -426,7 +477,7 @@ SimulationResult simulate(const SimulationRequest& request,
         // destination are part of the flood's cost too; +1 below is the
         // final hop to the destination.
         tx += comp.size - held - 1;
-        const std::uint32_t hops = settle_word(s, comp, st, sc, dest, true);
+        const std::uint32_t hops = settle_word(comp, st, sc, dest, true);
         st.delivered = true;
         auto& outcome = result.outcomes[id];
         outcome.delivered = true;
@@ -439,7 +490,7 @@ SimulationResult simulate(const SimulationRequest& request,
       // Fully flooded components have nothing left to spread; skipping
       // them also skips the (comparatively expensive) hop settle.
       if (held == comp.size) continue;
-      settle_word(s, comp, st, sc, 0, false);
+      settle_word(comp, st, sc, 0, false);
       for (const std::uint32_t w : comp.words) {
         const std::uint64_t mask_word = comp.mask.word(w);
         std::uint64_t fresh = mask_word & ~st.holders.word(w);
@@ -512,7 +563,7 @@ SimulationResult simulate(const SimulationRequest& request,
           // Copies made inside the component before reaching the
           // destination are part of the flood's cost too.
           result.transmissions += mask.count() - held - 1;
-          const std::uint32_t hops = settle_component(s, mask, st, dest, true);
+          const std::uint32_t hops = settle_component(mask, st, dest, true);
           deliver(id, s, static_cast<std::uint16_t>(
                              std::min<std::uint32_t>(hops, 0xFFFF)));
           break;
@@ -521,7 +572,7 @@ SimulationResult simulate(const SimulationRequest& request,
         // Fully flooded components have nothing left to spread; skipping
         // them also skips the (comparatively expensive) hop settle.
         if (held == total) continue;
-        settle_component(s, mask, st, 0, false);
+        settle_component(mask, st, 0, false);
         mask.for_each([&](std::uint32_t v) {
           if (!st.holders.test(v))
             st.hops[v] = static_cast<std::uint16_t>(
@@ -584,6 +635,12 @@ SimulationResult simulate(const SimulationRequest& request,
       }
       if (!flooding) at_node[m.source].push_back(id);
       active_msgs.push_back(id);
+      if (fast_scan) {
+        if (holder_count[m.source]++ == 0) ++holder_nodes;
+        // The source's contact at this very step (if any) is picked up by
+        // the worklist build below; future contacts need an armed visit.
+        arm_node(m.source, s);
+      }
     }
 
     // History observation, in deterministic trace order, consuming the
@@ -618,46 +675,73 @@ SimulationResult simulate(const SimulationRequest& request,
       if (live) flood_step(s);
     } else {
       // Generic path: relay across edges to a fixpoint so forwarding
-      // chains can cross several contacts within one step.
-      auto& edges = ws.edges;
-      edges.assign(step_edges.begin(), step_edges.end());
-      rng.shuffle(edges);
-
-      // Per-edge byte budgets for this step, parallel to the shuffled
-      // edge buffer: shared by both directions and all relay passes, so
-      // one congested contact stays congested for the whole step.
-      auto& edge_budget = ws.edge_budget;
-      if (budget_limited)
-        edge_budget.assign(edges.size(), traffic.contact_budget_bytes);
+      // chains can cross several contacts within one step. Edge order is
+      // a stateless per-(seed, step) hash per edge instead of a shuffle:
+      // any subset of a step's edges sorts into the same relative order
+      // as inside the full list, which is what lets the holder-incident
+      // worklist replay the full scan's decisions bit-exactly.
+      auto& work = ws.work;
+      work.clear();
+      const std::uint64_t step_salt =
+          request.seed ^
+          (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(s) + 1));
+      const auto key_of = [&](NodeId a, NodeId b) {
+        std::uint64_t h =
+            step_salt ^ ((static_cast<std::uint64_t>(a) << 32) | b);
+        return util::splitmix64(h);
+      };
+      using WorkEdge = detail::SimulatorState::WorkEdge;
+      const auto work_less = [](const WorkEdge& l, const WorkEdge& r) {
+        if (l.key != r.key) return l.key < r.key;
+        if (l.a != r.a) return l.a < r.a;
+        return l.b < r.b;
+      };
+      // When most nodes hold something the filtered scan saves nothing —
+      // fall back to the complete edge list (same keys, same sort, so the
+      // step's decisions are unchanged either way).
+      const bool edges_complete =
+          !fast_scan || 4 * holder_nodes >= static_cast<std::uint64_t>(n);
+      const std::uint64_t member_stamp = ++ws.stamp_gen;
+      for (const graph::StepEdge& e : step_edges) {
+        const NodeId a = std::min(e.a, e.b);
+        const NodeId b = std::max(e.a, e.b);
+        if (!edges_complete) {
+          const bool ha = holder_count[a] > 0;
+          const bool hb = holder_count[b] > 0;
+          if (!ha && !hb) continue;
+          // Holder endpoints are stamped: every edge incident to a
+          // stamped node is in the worklist, which is the invariant the
+          // mid-pass expansion below relies on.
+          if (ha) ws.node_stamp[a] = member_stamp;
+          if (hb) ws.node_stamp[b] = member_stamp;
+        }
+        work.push_back({key_of(a, b), a, b, traffic.contact_budget_bytes});
+      }
+      std::sort(work.begin(), work.end(), work_less);
 
       const auto relay = [&](NodeId x, NodeId y, std::size_t ei) -> bool {
         bool changed = false;
         auto& list = at_node[x];
-        for (std::size_t i = 0; i < list.size();) {
+        std::size_t k = 0;  // order-preserving compaction write cursor.
+        for (std::size_t i = 0; i < list.size(); ++i) {
           const std::uint32_t id = list[i];
           auto& st = state[id];
           // Lazily drop stale entries (delivered, expired, evicted, or
           // moved away).
-          if (st.delivered || st.expired || !st.holders.test(x)) {
-            list[i] = list.back();
-            list.pop_back();
-            continue;
-          }
+          if (st.delivered || st.expired || !st.holders.test(x)) continue;
           const NodeId dest = messages[id].destination;
           const std::uint64_t sz = messages[id].size_bytes;
           if (y == dest) {
             // The final hop consumes contact budget like any transfer;
             // a blocked delivery stays queued for a later contact.
-            if (budget_limited && edge_budget[ei] < sz) {
+            if (budget_limited && work[ei].budget < sz) {
               ++result.budget_blocked;
-              ++i;
+              list[k++] = id;
               continue;
             }
-            if (budget_limited) edge_budget[ei] -= sz;
+            if (budget_limited) work[ei].budget -= sz;
             deliver(id, s, static_cast<std::uint16_t>(st.hops[x] + 1));
             changed = true;
-            list[i] = list.back();
-            list.pop_back();
             continue;
           }
           if (!st.holders.test(y) &&
@@ -673,7 +757,7 @@ SimulationResult simulate(const SimulationRequest& request,
               ++result.buffer_rejections;
               admitted = false;
             }
-            if (admitted && budget_limited && edge_budget[ei] < sz) {
+            if (admitted && budget_limited && work[ei].budget < sz) {
               ++result.budget_blocked;
               admitted = false;
             }
@@ -682,7 +766,8 @@ SimulationResult simulate(const SimulationRequest& request,
                 make_room(y, sz);
                 store_bytes[y] += sz;
               }
-              if (budget_limited) edge_budget[ei] -= sz;
+              if (budget_limited) work[ei].budget -= sz;
+              if (fast_scan && holder_count[y]++ == 0) ++holder_nodes;
               if (quota_scheme) {
                 // Binary spray: hand over half the remaining budget; the
                 // holder keeps a copy while it has budget.
@@ -709,26 +794,66 @@ SimulationResult simulate(const SimulationRequest& request,
                 at_node[y].push_back(id);
                 ++result.transmissions;
                 changed = true;
-                list[i] = list.back();
-                list.pop_back();
-                continue;
+                if (fast_scan && --holder_count[x] == 0) --holder_nodes;
+                continue;  // the single copy moved away: drop from x.
               }
             }
           }
-          ++i;
+          list[k++] = id;
         }
+        list.resize(k);
         return changed;
+      };
+
+      // Splices a freshly-minted holder's incident edges into the sorted
+      // worklist (fast scan only). Edges whose other endpoint is stamped
+      // are already present; a splice position at or before the caller's
+      // cursor lands the edge in the next pass — exactly where the full
+      // scan, which passed over it as a no-op before y held anything,
+      // would first act on it. Returns the caller's adjusted cursor.
+      const auto expand_holder = [&](NodeId y, std::size_t ei) {
+        if (edges_complete || ws.node_stamp[y] == member_stamp) return ei;
+        for (const NodeId z : graph.neighbors(s, y)) {
+          if (ws.node_stamp[z] == member_stamp) continue;
+          WorkEdge we{key_of(std::min(y, z), std::max(y, z)), std::min(y, z),
+                      std::max(y, z), traffic.contact_budget_bytes};
+          const auto it =
+              std::lower_bound(work.begin(), work.end(), we, work_less);
+          const auto pos = static_cast<std::size_t>(it - work.begin());
+          work.insert(it, we);
+          if (pos <= ei) ++ei;
+        }
+        ws.node_stamp[y] = member_stamp;
+        return ei;
       };
 
       bool converged = false;
       for (std::uint32_t pass = 0; pass < request.max_relay_passes; ++pass) {
         bool changed = false;
-        for (std::size_t ei = 0; ei < edges.size(); ++ei) {
-          const graph::StepEdge& e = edges[ei];
-          // Empty-list hoist: relay() on a holder-less endpoint is a
-          // no-op, and most endpoints hold nothing — skip the call.
-          if (!at_node[e.a].empty() && relay(e.a, e.b, ei)) changed = true;
-          if (!at_node[e.b].empty() && relay(e.b, e.a, ei)) changed = true;
+        for (std::size_t ei = 0; ei < work.size(); ++ei) {
+          // Re-read endpoints after each relay: a splice may shift the
+          // current entry. Empty-list hoist: relay() on a holder-less
+          // endpoint is a no-op, and most endpoints hold nothing.
+          {
+            const NodeId x = work[ei].a;
+            const NodeId y = work[ei].b;
+            if (!at_node[x].empty()) {
+              const std::uint32_t before = fast_scan ? holder_count[y] : 1u;
+              if (relay(x, y, ei)) changed = true;
+              if (fast_scan && before == 0 && holder_count[y] > 0)
+                ei = expand_holder(y, ei);
+            }
+          }
+          {
+            const NodeId x = work[ei].b;
+            const NodeId y = work[ei].a;
+            if (!at_node[x].empty()) {
+              const std::uint32_t before = fast_scan ? holder_count[y] : 1u;
+              if (relay(x, y, ei)) changed = true;
+              if (fast_scan && before == 0 && holder_count[y] > 0)
+                ei = expand_holder(y, ei);
+            }
+          }
         }
         if (!changed) {
           converged = true;
@@ -737,6 +862,22 @@ SimulationResult simulate(const SimulationRequest& request,
       }
       // Surface truncation instead of silently cutting forwarding chains.
       if (!converged) ++result.truncated_relay_steps;
+
+      // Re-arm every endpoint that still holds something for its next
+      // contact. Worklist endpoints cover all candidates: a node that
+      // holds anything here either held it entering the step (its edges
+      // were filtered in) or received it across a worklist edge.
+      if (fast_scan) {
+        const std::uint64_t armed_stamp = ++ws.stamp_gen;
+        for (const WorkEdge& e : work) {
+          for (const NodeId v : {e.a, e.b}) {
+            if (holder_count[v] == 0 || ws.node_stamp[v] == armed_stamp)
+              continue;
+            ws.node_stamp[v] = armed_stamp;
+            arm_node(v, s);
+          }
+        }
+      }
     }
 
     // Compact the active list occasionally.
@@ -749,11 +890,49 @@ SimulationResult simulate(const SimulationRequest& request,
 
   if (request.replay == ReplayMode::kDense) {
     for (graph::Step s = 0; s < graph.num_steps(); ++s) process_step(s);
-  } else {
+  } else if (!fast_scan) {
     // Sparse event timeline: only steps carrying contact edges are
     // visited. Messages created after the last contact simply never
     // activate — nothing could happen to them anyway.
     for (const graph::Step s : graph.active_steps()) process_step(s);
+  } else {
+    // Holder-incident schedule: visit the earlier of (a) the next armed
+    // holder contact and (b) the next pending activation's first active
+    // step — the exact step the full sparse replay would activate it at.
+    // Every skipped step is one where no holder has a contact and
+    // nothing activates, i.e. a step the full scan runs as a pure no-op
+    // (expiry is applied at the next visited step, before any contact;
+    // the trailing sweep below catches the rest — see DESIGN.md §11).
+    const auto pending_activation_step = [&]() -> graph::Step {
+      if (next_activation >= order.size()) return graph.num_steps();
+      return graph.next_active_step(
+          graph.step_of(messages[order[next_activation]].created));
+    };
+    const auto heap_pop = [&] {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+      heap.pop_back();
+    };
+    graph::Step next_act = pending_activation_step();
+    while (true) {
+      // Lazily discard visits whose node no longer holds anything: if it
+      // regains a copy later, that transfer's step re-arms it.
+      while (!heap.empty() &&
+             holder_count[static_cast<NodeId>(heap.front() &
+                                              0xFFFFFFFFULL)] == 0)
+        heap_pop();
+      const graph::Step heap_step =
+          heap.empty() ? graph.num_steps()
+                       : static_cast<graph::Step>(heap.front() >> 32);
+      const graph::Step s = std::min(heap_step, next_act);
+      if (s >= graph.num_steps()) break;
+      // Drain every entry for this step; its contacts are found by the
+      // worklist build, and endpoints still holding re-arm afterwards.
+      while (!heap.empty() &&
+             static_cast<graph::Step>(heap.front() >> 32) == s)
+        heap_pop();
+      process_step(s);
+      next_act = pending_activation_step();
+    }
   }
 
   // Expiry sweep over the rest of the trace window: a TTL elapsing after

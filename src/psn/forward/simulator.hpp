@@ -63,6 +63,24 @@ enum class ReplayMode : std::uint8_t {
   kDense,   ///< every discretized step (pre-timeline reference semantics).
 };
 
+/// Which contact edges the generic (non-flood) relay path examines.
+/// Results are bit-identical; the full scan exists as the validation
+/// oracle, exactly as ReplayMode::kDense does for the sparse timeline.
+enum class ContactScan : std::uint8_t {
+  /// Holder-incident fast path (the default): a per-node contact-timeline
+  /// index schedules only steps where a current message holder has a
+  /// contact, and the per-step worklist carries only edges incident to
+  /// holders (expanded mid-pass as transfers mint new holders), so
+  /// per-run cost is proportional to holder contacts rather than to the
+  /// trace's total contacts. Applies when the algorithm keeps no online
+  /// contact history (observes_contacts() == false) under sparse replay;
+  /// flooding runs use their own closure kernels either way.
+  kHolderIncident,
+  /// Scan every step edge at every active step (the pre-index reference
+  /// semantics, retained verbatim as the equivalence oracle).
+  kFull,
+};
+
 /// Which implementation the flooding fast path uses for the per-step
 /// epidemic closure. Results are bit-identical (outcomes, hops,
 /// transmissions); the scalar kernel exists as the validation oracle,
@@ -95,12 +113,16 @@ struct SimulationRequest {
   /// Maximum relay passes within one step (a safety bound on the fixpoint
   /// loop; chains longer than this are truncated).
   std::uint32_t max_relay_passes = 128;
-  /// Seed of the per-run stream: the per-step shuffle of edge processing
-  /// order (tie-break among simultaneous forwarding opportunities) and,
-  /// under EvictionPolicy::kRandom, the eviction victim draws.
+  /// Seed of the per-run stream: it keys the stateless per-(seed, step)
+  /// edge-order hash (the tie-break among simultaneous forwarding
+  /// opportunities — hashed per edge rather than shuffled, so any subset
+  /// of a step's edges sorts into the same relative order) and, under
+  /// EvictionPolicy::kRandom, the eviction victim draws.
   std::uint64_t seed = 1;
   /// Step sequence to replay (see ReplayMode).
   ReplayMode replay = ReplayMode::kSparse;
+  /// Contact-edge coverage of the generic relay path (see ContactScan).
+  ContactScan contact_scan = ContactScan::kHolderIncident;
   /// Epidemic-closure implementation (see FloodKernel). Only consulted on
   /// the flooding fast path; the generic relay path has one kernel.
   FloodKernel flood_kernel = FloodKernel::kWordParallel;
@@ -133,6 +155,19 @@ struct SimulatorState {
     bool dropped = false;  ///< last copy evicted; undeliverable.
   };
 
+  /// One generic-path worklist entry: an edge tagged with its per-(seed,
+  /// step) order hash and its remaining per-step byte budget (shared by
+  /// both directions and all relay passes). Endpoints are normalized
+  /// a < b; the worklist sorts by (key, a, b) — a strict total order, so
+  /// the holder-incident subset sorts into exactly the relative order it
+  /// has inside the full scan's list.
+  struct WorkEdge {
+    std::uint64_t key;
+    NodeId a;
+    NodeId b;
+    std::uint64_t budget;
+  };
+
   std::vector<MessageState> states;
   std::vector<std::uint32_t> order;  ///< message ids by creation time.
   std::vector<std::uint32_t> expiry_order;  ///< ids by expiry time.
@@ -140,9 +175,19 @@ struct SimulatorState {
   std::vector<std::uint32_t> active_msgs;
   /// Per-node buffer occupancy in bytes (bounded-buffer runs only).
   std::vector<std::uint64_t> store_bytes;
-  /// Remaining per-edge byte budgets for the current step, parallel to
-  /// the step's shuffled edge buffer (budget-limited runs only).
-  std::vector<std::uint64_t> edge_budget;
+  /// The generic relay path's per-step edge worklist (see WorkEdge).
+  std::vector<WorkEdge> work;
+  /// Holder-incident scheduling state (ContactScan::kHolderIncident
+  /// only). `holder_count[v]` counts live message copies node v holds;
+  /// `node_stamp` is a generation-stamped per-node flag reused for both
+  /// the worklist-membership and once-per-step-arming marks (two
+  /// generations per processed step, monotone across runs — a warm
+  /// workspace needs no re-zeroing); `heap` is the min-heap of packed
+  /// (step << 32 | node) next-contact visits.
+  std::vector<std::uint32_t> holder_count;
+  std::vector<std::uint64_t> node_stamp;
+  std::uint64_t stamp_gen = 0;
+  std::vector<std::uint64_t> heap;
   /// Scalar-kernel hop-settle scratch. `mark` entries equal `mark_gen`
   /// only for nodes settled in the current generation; the generation
   /// counter is never reset, so stale runs can't alias (64-bit: no
@@ -154,7 +199,6 @@ struct SimulatorState {
   /// algorithm beats a binary heap); buckets[l] holds the level-l
   /// frontier and is left empty between settles.
   std::vector<std::vector<NodeId>> buckets;
-  std::vector<graph::StepEdge> edges;  ///< per-step shuffle buffer.
   /// Per-step contact components (masks + nonzero-word lists), shared by
   /// both flood kernels.
   graph::StepComponentScratch components;

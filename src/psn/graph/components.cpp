@@ -67,13 +67,51 @@ std::size_t step_components_at(const SpaceTimeGraph& graph, Step s,
   const NodeId n = graph.num_nodes();
   if (scratch.stamp.size() < n) scratch.stamp.resize(n, 0);
   const std::uint64_t gen = ++scratch.stamp_gen;
+  const auto edges = graph.edges(s);
+
+  // Rebuild the step-local adjacency (three passes over the edge list:
+  // degree count, prefix sum, fill). Because edges are (a, b)-sorted with
+  // a < b, node v's partners smaller than v (its b-side edges, ascending
+  // by a) are all appended before its partners larger than v (its a-side
+  // edges, ascending by b), so each list comes out fully ascending —
+  // exactly the order graph.neighbors(s, v) yields.
+  if (scratch.adj_stamp.size() < n) {
+    scratch.adj_stamp.resize(n, 0);
+    scratch.adj_begin.resize(n, 0);
+    scratch.adj_end.resize(n, 0);
+  }
+  const std::uint64_t agen = ++scratch.adj_gen;
+  scratch.adj_touched.clear();
+  for (const StepEdge& e : edges) {
+    for (const NodeId v : {e.a, e.b}) {
+      if (scratch.adj_stamp[v] != agen) {
+        scratch.adj_stamp[v] = agen;
+        scratch.adj_begin[v] = 0;  // degree accumulator until the prefix.
+        scratch.adj_touched.push_back(v);
+      }
+    }
+    ++scratch.adj_begin[e.a];
+    ++scratch.adj_begin[e.b];
+  }
+  std::uint32_t total = 0;
+  for (const NodeId v : scratch.adj_touched) {
+    const std::uint32_t deg = scratch.adj_begin[v];
+    scratch.adj_begin[v] = total;
+    scratch.adj_end[v] = total;  // fill cursor; ends at the list's end.
+    total += deg;
+  }
+  if (scratch.adj_nbr.size() < total) scratch.adj_nbr.resize(total);
+  for (const StepEdge& e : edges) {
+    scratch.adj_nbr[scratch.adj_end[e.a]++] = e.b;
+    scratch.adj_nbr[scratch.adj_end[e.b]++] = e.a;
+  }
 
   std::size_t k = 0;
   // Edges are (a, b)-sorted with a < b, so the first edge touching a
   // component has the component's smallest member as its `a`, and
   // first-edge discovery order is exactly ascending-smallest-member —
   // the canonical label order of components_at().
-  for (const StepEdge& e : graph.edges(s)) {
+  for (const StepEdge& e : edges) {
     if (scratch.stamp[e.a] == gen) continue;  // component already built.
     if (k == scratch.pool.size()) {
       scratch.pool.emplace_back();
@@ -94,7 +132,7 @@ std::size_t step_components_at(const SpaceTimeGraph& graph, Step s,
     for (std::size_t head = 0; head < comp.members.size(); ++head) {
       const NodeId v = comp.members[head];
       comp.mask.set(v);
-      for (const NodeId w : graph.neighbors(s, v)) {
+      for (const NodeId w : scratch.step_neighbors(v)) {
         if (scratch.stamp[w] != gen) {
           scratch.stamp[w] = gen;
           comp.members.push_back(w);

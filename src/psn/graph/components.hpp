@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "psn/graph/space_time_graph.hpp"
@@ -81,6 +82,30 @@ struct StepComponentScratch {
   std::vector<StepComponent> pool;
   std::vector<std::uint64_t> stamp;
   std::uint64_t stamp_gen = 0;
+
+  /// Step-local adjacency of the step the pool currently describes,
+  /// rebuilt by step_components_at() from the step's edge list. The
+  /// graph's own neighbors() resolves a (step, node) query through a
+  /// binary search of the node's contact timeline — fine for point
+  /// lookups, too slow for the flood kernels that query every component
+  /// member every step. This CSR costs one O(step edges) build and then
+  /// answers in O(1). Entries are generation-stamped, so nodes absent
+  /// from the current step read as empty without any O(n) clearing.
+  std::vector<NodeId> adj_nbr;
+  std::vector<std::uint32_t> adj_begin;
+  std::vector<std::uint32_t> adj_end;
+  std::vector<std::uint64_t> adj_stamp;
+  std::uint64_t adj_gen = 0;
+  std::vector<NodeId> adj_touched;
+
+  /// Neighbors of `v` during the step last passed to step_components_at(),
+  /// ascending — element-for-element identical to the graph's
+  /// neighbors(s, v) for that step.
+  [[nodiscard]] std::span<const NodeId> step_neighbors(
+      NodeId v) const noexcept {
+    if (v >= adj_stamp.size() || adj_stamp[v] != adj_gen) return {};
+    return {adj_nbr.data() + adj_begin[v], adj_end[v] - adj_begin[v]};
+  }
 };
 
 /// Extracts the contact components of step s — the components with >= 2
@@ -88,7 +113,8 @@ struct StepComponentScratch {
 /// scratch.pool[0..k), returning k. Components appear in canonical order
 /// (ascending smallest member), matching the label order of
 /// components_at(), which remains the scalar oracle for this routine.
-/// Cost is O(step edges), independent of the population size.
+/// Also rebuilds scratch's step-local adjacency (step_neighbors()) for
+/// step s. Cost is O(step edges), independent of the population size.
 std::size_t step_components_at(const SpaceTimeGraph& graph, Step s,
                                StepComponentScratch& scratch);
 

@@ -131,40 +131,8 @@ void SpaceTimeGraph::build_serial(const trace::ContactTrace& trace) {
     }
   }
 
-  // Pass 4: per-step CSR adjacency. Degree counts land one slot past
-  // their node's row position, so a prefix sum *within each step's row*
-  // turns them into block-relative start offsets (the block base is
-  // derived from edge_offsets_, see neighbors()).
-  const std::size_t row_width = num_nodes_ + std::size_t{1};
-  adj_rel_.assign(static_cast<std::size_t>(steps) * row_width, 0);
-  for (Step s = 0; s < steps; ++s) {
-    const std::size_t row = static_cast<std::size_t>(s) * row_width;
-    for (const StepEdge& e : edges(s)) {
-      ++adj_rel_[row + e.a + 1];
-      ++adj_rel_[row + e.b + 1];
-    }
-    for (NodeId v = 0; v < num_nodes_; ++v)
-      adj_rel_[row + v + 1] += adj_rel_[row + v];
-  }
-
-  adjacency_.resize(2 * edges_.size());
-  std::vector<std::uint32_t> cursor(num_nodes_);
-  for (Step s = 0; s < steps; ++s) {
-    const std::size_t row = static_cast<std::size_t>(s) * row_width;
-    const std::size_t base = 2 * edge_offsets_[s];
-    std::copy_n(adj_rel_.begin() + static_cast<std::ptrdiff_t>(row),
-                num_nodes_, cursor.begin());
-    for (const StepEdge& e : edges(s)) {
-      adjacency_[base + cursor[e.a]++] = e.b;
-      adjacency_[base + cursor[e.b]++] = e.a;
-    }
-    for (NodeId v = 0; v < num_nodes_; ++v)
-      std::sort(
-          adjacency_.begin() +
-              static_cast<std::ptrdiff_t>(base + adj_rel_[row + v]),
-          adjacency_.begin() +
-              static_cast<std::ptrdiff_t>(base + adj_rel_[row + v + 1]));
-  }
+  // Pass 4: the delta-encoded adjacency stream + per-node timeline.
+  build_adjacency();
 }
 
 void SpaceTimeGraph::build_sharded(const trace::ContactTrace& trace,
@@ -283,38 +251,92 @@ void SpaceTimeGraph::build_sharded(const trace::ContactTrace& trace,
     }
   });
 
-  // Pass 4 (parallel over step ranges): per-step degree counts, in-row
-  // prefix sums, scatter, and per-(step, node) sorts — every write lands
-  // in the shard's own step rows / adjacency blocks.
-  const std::size_t row_width = num_nodes_ + std::size_t{1};
-  adj_rel_.assign(static_cast<std::size_t>(steps) * row_width, 0);
-  adjacency_.resize(2 * edges_.size());
-  parallel(step_shards, [&](std::size_t shard) {
-    std::vector<std::uint32_t> cursor(num_nodes_);
-    const auto [lo, hi] = step_range(shard);
-    for (Step s = lo; s < hi; ++s) {
-      const std::size_t row = static_cast<std::size_t>(s) * row_width;
-      for (const StepEdge& e : edges(s)) {
-        ++adj_rel_[row + e.a + 1];
-        ++adj_rel_[row + e.b + 1];
-      }
-      for (NodeId v = 0; v < num_nodes_; ++v)
-        adj_rel_[row + v + 1] += adj_rel_[row + v];
-      const std::size_t base = 2 * edge_offsets_[s];
-      std::copy_n(adj_rel_.begin() + static_cast<std::ptrdiff_t>(row),
-                  num_nodes_, cursor.begin());
-      for (const StepEdge& e : edges(s)) {
-        adjacency_[base + cursor[e.a]++] = e.b;
-        adjacency_[base + cursor[e.b]++] = e.a;
-      }
-      for (NodeId v = 0; v < num_nodes_; ++v)
-        std::sort(
-            adjacency_.begin() +
-                static_cast<std::ptrdiff_t>(base + adj_rel_[row + v]),
-            adjacency_.begin() +
-                static_cast<std::ptrdiff_t>(base + adj_rel_[row + v + 1]));
+  // Pass 4: the delta-encoded adjacency stream + per-node timeline. One
+  // serial encode shared verbatim with the serial build, so the arenas
+  // stay byte-identical by construction (the stream is a strictly
+  // sequential append; parallelizing it would need a two-phase size
+  // pass for little gain — the sort passes above dominate build time).
+  build_adjacency();
+}
+
+void SpaceTimeGraph::build_adjacency() {
+  constexpr std::uint32_t kMaxOffset = 0xFFFFFFFFu;
+  adj_data_.clear();
+  node_steps_.clear();
+  node_adj_begin_.clear();
+
+  // Groups are emitted in (step, node) order; the per-node CSR below
+  // redistributes them to (node, step) — appending in ascending step
+  // order per node without any sort.
+  struct GroupRef {
+    NodeId node;
+    Step step;
+    std::uint32_t begin;  ///< group start in adj_data_.
+  };
+  std::vector<GroupRef> groups;
+  groups.reserve(edges_.size());  // lower bound: >= 1 group per 2 entries.
+
+  const auto append = [this](std::uint32_t v) {
+    if (v < 0xFFFFu) {
+      adj_data_.push_back(static_cast<std::uint16_t>(v));
+    } else {
+      adj_data_.push_back(0xFFFFu);
+      adj_data_.push_back(static_cast<std::uint16_t>(v & 0xFFFFu));
+      adj_data_.push_back(static_cast<std::uint16_t>(v >> 16));
     }
-  });
+  };
+
+  std::vector<std::uint64_t> pairs;  // (node << 32) | neighbor, per step.
+  for (const Step s : active_steps_) {
+    const auto es = edges(s);
+    pairs.clear();
+    pairs.reserve(2 * es.size());
+    for (const StepEdge& e : es) {
+      pairs.push_back((static_cast<std::uint64_t>(e.a) << 32) | e.b);
+      pairs.push_back((static_cast<std::uint64_t>(e.b) << 32) | e.a);
+    }
+    // Step edges are deduplicated, so the packed pairs are distinct; the
+    // sort groups them by node with neighbors ascending — exactly the
+    // encode order.
+    std::sort(pairs.begin(), pairs.end());
+    for (std::size_t i = 0; i < pairs.size();) {
+      const auto node = static_cast<NodeId>(pairs[i] >> 32);
+      std::size_t j = i;
+      while (j < pairs.size() && static_cast<NodeId>(pairs[j] >> 32) == node)
+        ++j;
+      if (adj_data_.size() > kMaxOffset ||
+          groups.size() >= static_cast<std::size_t>(kMaxOffset))
+        throw std::length_error(
+            "SpaceTimeGraph: adjacency stream exceeds 32-bit addressing");
+      groups.push_back({node, s, static_cast<std::uint32_t>(adj_data_.size())});
+      append(static_cast<std::uint32_t>(j - i));  // count
+      auto prev = static_cast<std::uint32_t>(pairs[i]);
+      append(prev);  // first neighbor, absolute
+      for (std::size_t k = i + 1; k < j; ++k) {
+        const auto v = static_cast<std::uint32_t>(pairs[k]);
+        append(v - prev - 1);  // gap - 1: adjacent ids cost one zero word
+        prev = v;
+      }
+      i = j;
+    }
+  }
+  adj_data_.shrink_to_fit();
+
+  // Per-node CSR over the groups. Appended step-ascending above, so the
+  // stable scatter leaves each node's timeline sorted.
+  node_offsets_.assign(num_nodes_ + std::size_t{1}, 0);
+  for (const GroupRef& g : groups) ++node_offsets_[g.node + 1];
+  for (NodeId v = 0; v < num_nodes_; ++v)
+    node_offsets_[v + 1] += node_offsets_[v];
+  node_steps_.resize(groups.size());
+  node_adj_begin_.resize(groups.size());
+  std::vector<std::uint32_t> cursor(node_offsets_.begin(),
+                                    node_offsets_.end() - 1);
+  for (const GroupRef& g : groups) {
+    const std::uint32_t at = cursor[g.node]++;
+    node_steps_[at] = g.step;
+    node_adj_begin_[at] = g.begin;
+  }
 }
 
 void SpaceTimeGraph::finish_edges() {
@@ -347,7 +369,9 @@ bool SpaceTimeGraph::arenas_identical(
   return num_nodes_ == o.num_nodes_ && delta_ == o.delta_ &&
          num_steps_ == o.num_steps_ && edge_offsets_ == o.edge_offsets_ &&
          edges_equal(edges_, o.edges_) && new_edge_ == o.new_edge_ &&
-         adj_rel_ == o.adj_rel_ && adjacency_ == o.adjacency_ &&
+         adj_data_ == o.adj_data_ && node_offsets_ == o.node_offsets_ &&
+         node_steps_ == o.node_steps_ &&
+         node_adj_begin_ == o.node_adj_begin_ &&
          active_steps_ == o.active_steps_;
 }
 
@@ -364,8 +388,14 @@ Step SpaceTimeGraph::next_active_step(Step s) const noexcept {
 }
 
 bool SpaceTimeGraph::in_contact(Step s, NodeId a, NodeId b) const noexcept {
-  const auto nb = neighbors(s, a);
-  return std::binary_search(nb.begin(), nb.end(), b);
+  // Neighbor lists decode in ascending order, so a linear scan with
+  // early exit beats binary search on the delta stream (no random
+  // access) and typical contact degrees are tiny.
+  for (const NodeId w : neighbors(s, a)) {
+    if (w == b) return true;
+    if (w > b) return false;
+  }
+  return false;
 }
 
 }  // namespace psn::graph

@@ -12,12 +12,17 @@
 // SpaceTimeGraph precomputes, per step, the active contact edges and the
 // per-node adjacency lists that the enumerator, the reachability sweep and
 // the forwarding simulator all share. Storage is a contiguous space-time
-// arena — one edge array with per-step offsets, one adjacency array with
-// per-(step, node) offsets — rather than per-step vectors, so replaying a
-// large population walks flat memory instead of chasing a vector of
-// vectors. There is no architectural node-count ceiling: membership sets
-// are dynamic (util::NodeSet), and populations up to the registry's
-// megacity_65k tier are exercised in tests and benches.
+// arena — one edge array with per-step offsets, and a *delta-encoded*
+// adjacency stream: each (step, node) neighbor group is stored as
+// [count][first][gap-1]... in 16-bit words (values >= 0xFFFF take a
+// three-word escape), addressed through a per-node contact timeline
+// (DESIGN.md §11). Versus the earlier dense per-(step, node) offset table
+// the encoding cuts megacity_65k's arena from 272 to well under
+// 230 bytes/contact, and the timeline doubles as the index the forwarding
+// simulator's holder-incident scheduler jumps through. There is no
+// architectural node-count ceiling: membership sets are dynamic
+// (util::NodeSet), and populations up to the registry's megacity_65k tier
+// are exercised in tests and benches.
 //
 // Construction comes in two flavors with byte-identical results
 // (DESIGN.md §9):
@@ -41,8 +46,10 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <span>
 #include <vector>
 
@@ -61,6 +68,90 @@ using Step = std::uint32_t;
 struct StepEdge {
   NodeId a = 0;
   NodeId b = 0;
+};
+
+namespace detail {
+
+/// Decodes one value of the 16-bit adjacency stream, advancing `p`. Values
+/// below the escape marker are one word; 0xFFFF introduces the full 32-bit
+/// value as (low, high) — required, not just an optimization, because node
+/// id 65535 itself exists at the megacity tier.
+[[nodiscard]] inline std::uint32_t adj_decode(
+    const std::uint16_t*& p) noexcept {
+  std::uint32_t v = *p++;
+  if (v == 0xFFFFu) {
+    v = static_cast<std::uint32_t>(p[0]) |
+        (static_cast<std::uint32_t>(p[1]) << 16);
+    p += 2;
+  }
+  return v;
+}
+
+}  // namespace detail
+
+/// The sorted neighbor list of one (step, node) pair, decoded on the fly
+/// from the delta-encoded adjacency stream. A lightweight value type
+/// (pointer into the immutable arena + element count): copy it, store it,
+/// iterate it any number of times. size()/empty() are O(1); iteration is a
+/// forward decode; operator[] re-decodes from the front and exists for
+/// tests and spot lookups, not for hot loops.
+class NeighborRange {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = NodeId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const NodeId*;
+    using reference = NodeId;
+
+    iterator() = default;
+    iterator(const std::uint16_t* p, std::uint32_t left) noexcept
+        : p_(p), left_(left) {
+      if (left_ > 0) cur_ = detail::adj_decode(p_);
+    }
+
+    [[nodiscard]] NodeId operator*() const noexcept { return cur_; }
+    iterator& operator++() noexcept {
+      if (--left_ > 0) cur_ += detail::adj_decode(p_) + 1;
+      return *this;
+    }
+    iterator operator++(int) noexcept {
+      iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    [[nodiscard]] friend bool operator==(const iterator& lhs,
+                                         const iterator& rhs) noexcept {
+      return lhs.left_ == rhs.left_;
+    }
+
+   private:
+    const std::uint16_t* p_ = nullptr;
+    std::uint32_t left_ = 0;  ///< values not yet consumed, incl. cur_.
+    NodeId cur_ = 0;
+  };
+
+  NeighborRange() = default;
+  /// `group` points at the [count] header of one encoded neighbor group.
+  explicit NeighborRange(const std::uint16_t* group) noexcept : p_(group) {
+    count_ = detail::adj_decode(p_);  // p_ now rests on the first value.
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] iterator begin() const noexcept { return {p_, count_}; }
+  [[nodiscard]] iterator end() const noexcept { return {}; }
+  /// O(i) — decodes from the front.
+  [[nodiscard]] NodeId operator[](std::size_t i) const noexcept {
+    iterator it = begin();
+    while (i-- > 0) ++it;
+    return *it;
+  }
+
+ private:
+  const std::uint16_t* p_ = nullptr;  ///< first value (past the count).
+  std::uint32_t count_ = 0;
 };
 
 class SpaceTimeGraph {
@@ -111,18 +202,28 @@ class SpaceTimeGraph {
   }
 
   /// Neighbors of `node` during step s (nodes it shares a contact edge
-  /// with). Sorted ascending.
-  [[nodiscard]] std::span<const NodeId> neighbors(Step s,
-                                                  NodeId node) const noexcept {
-    const std::size_t row =
-        static_cast<std::size_t>(s) * (num_nodes_ + std::size_t{1}) + node;
-    // Each edge contributes exactly two adjacency entries in its step, so
-    // step s's adjacency block begins at twice its edge offset and the
-    // per-(step, node) offsets only need to address within the block —
-    // which is what lets them be 32-bit (see adj_rel_).
-    const std::size_t base = 2 * edge_offsets_[s];
-    return {adjacency_.data() + base + adj_rel_[row],
-            adjacency_.data() + base + adj_rel_[row + 1]};
+  /// with). Sorted ascending. Resolved by binary search of s in the node's
+  /// contact timeline (O(log #contact-steps of node)) followed by an O(1)
+  /// hop into the delta-encoded adjacency stream; an empty range comes
+  /// back for (step, node) pairs with no contact.
+  [[nodiscard]] NeighborRange neighbors(Step s, NodeId node) const noexcept {
+    const Step* lo = node_steps_.data() + node_offsets_[node];
+    const Step* hi = node_steps_.data() + node_offsets_[node + 1];
+    const Step* it = std::lower_bound(lo, hi, s);
+    if (it == hi || *it != s) return {};
+    return NeighborRange(adj_data_.data() +
+                         node_adj_begin_[static_cast<std::size_t>(
+                             it - node_steps_.data())]);
+  }
+
+  /// The contact timeline of `node`: every step during which it has at
+  /// least one contact edge, ascending. The forwarding simulator's
+  /// holder-incident scheduler binary-searches this to find a holder's
+  /// next potential forwarding opportunity without scanning gap steps.
+  [[nodiscard]] std::span<const Step> contact_steps(
+      NodeId node) const noexcept {
+    return {node_steps_.data() + node_offsets_[node],
+            node_steps_.data() + node_offsets_[node + 1]};
   }
 
   /// True if a and b share a contact edge during step s.
@@ -151,16 +252,18 @@ class SpaceTimeGraph {
     return edges_.size();
   }
 
-  /// Bytes held by the arenas (edge arena + flags + offsets, adjacency
-  /// arena + offsets, active-step index) — the memory column of the
-  /// node-scaling bench, so space regressions are as visible as time
-  /// ones.
+  /// Bytes held by the arenas (edge arena + flags + offsets, delta-encoded
+  /// adjacency stream, per-node contact timeline, active-step index) — the
+  /// memory column of the node-scaling bench, so space regressions are as
+  /// visible as time ones.
   [[nodiscard]] std::size_t arena_bytes() const noexcept {
     return edge_offsets_.size() * sizeof(std::size_t) +
            edges_.size() * sizeof(StepEdge) +
            new_edge_.size() * sizeof(std::uint8_t) +
-           adj_rel_.size() * sizeof(std::uint32_t) +
-           adjacency_.size() * sizeof(NodeId) +
+           adj_data_.size() * sizeof(std::uint16_t) +
+           node_offsets_.size() * sizeof(std::uint32_t) +
+           node_steps_.size() * sizeof(Step) +
+           node_adj_begin_.size() * sizeof(std::uint32_t) +
            active_steps_.size() * sizeof(Step);
   }
 
@@ -177,6 +280,10 @@ class SpaceTimeGraph {
   /// Shared tail of both builds: active-step index, per-step adjacency
   /// offset guard. Runs after edges_/edge_offsets_ are final.
   void finish_edges();
+  /// Shared adjacency encode: walks the final edge arena once, emitting
+  /// the delta stream and the per-node timeline. Serial in both builds —
+  /// identical arenas by construction, and cheap next to the sort passes.
+  void build_adjacency();
 
   NodeId num_nodes_ = 0;
   Seconds delta_ = 10.0;
@@ -186,16 +293,21 @@ class SpaceTimeGraph {
   std::vector<std::size_t> edge_offsets_;  ///< size num_steps_ + 1.
   std::vector<StepEdge> edges_;
   std::vector<std::uint8_t> new_edge_;  ///< parallel to edges_ (see above).
-  /// Adjacency arena: neighbors of (s, v) are the block-relative range
-  /// [adj_rel_[s * (num_nodes_+1) + v], adj_rel_[s * (num_nodes_+1) + v +
-  /// 1]) offset by the step's block base 2 * edge_offsets_[s], sorted
-  /// ascending. Offsets are 32-bit *within-step* positions — at
-  /// megacity_65k the offset table dominates arena memory, and a
-  /// step-relative u32 halves it versus global size_t offsets without a
-  /// population ceiling (a single step would need 2^31 edges to
-  /// overflow; the builds throw std::length_error long before).
-  std::vector<std::uint32_t> adj_rel_;  ///< size num_steps_*(num_nodes_+1).
-  std::vector<NodeId> adjacency_;
+  /// Delta-encoded adjacency stream: one [count][first][gap-1]... group
+  /// per (step, node) pair with contacts, 16-bit words with a three-word
+  /// escape for values >= 0xFFFF (detail::adj_decode). Sorted-ascending
+  /// neighbor ids make the gaps small, so nearly every value is one word —
+  /// at megacity_65k this replaces the dense per-(step, node) offset table
+  /// that dominated the 272 B/contact arena.
+  std::vector<std::uint16_t> adj_data_;
+  /// Per-node contact timeline, CSR over (node -> contact steps): node v's
+  /// groups are indices [node_offsets_[v], node_offsets_[v+1]) into
+  /// node_steps_ (the ascending steps v has contacts in) and
+  /// node_adj_begin_ (each group's start in adj_data_). 32-bit offsets:
+  /// the builds throw std::length_error before either index overflows.
+  std::vector<std::uint32_t> node_offsets_;  ///< size num_nodes_ + 1.
+  std::vector<Step> node_steps_;
+  std::vector<std::uint32_t> node_adj_begin_;
   /// Active-step index: steps with >= 1 edge, ascending (the timeline the
   /// sparse replay iterates).
   std::vector<Step> active_steps_;

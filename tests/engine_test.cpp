@@ -560,6 +560,54 @@ TEST(Sweep, SparseTimelineMatchesDenseAcrossScaleTiers) {
   }
 }
 
+// The holder-incident fast path plus shared observation snapshots — the
+// default SweepOptions — must reproduce the full-replay, per-run-
+// observation oracle bit for bit on the conference matrix across the
+// whole extended algorithm suite, at 1 and 8 threads.
+TEST(Sweep, HolderIncidentSharedObservationMatchesOracleOnInfocomMatrix) {
+  const auto scenario = make_scenario_by_name("conference_small");
+  PlanConfig config;
+  config.runs = 2;
+  config.master_seed = 11;
+  config.message_rate = 0.01;
+  const auto plan =
+      make_plan({scenario}, forward::extended_algorithm_names(), config);
+
+  for (const std::size_t threads : {1u, 8u}) {
+    SweepOptions oracle;
+    oracle.threads = threads;
+    oracle.contact_scan = forward::ContactScan::kFull;
+    oracle.observation = ObservationMode::kPerRun;
+    SweepOptions fast;
+    fast.threads = threads;  // kHolderIncident + kShared defaults.
+    expect_cells_identical(run_sweep(plan, oracle), run_sweep(plan, fast));
+  }
+}
+
+// Same equivalence under contention: finite budgets, tight buffers with
+// the RNG-consuming random eviction policy, and TTLs.
+TEST(Sweep, HolderIncidentSharedObservationMatchesOracleUnderTraffic) {
+  const auto ds = small_dataset(29);
+  PlanConfig config;
+  config.runs = 2;
+  config.master_seed = 13;
+  config.message_rate = 0.05;
+  config.traffic.contact_budget_bytes = 2;
+  config.traffic.buffer_capacity_bytes = 3;
+  config.traffic.eviction = forward::EvictionPolicy::kRandom;
+  config.message_ttl = 900.0;
+  const auto plan = make_plan(
+      {make_scenario(ds)}, {"FRESH", "PRoPHET", "Spray+Wait"}, config);
+
+  SweepOptions oracle;
+  oracle.threads = 8;
+  oracle.contact_scan = forward::ContactScan::kFull;
+  oracle.observation = ObservationMode::kPerRun;
+  SweepOptions fast;
+  fast.threads = 8;
+  expect_cells_identical(run_sweep(plan, oracle), run_sweep(plan, fast));
+}
+
 // The refactored forwarding study rides the engine; its output must not
 // depend on the thread count either.
 TEST(ForwardingStudy, ThreadCountInvariant) {
@@ -702,6 +750,93 @@ TEST(ScenarioContextCache, ByteBudgetBoundsResidencyWithLruEviction) {
   EXPECT_EQ(cache.stats().resident_bytes, 0u);
 
   cache.set_budget_bytes(old_budget);
+}
+
+TEST(ScenarioContextCache, ObservationSnapshotsAreAccountedAndBudgeted) {
+  auto& cache = ScenarioContextCache::instance();
+  const auto old_budget = cache.budget_bytes();
+  cache.clear();
+
+  const auto scenario = owned_scenario(109, "cache-observations");
+  auto context = cache.acquire(scenario);
+  ASSERT_TRUE(context->observations != nullptr);
+  const auto base_bytes = ScenarioContextCache::context_bytes(*context);
+  EXPECT_EQ(cache.stats().resident_bytes, base_bytes);
+
+  // Building a shared snapshot grows the context; whoever built it
+  // re-accounts, and residency tracks the growth exactly.
+  const auto fresh = forward::make_algorithm("FRESH");
+  const auto [snapshot, built] = context->observations->get_or_build(
+      fresh->shared_snapshot_key(), [&] {
+        return fresh->build_shared_snapshot(*context->graph,
+                                            context->dataset->trace);
+      });
+  ASSERT_TRUE(built);
+  ASSERT_TRUE(snapshot != nullptr);
+  EXPECT_GT(snapshot->bytes(), 0u);
+  cache.reaccount(*context);
+  const auto grown_bytes = ScenarioContextCache::context_bytes(*context);
+  EXPECT_EQ(grown_bytes, base_bytes + context->observations->bytes());
+  EXPECT_EQ(cache.stats().resident_bytes, grown_bytes);
+  EXPECT_LE(cache.stats().resident_bytes, cache.stats().budget_bytes);
+
+  // A second build under the same key is a hit — exactly one build per
+  // key, and no double accounting.
+  const auto [again, rebuilt] = context->observations->get_or_build(
+      fresh->shared_snapshot_key(),
+      [&]() -> ObservationStore::SnapshotPtr {
+        ADD_FAILURE() << "snapshot rebuilt despite cache hit";
+        return nullptr;
+      });
+  EXPECT_FALSE(rebuilt);
+  EXPECT_EQ(again.get(), snapshot.get());
+
+  // A distinct key (PRoPHET's parameterized predictabilities) builds its
+  // own snapshot and grows the accounting again.
+  const auto prophet = forward::make_algorithm("PRoPHET");
+  const auto [prophet_snapshot, prophet_built] =
+      context->observations->get_or_build(
+          prophet->shared_snapshot_key(), [&] {
+            return prophet->build_shared_snapshot(*context->graph,
+                                                  context->dataset->trace);
+          });
+  EXPECT_TRUE(prophet_built);
+  EXPECT_TRUE(prophet_snapshot != nullptr);
+  cache.reaccount(*context);
+  EXPECT_GT(ScenarioContextCache::context_bytes(*context), grown_bytes);
+  EXPECT_EQ(cache.stats().resident_bytes,
+            ScenarioContextCache::context_bytes(*context));
+  EXPECT_LE(cache.stats().resident_bytes, cache.stats().budget_bytes);
+
+  // Snapshots count against the byte budget like everything else: shrink
+  // the budget below the grown context and re-account — the entry is
+  // released (residency never exceeds the budget), while live holders
+  // keep both context and snapshots valid.
+  cache.set_budget_bytes(ScenarioContextCache::context_bytes(*context) - 1);
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+  EXPECT_LE(cache.stats().resident_bytes, cache.stats().budget_bytes);
+  EXPECT_GT(snapshot->bytes(), 0u);
+
+  cache.set_budget_bytes(old_budget);
+  (void)cache.evict("cache-observations");
+}
+
+// A sweep with the default shared-observation mode leaves the built
+// snapshots on the scenario's cached context, so a second sweep (or a
+// resident service's next request) pays zero snapshot builds.
+TEST(Sweep, SharedSnapshotsPersistOnCachedContext) {
+  const auto scenario = make_scenario_by_name("conference_small");
+  auto context = ScenarioContextCache::instance().acquire(scenario);
+  PlanConfig config;
+  config.runs = 1;
+  config.master_seed = 3;
+  config.message_rate = 0.005;
+  const auto plan = make_plan({scenario}, {"FRESH"}, config);
+  (void)run_sweep(plan, {});
+  const auto bytes_after_first = context->observations->bytes();
+  EXPECT_GT(bytes_after_first, 0u);
+  (void)run_sweep(plan, {});
+  EXPECT_EQ(context->observations->bytes(), bytes_after_first);
 }
 
 // The engine-level coalescing lemma psn_serve's request batching rests

@@ -531,6 +531,31 @@ TEST(Simulator, EmptyMessageListIsFine) {
 // for every algorithm — same outcomes, delays, hops, transmissions, and
 // truncation counters.
 
+void expect_results_identical(const SimulationResult& a,
+                              const SimulationResult& b,
+                              const std::string& label) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size()) << label;
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].delivered, b.outcomes[i].delivered)
+        << label << " message " << i;
+    EXPECT_EQ(a.outcomes[i].delay, b.outcomes[i].delay)
+        << label << " message " << i;
+    EXPECT_EQ(a.outcomes[i].hops, b.outcomes[i].hops)
+        << label << " message " << i;
+    EXPECT_EQ(a.outcomes[i].expired, b.outcomes[i].expired)
+        << label << " message " << i;
+    EXPECT_EQ(a.outcomes[i].dropped, b.outcomes[i].dropped)
+        << label << " message " << i;
+  }
+  EXPECT_EQ(a.transmissions, b.transmissions) << label;
+  EXPECT_EQ(a.truncated_relay_steps, b.truncated_relay_steps) << label;
+  EXPECT_EQ(a.expirations, b.expirations) << label;
+  EXPECT_EQ(a.evictions, b.evictions) << label;
+  EXPECT_EQ(a.drops, b.drops) << label;
+  EXPECT_EQ(a.budget_blocked, b.budget_blocked) << label;
+  EXPECT_EQ(a.buffer_rejections, b.buffer_rejections) << label;
+}
+
 void expect_sparse_matches_dense(const Fixture& f,
                                  const std::vector<Message>& msgs,
                                  const TrafficConfig& traffic = {}) {
@@ -543,27 +568,7 @@ void expect_sparse_matches_dense(const Fixture& f,
     sparse.replay = ReplayMode::kSparse;
     const auto a = simulate(dense);
     const auto b = simulate(sparse);
-    ASSERT_EQ(a.outcomes.size(), b.outcomes.size()) << alg->name();
-    for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
-      EXPECT_EQ(a.outcomes[i].delivered, b.outcomes[i].delivered)
-          << alg->name() << " message " << i;
-      EXPECT_EQ(a.outcomes[i].delay, b.outcomes[i].delay)
-          << alg->name() << " message " << i;
-      EXPECT_EQ(a.outcomes[i].hops, b.outcomes[i].hops)
-          << alg->name() << " message " << i;
-      EXPECT_EQ(a.outcomes[i].expired, b.outcomes[i].expired)
-          << alg->name() << " message " << i;
-      EXPECT_EQ(a.outcomes[i].dropped, b.outcomes[i].dropped)
-          << alg->name() << " message " << i;
-    }
-    EXPECT_EQ(a.transmissions, b.transmissions) << alg->name();
-    EXPECT_EQ(a.truncated_relay_steps, b.truncated_relay_steps)
-        << alg->name();
-    EXPECT_EQ(a.expirations, b.expirations) << alg->name();
-    EXPECT_EQ(a.evictions, b.evictions) << alg->name();
-    EXPECT_EQ(a.drops, b.drops) << alg->name();
-    EXPECT_EQ(a.budget_blocked, b.budget_blocked) << alg->name();
-    EXPECT_EQ(a.buffer_rejections, b.buffer_rejections) << alg->name();
+    expect_results_identical(a, b, alg->name());
   }
 }
 
@@ -633,6 +638,159 @@ TEST(SimulatorTimeline, GapSpanningScenarioMatchesDenseForAllAlgorithms) {
     msgs.push_back(msg(i, static_cast<NodeId>(i % 5),
                        static_cast<NodeId>((i + 2) % 5), i * 80.0));
   expect_sparse_matches_dense(f, msgs);
+}
+
+// --- Holder-incident contact scan vs the full-replay scalar oracle. ---
+// ContactScan::kHolderIncident lets eligible runs visit only steps and
+// contacts incident to current message holders; ContactScan::kFull scans
+// every contact of every active step and is retained as the permanent
+// oracle. The two must be bit-identical for every algorithm — outcomes,
+// delays, hops, transmissions, and every traffic counter — constrained
+// or not.
+
+std::vector<Contact> burst_gap_contacts() {
+  std::vector<Contact> cs;
+  for (int burst = 0; burst < 5; ++burst) {
+    const double t0 = burst * 200.0;
+    cs.push_back(Contact::make(0, 1, t0 + 5.0, t0 + 15.0));
+    cs.push_back(Contact::make(1, 2, t0 + 8.0, t0 + 18.0));
+    cs.push_back(Contact::make(2, 3, t0 + 30.0, t0 + 42.0));
+    cs.push_back(Contact::make(3, 4, t0 + 31.0, t0 + 41.0));
+    // A side pair no message route touches: the fast path must skip it,
+    // the oracle scans it, and the results must still agree.
+    cs.push_back(Contact::make(5, 6, t0 + 50.0, t0 + 60.0));
+  }
+  return cs;
+}
+
+std::vector<Message> burst_gap_messages() {
+  std::vector<Message> msgs;
+  for (std::uint32_t i = 0; i < 12; ++i)
+    msgs.push_back(msg(i, static_cast<NodeId>(i % 5),
+                       static_cast<NodeId>((i + 2) % 5), i * 80.0));
+  return msgs;
+}
+
+void expect_fast_matches_full(const Fixture& f,
+                              const std::vector<Message>& msgs,
+                              const TrafficConfig& traffic = {}) {
+  for (auto& alg : make_extended_algorithms()) {
+    auto full = f.request(*alg, msgs);
+    full.traffic = traffic;
+    full.contact_scan = ContactScan::kFull;
+    auto fast = f.request(*alg, msgs);
+    fast.traffic = traffic;
+    fast.contact_scan = ContactScan::kHolderIncident;
+    expect_results_identical(simulate(full), simulate(fast), alg->name());
+  }
+}
+
+TEST(SimulatorHolderIncident, GapTraceMatchesFullOracleForAllAlgorithms) {
+  const Fixture f(burst_gap_contacts(), 7, 1100.0);
+  ASSERT_LT(f.graph.num_active_steps(), f.graph.num_steps());
+  expect_fast_matches_full(f, burst_gap_messages());
+}
+
+TEST(SimulatorHolderIncident, MidGapActivationMatchesFullOracle) {
+  // Messages created inside silent gaps and after the last contact: the
+  // fast path's activation scheduling must agree with the oracle's.
+  const Fixture f(
+      {
+          Contact::make(0, 1, 5.0, 12.0),
+          Contact::make(1, 2, 95.0, 105.0),
+          Contact::make(0, 2, 98.0, 102.0),
+      },
+      4, 300.0);
+  expect_fast_matches_full(f, {
+                                  msg(0, 0, 2, 30.0),   // mid-gap creation.
+                                  msg(1, 1, 0, 45.0),   // mid-gap creation.
+                                  msg(2, 2, 3, 50.0),   // undeliverable.
+                                  msg(3, 0, 1, 0.0),    // pre-gap creation.
+                                  msg(4, 0, 1, 250.0),  // after last contact.
+                              });
+}
+
+TEST(SimulatorHolderIncident, ConstrainedTrafficMatchesFullOracle) {
+  // Finite contact budget, tight buffers, and TTLs: expiry, eviction, and
+  // budget-blocking must fire identically under both scan modes.
+  const Fixture f(burst_gap_contacts(), 7, 1100.0);
+  auto msgs = burst_gap_messages();
+  for (auto& m : msgs) {
+    m.size_bytes = 2;
+    m.ttl = 320.0;
+  }
+  for (const auto policy :
+       {EvictionPolicy::kDropOldest, EvictionPolicy::kRandom}) {
+    TrafficConfig traffic;
+    traffic.contact_budget_bytes = 4;
+    traffic.buffer_capacity_bytes = 6;
+    traffic.eviction = policy;
+    expect_fast_matches_full(f, msgs, traffic);
+  }
+}
+
+// --- Shared observation snapshots vs per-run online tables. ---
+// An algorithm that publishes a shared_snapshot_key() must, once adopted,
+// reproduce its per-run (observe_contact-driven) results bit for bit —
+// the snapshot is the same information precomputed from the trace.
+
+void expect_adopted_matches_per_run(const std::string& name, const Fixture& f,
+                                    const std::vector<Message>& msgs) {
+  const auto oracle = make_algorithm(name);
+  const auto adopted = make_algorithm(name);
+  ASSERT_FALSE(adopted->shared_snapshot_key().empty()) << name;
+  const auto snapshot = adopted->build_shared_snapshot(f.graph, f.trace);
+  ASSERT_TRUE(snapshot != nullptr) << name;
+  EXPECT_GT(snapshot->bytes(), 0u) << name;
+  adopted->adopt_shared_snapshot(snapshot);
+  // Adoption flips the observation contract: the simulator no longer
+  // feeds contacts (and the run qualifies for the holder-incident scan).
+  EXPECT_TRUE(oracle->observes_contacts()) << name;
+  EXPECT_FALSE(adopted->observes_contacts()) << name;
+
+  auto full = f.request(*oracle, msgs);
+  full.contact_scan = ContactScan::kFull;
+  auto fast = f.request(*adopted, msgs);
+  expect_results_identical(simulate(full), simulate(fast), name);
+}
+
+TEST(SharedSnapshots, AdoptedAlgorithmsMatchPerRunOracle) {
+  const Fixture f(burst_gap_contacts(), 7, 1100.0);
+  for (const char* name : {"FRESH", "Greedy", "Greedy Online", "PRoPHET"})
+    expect_adopted_matches_per_run(name, f, burst_gap_messages());
+}
+
+TEST(SharedSnapshots, ContactHistoryKeyIsSharedAcrossAdopters) {
+  // FRESH, Greedy, and Greedy Online all answer from the contact-history
+  // index: one build serves all three (the engine keys the store on it).
+  EXPECT_EQ(make_algorithm("FRESH")->shared_snapshot_key(),
+            ContactHistoryIndex::kKey);
+  EXPECT_EQ(make_algorithm("Greedy")->shared_snapshot_key(),
+            ContactHistoryIndex::kKey);
+  EXPECT_EQ(make_algorithm("Greedy Online")->shared_snapshot_key(),
+            ContactHistoryIndex::kKey);
+  // PRoPHET's key carries its parameters: differently-tuned instances
+  // never share predictabilities.
+  EXPECT_NE(ProphetForwarding(ProphetParams{}).shared_snapshot_key(),
+            ProphetForwarding(ProphetParams{.p_init = 0.5})
+                .shared_snapshot_key());
+  // History-free algorithms publish no key (nothing to share).
+  EXPECT_TRUE(make_algorithm("Epidemic")->shared_snapshot_key().empty());
+  EXPECT_TRUE(make_algorithm("Direct")->shared_snapshot_key().empty());
+}
+
+TEST(SharedSnapshots, AdoptedRunsAreReusableAcrossSimulations) {
+  // One adopted instance serving several simulate() calls (the sweep
+  // reuses algorithm instances across runs of a cell): reset() must not
+  // disturb the snapshot, and results must stay identical.
+  const Fixture f(burst_gap_contacts(), 7, 1100.0);
+  const auto adopted = make_algorithm("FRESH");
+  adopted->adopt_shared_snapshot(
+      adopted->build_shared_snapshot(f.graph, f.trace));
+  const auto msgs = burst_gap_messages();
+  const auto first = f.run(*adopted, msgs);
+  const auto second = f.run(*adopted, msgs);
+  expect_results_identical(first, second, "FRESH adopted reuse");
 }
 
 TEST(Simulator, WorkspaceReuseIsBitIdentical) {

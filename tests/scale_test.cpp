@@ -103,6 +103,84 @@ TEST(ScaleTiers, MetroSweepBitIdenticalAcrossThreadsAndKernels) {
   EXPECT_GT(a.cells[0].overall.delivered, 0u);
 }
 
+void expect_cells_match(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t c = 0; c < a.cells.size(); ++c) {
+    EXPECT_EQ(a.cells[c].overall.messages, b.cells[c].overall.messages);
+    EXPECT_EQ(a.cells[c].overall.delivered, b.cells[c].overall.delivered);
+    // Bit-identical, hence EXPECT_EQ on doubles — no tolerance.
+    EXPECT_EQ(a.cells[c].overall.success_rate,
+              b.cells[c].overall.success_rate);
+    EXPECT_EQ(a.cells[c].overall.average_delay,
+              b.cells[c].overall.average_delay);
+    EXPECT_EQ(a.cells[c].overall.average_hops, b.cells[c].overall.average_hops);
+    EXPECT_EQ(a.cells[c].cost_per_message, b.cells[c].cost_per_message);
+    EXPECT_EQ(a.cells[c].truncated_relay_steps,
+              b.cells[c].truncated_relay_steps);
+    EXPECT_EQ(a.cells[c].expirations, b.cells[c].expirations);
+    EXPECT_EQ(a.cells[c].evictions, b.cells[c].evictions);
+    EXPECT_EQ(a.cells[c].drops, b.cells[c].drops);
+    EXPECT_EQ(a.cells[c].budget_blocked, b.cells[c].budget_blocked);
+    EXPECT_EQ(a.cells[c].buffer_rejections, b.cells[c].buffer_rejections);
+  }
+}
+
+TEST(ScaleTiers, CityNonFloodFastPathMatchesScalarOracleAcrossThreads) {
+  // city_2048: the holder-incident scan with shared observation
+  // snapshots (the defaults) vs the full-replay per-run-observation
+  // oracle, for an adopting single-copy algorithm and an adopting
+  // replicator, at 1 and 8 threads.
+  const auto scenario = make_scenario_by_name("city_2048");
+  PlanConfig config;
+  config.runs = 1;
+  config.master_seed = 29;
+  config.message_rate = 0.002;
+  const auto plan = make_plan({scenario}, {"FRESH", "PRoPHET"}, config);
+
+  SweepOptions oracle;
+  oracle.threads = 8;
+  oracle.contact_scan = forward::ContactScan::kFull;
+  oracle.observation = ObservationMode::kPerRun;
+  const auto reference = run_sweep(plan, oracle);
+  ASSERT_EQ(reference.cells.size(), 2u);
+  EXPECT_GT(reference.cells[0].overall.delivered +
+                reference.cells[1].overall.delivered,
+            0u);
+
+  for (const std::size_t threads : {1u, 8u}) {
+    SweepOptions fast;
+    fast.threads = threads;  // kHolderIncident + kShared defaults.
+    expect_cells_match(reference, run_sweep(plan, fast));
+  }
+}
+
+TEST(ScaleTiers, MetroNonFloodFastPathMatchesScalarOracle) {
+  // metro_16k is the tier the holder-incident replay exists for: the
+  // scalar oracle (full per-step scans + a 16k x 16k per-run FRESH
+  // table) is run once here as the reference; the fast path must match
+  // it bit for bit at 1 and 8 threads. Workload kept small — the oracle
+  // leg is the expensive one.
+  const auto& scenario = metro_scenario();
+  PlanConfig config;
+  config.runs = 1;
+  config.master_seed = 31;
+  config.message_rate = 0.002;
+  const auto plan = make_plan({scenario}, {"FRESH"}, config);
+
+  SweepOptions oracle;
+  oracle.threads = 8;
+  oracle.contact_scan = forward::ContactScan::kFull;
+  oracle.observation = ObservationMode::kPerRun;
+  const auto reference = run_sweep(plan, oracle);
+  ASSERT_EQ(reference.cells.size(), 1u);
+
+  for (const std::size_t threads : {1u, 8u}) {
+    SweepOptions fast;
+    fast.threads = threads;
+    expect_cells_match(reference, run_sweep(plan, fast));
+  }
+}
+
 TEST(ScaleTiers, MegacityBuildsAndCompletesAnEpidemicRun) {
   // The ceiling tier: 65 536 nodes must generate (sharded), discretize
   // (sharded CSR build), and carry an epidemic flood to completion with
