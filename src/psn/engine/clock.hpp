@@ -8,6 +8,10 @@
 
 namespace psn::engine {
 
+// det-waiver(wall-clock): the ONE sanctioned clock portal — everything
+// time-related in result code goes through this alias, and every reading
+// lands in telemetry fields (wall_seconds, latency rings) that the
+// determinism tests pin as result-irrelevant.
 using Clock = std::chrono::steady_clock;
 
 inline double seconds_since(Clock::time_point start) {

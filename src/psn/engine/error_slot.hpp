@@ -6,7 +6,8 @@
 #pragma once
 
 #include <exception>
-#include <mutex>
+
+#include "psn/util/thread_annotations.hpp"
 
 namespace psn::engine {
 
@@ -14,17 +15,17 @@ namespace psn::engine {
 class ErrorSlot {
  public:
   void capture() noexcept {
-    std::lock_guard lock(mu_);
+    util::LockGuard lock(mu_);
     if (!error_) error_ = std::current_exception();
   }
   void rethrow_if_set() {
-    std::lock_guard lock(mu_);
+    util::LockGuard lock(mu_);
     if (error_) std::rethrow_exception(error_);
   }
 
  private:
-  std::mutex mu_;
-  std::exception_ptr error_;
+  util::Mutex mu_;
+  std::exception_ptr error_ PSN_GUARDED_BY(mu_);
 };
 
 }  // namespace psn::engine

@@ -60,10 +60,12 @@ PathSweepResult run_path_sweep(const PathSweepPlan& plan,
   // Run on the caller's pool when one is provided (the psn_serve batching
   // hook); otherwise own a private pool for the duration of the sweep.
   std::optional<ThreadPool> owned_pool;
-  if (options.pool == nullptr)
-    owned_pool.emplace(options.threads == 0 ? ThreadPool::hardware_threads()
-                                            : options.threads);
-  ThreadPool& pool = options.pool != nullptr ? *options.pool : *owned_pool;
+  ThreadPool& pool =
+      options.pool != nullptr
+          ? *options.pool
+          : owned_pool.emplace(options.threads == 0
+                                   ? ThreadPool::hardware_threads()
+                                   : options.threads);
   ErrorSlot errors;
 
   // Phase 1: shared read-only inputs — one immutable ScenarioContext

@@ -6,10 +6,10 @@
 namespace psn::engine {
 
 ResultStore::ResultStore(std::size_t capacity)
-    : records_(capacity), written_(capacity, 0) {}
+    : records_(capacity), written_(capacity, 0), capacity_(capacity) {}
 
 void ResultStore::put(std::size_t slot, RunRecord record) {
-  std::lock_guard lock(mu_);
+  util::LockGuard lock(mu_);
   if (slot >= records_.size())
     throw std::out_of_range("ResultStore::put: slot out of range");
   if (written_[slot])
@@ -19,26 +19,28 @@ void ResultStore::put(std::size_t slot, RunRecord record) {
   ++filled_;
 }
 
-std::size_t ResultStore::capacity() const noexcept { return records_.size(); }
+std::size_t ResultStore::capacity() const noexcept { return capacity_; }
 
 std::size_t ResultStore::filled() const {
-  std::lock_guard lock(mu_);
+  util::LockGuard lock(mu_);
   return filled_;
 }
 
-bool ResultStore::complete() const { return filled() == records_.size(); }
+bool ResultStore::complete() const { return filled() == capacity_; }
 
 std::span<const RunRecord> ResultStore::records() const {
   if (!complete())
     throw std::logic_error("ResultStore::records: sweep incomplete");
+  util::LockGuard lock(mu_);
   return records_;
 }
 
 RunRecord ResultStore::take(std::size_t slot) {
   if (!complete())
     throw std::logic_error("ResultStore::take: sweep incomplete");
-  if (slot >= records_.size())
+  if (slot >= capacity_)
     throw std::out_of_range("ResultStore::take: slot out of range");
+  util::LockGuard lock(mu_);
   return std::move(records_[slot]);
 }
 

@@ -9,12 +9,12 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "psn/engine/run_spec.hpp"
 #include "psn/forward/metrics.hpp"
+#include "psn/util/thread_annotations.hpp"
 
 namespace psn::engine {
 
@@ -43,7 +43,9 @@ class ResultStore {
   [[nodiscard]] bool complete() const;
 
   /// The full table, indexed by plan slot. Call only after all workers
-  /// are done (no lock taken; throws if the table is incomplete).
+  /// are done (throws if the table is incomplete). The returned span
+  /// outlives the lock: safe because a complete store has no writers —
+  /// put() throws on any further write.
   [[nodiscard]] std::span<const RunRecord> records() const;
 
   /// Moves a record out of its slot (aggregation steals the workloads to
@@ -51,10 +53,11 @@ class ResultStore {
   [[nodiscard]] RunRecord take(std::size_t slot);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<RunRecord> records_;
-  std::vector<char> written_;
-  std::size_t filled_ = 0;
+  mutable util::Mutex mu_;
+  std::vector<RunRecord> records_ PSN_GUARDED_BY(mu_);
+  std::vector<char> written_ PSN_GUARDED_BY(mu_);
+  std::size_t filled_ PSN_GUARDED_BY(mu_) = 0;
+  const std::size_t capacity_;  ///< records_.size(), immutable.
 };
 
 }  // namespace psn::engine

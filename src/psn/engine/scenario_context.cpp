@@ -10,7 +10,9 @@ namespace psn::engine {
 namespace {
 
 std::uint64_t default_budget_from_env() {
-  if (const char* env = std::getenv("PSN_CONTEXT_CACHE_BUDGET_BYTES")) {
+  // Read once, before any worker threads exist (first instance() call);
+  // nothing in-process calls setenv. NOLINT(concurrency-mt-unsafe)
+  if (const char* env = std::getenv("PSN_CONTEXT_CACHE_BUDGET_BYTES")) {  // NOLINT(concurrency-mt-unsafe)
     char* end = nullptr;
     const unsigned long long v = std::strtoull(env, &end, 10);
     if (end != env) return v;
@@ -24,7 +26,7 @@ std::pair<ObservationStore::SnapshotPtr, bool> ObservationStore::get_or_build(
     const std::string& key, const std::function<SnapshotPtr()>& build) {
   std::shared_ptr<Slot> slot;
   {
-    std::lock_guard lock(mu_);
+    util::LockGuard lock(mu_);
     if (const auto it = published_.find(key); it != published_.end())
       return {it->second, false};
     auto& s = building_[key];
@@ -32,22 +34,30 @@ std::pair<ObservationStore::SnapshotPtr, bool> ObservationStore::get_or_build(
     slot = s;
   }
   // Build outside the store lock: distinct keys proceed in parallel,
-  // same-key callers serialize here and all but one find it published.
-  std::lock_guard build_lock(slot->mu);
+  // same-key callers serialize on the slot and all but one find it
+  // published by the double check inside build_in_slot.
+  util::LockGuard build_lock(slot->mu);
+  return build_in_slot(key, *slot, build);
+}
+
+std::pair<ObservationStore::SnapshotPtr, bool> ObservationStore::build_in_slot(
+    const std::string& key, Slot& slot,
+    const std::function<SnapshotPtr()>& build) {
+  (void)slot;  // held capability only; no data of its own.
   {
-    std::lock_guard lock(mu_);
+    util::LockGuard lock(mu_);
     if (const auto it = published_.find(key); it != published_.end())
       return {it->second, false};
   }
   SnapshotPtr snapshot = build();
-  std::lock_guard lock(mu_);
+  util::LockGuard lock(mu_);
   published_[key] = snapshot;
   building_.erase(key);  // stragglers re-find it via published_.
   return {snapshot, true};
 }
 
 std::uint64_t ObservationStore::bytes() const {
-  std::lock_guard lock(mu_);
+  util::LockGuard lock(mu_);
   std::uint64_t total = 0;
   for (const auto& [key, snapshot] : published_)
     if (snapshot) total += snapshot->bytes();
@@ -73,7 +83,7 @@ std::uint64_t ScenarioContextCache::context_bytes(
 }
 
 void ScenarioContextCache::reaccount(const ScenarioContext& context) {
-  std::lock_guard lock(mu_);
+  util::LockGuard lock(mu_);
   const auto it = entries_.find({context.dataset.get(), context.delta});
   if (it == entries_.end()) return;
   Entry& entry = *it->second;
@@ -96,7 +106,7 @@ std::shared_ptr<const ScenarioContext> ScenarioContextCache::acquire(
 
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard lock(mu_);
+    util::LockGuard lock(mu_);
     // Opportunistic pruning keeps the map proportional to live contexts
     // instead of growing with every scenario ever seen. Only erase
     // entries nobody else holds and that retain nothing: an expired
@@ -107,7 +117,7 @@ std::shared_ptr<const ScenarioContext> ScenarioContextCache::acquire(
     if (entries_.size() > 64) {
       std::erase_if(entries_, [](const auto& kv) {
         return kv.second.use_count() == 1 && !kv.second->retained &&
-               kv.second->context.expired();
+               kv.second->context_expired_unguarded();
       });
     }
     auto& slot = entries_[{scenario.dataset.get(), scenario.delta}];
@@ -116,18 +126,25 @@ std::shared_ptr<const ScenarioContext> ScenarioContextCache::acquire(
   }
 
   // Build (or find) outside the map lock: distinct scenarios proceed in
-  // parallel; same-key callers serialize here and all but one find the
-  // context already present.
-  std::lock_guard lock(entry->mu);
-  if (auto context = entry->context.lock()) {
-    std::lock_guard stats_lock(mu_);
+  // parallel; same-key callers serialize on the entry and all but one
+  // find the context already present.
+  util::LockGuard lock(entry->mu);
+  return find_or_build_in_entry(scenario, *entry, parallel);
+}
+
+std::shared_ptr<const ScenarioContext>
+ScenarioContextCache::find_or_build_in_entry(const Scenario& scenario,
+                                             Entry& entry,
+                                             const util::ParallelFor* parallel) {
+  if (auto context = entry.context.lock()) {
+    util::LockGuard stats_lock(mu_);
     ++hits_;
-    entry->last_use = ++lru_tick_;
+    entry.last_use = ++lru_tick_;
     // A context that outlived its eviction (a caller still held it) is
     // re-retained on the hit — it is hot again, and the budget sweep
     // below keeps residency bounded.
-    if (!entry->retained && scenario.cache_retainable)
-      retain_locked(*entry, context);
+    if (!entry.retained && scenario.cache_retainable)
+      retain_locked(entry, context);
     return context;
   }
 
@@ -146,12 +163,12 @@ std::shared_ptr<const ScenarioContext> ScenarioContextCache::acquire(
           : std::make_shared<const graph::SpaceTimeGraph>(
                 scenario.dataset->trace, scenario.delta);
   graphs_built_.fetch_add(1, std::memory_order_relaxed);
-  entry->context = context;
+  entry.context = context;
   {
-    std::lock_guard stats_lock(mu_);
+    util::LockGuard stats_lock(mu_);
     ++misses_;
-    entry->last_use = ++lru_tick_;
-    if (scenario.cache_retainable) retain_locked(*entry, context);
+    entry.last_use = ++lru_tick_;
+    if (scenario.cache_retainable) retain_locked(entry, context);
   }
   return context;
 }
@@ -194,7 +211,7 @@ void ScenarioContextCache::release_locked(Entry& entry) {
 }
 
 ScenarioCacheStats ScenarioContextCache::stats() const {
-  std::lock_guard lock(mu_);
+  util::LockGuard lock(mu_);
   ScenarioCacheStats s;
   s.hits = hits_;
   s.misses = misses_;
@@ -207,18 +224,18 @@ ScenarioCacheStats ScenarioContextCache::stats() const {
 }
 
 void ScenarioContextCache::set_budget_bytes(std::uint64_t budget) {
-  std::lock_guard lock(mu_);
+  util::LockGuard lock(mu_);
   budget_bytes_ = budget;
   shrink_to_locked(budget_bytes_, nullptr);
 }
 
 std::uint64_t ScenarioContextCache::budget_bytes() const {
-  std::lock_guard lock(mu_);
+  util::LockGuard lock(mu_);
   return budget_bytes_;
 }
 
 std::size_t ScenarioContextCache::evict(std::string_view name) {
-  std::lock_guard lock(mu_);
+  util::LockGuard lock(mu_);
   std::size_t released = 0;
   for (auto& [key, entry] : entries_) {
     if (entry->retained && entry->retained->name == name) {
@@ -230,7 +247,7 @@ std::size_t ScenarioContextCache::evict(std::string_view name) {
 }
 
 void ScenarioContextCache::clear() {
-  std::lock_guard lock(mu_);
+  util::LockGuard lock(mu_);
   for (auto& [key, entry] : entries_)
     if (entry->retained) release_locked(*entry);
   // Keep entries a concurrent acquire() still holds (use_count > 1):

@@ -30,7 +30,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -39,6 +38,7 @@
 #include "psn/forward/algorithm.hpp"
 #include "psn/graph/space_time_graph.hpp"
 #include "psn/util/parallel.hpp"
+#include "psn/util/thread_annotations.hpp"
 
 namespace psn::engine {
 
@@ -66,12 +66,20 @@ class ObservationStore {
 
  private:
   struct Slot {
-    std::mutex mu;
+    util::Mutex mu;
   };
 
-  mutable std::mutex mu_;  ///< guards published_ and building_.
-  std::map<std::string, SnapshotPtr> published_;
-  std::map<std::string, std::shared_ptr<Slot>> building_;
+  /// The double-checked build-and-publish step: re-check under mu_, build
+  /// outside it, publish under mu_. Serialized per key by `slot.mu` — the
+  /// PSN_REQUIRES makes dropping that serialization a build break, not a
+  /// duplicated build found (or missed) by a test.
+  std::pair<SnapshotPtr, bool> build_in_slot(
+      const std::string& key, Slot& slot,
+      const std::function<SnapshotPtr()>& build) PSN_REQUIRES(slot.mu);
+
+  mutable util::Mutex mu_;  ///< guards published_ and building_.
+  std::map<std::string, SnapshotPtr> published_ PSN_GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<Slot>> building_ PSN_GUARDED_BY(mu_);
 };
 
 /// One scenario's shared read-only inputs: dataset + space-time graph,
@@ -176,34 +184,60 @@ class ScenarioContextCache {
 
   /// Per-key slot with its own mutex so distinct scenarios build
   /// concurrently while same-key builds collapse into one. The weak
-  /// `context` is guarded by `mu`; the retention fields (`retained`,
-  /// `bytes`, `last_use`) are guarded by the cache-wide mu_ so eviction
-  /// never needs a per-entry lock.
+  /// `context` is guarded by the entry's own `mu`; the retention fields
+  /// (`retained`, `bytes`, `last_use`) are guarded by the cache-wide mu_
+  /// so eviction never needs a per-entry lock. That cross-object guard is
+  /// outside the attribute grammar (an Entry cannot name the cache's
+  /// mutex), so it is enforced one level up: every function touching the
+  /// retention fields is PSN_REQUIRES(mu_).
   struct Entry {
-    std::mutex mu;
-    std::weak_ptr<const ScenarioContext> context;
+    util::Mutex mu;
+    std::weak_ptr<const ScenarioContext> context PSN_GUARDED_BY(mu);
     std::shared_ptr<const ScenarioContext> retained;  ///< guarded by mu_.
     std::uint64_t bytes = 0;                          ///< guarded by mu_.
     std::uint64_t last_use = 0;                       ///< guarded by mu_.
+
+    /// context.expired() WITHOUT holding `mu`. Safe only from acquire()'s
+    /// pruning block: it runs under the cache-wide mu_ and checks
+    /// use_count() == 1 first, so no concurrent writer of `context` can
+    /// exist (writers hold a shared_ptr copy of this entry, and new
+    /// copies are minted only under mu_). DESIGN.md §12 carries the full
+    /// proof obligation.
+    [[nodiscard]] bool context_expired_unguarded() const
+        PSN_NO_THREAD_SAFETY_ANALYSIS {
+      return context.expired();
+    }
   };
 
-  /// Retains `context` in `entry` if it fits the budget, evicting LRU
-  /// entries as needed. Caller holds mu_.
-  void retain_locked(Entry& entry,
-                     const std::shared_ptr<const ScenarioContext>& context);
-  /// Releases retained contexts, LRU first, until residency fits
-  /// `budget`. `keep` (may be null) is never released. Caller holds mu_.
-  void shrink_to_locked(std::uint64_t budget, const Entry* keep);
-  void release_locked(Entry& entry);
+  /// The per-entry find-or-build step of acquire(), serialized by the
+  /// entry's own mutex (same-key callers collapse into one build).
+  std::shared_ptr<const ScenarioContext> find_or_build_in_entry(
+      const Scenario& scenario, Entry& entry,
+      const util::ParallelFor* parallel) PSN_REQUIRES(entry.mu);
 
-  mutable std::mutex mu_;  ///< guards entries_, retention fields, stats.
-  std::map<Key, std::shared_ptr<Entry>> entries_;
-  std::uint64_t budget_bytes_ = kDefaultBudgetBytes;
-  std::uint64_t resident_bytes_ = 0;
-  std::uint64_t lru_tick_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  /// Retains `context` in `entry` if it fits the budget, evicting LRU
+  /// entries as needed.
+  void retain_locked(Entry& entry,
+                     const std::shared_ptr<const ScenarioContext>& context)
+      PSN_REQUIRES(mu_);
+  /// Releases retained contexts, LRU first, until residency fits
+  /// `budget`. `keep` (may be null) is never released.
+  void shrink_to_locked(std::uint64_t budget, const Entry* keep)
+      PSN_REQUIRES(mu_);
+  void release_locked(Entry& entry) PSN_REQUIRES(mu_);
+
+  mutable util::Mutex mu_;  ///< guards entries_, retention fields, stats.
+  // det-waiver(pointer-key): cache bookkeeping only. Contexts are
+  // deterministic builds, so WHICH entry eviction scans first can change
+  // cost (a rebuild) but never result bytes; LRU victims are chosen by
+  // last_use tick, with pointer order at most breaking exact ties.
+  std::map<Key, std::shared_ptr<Entry>> entries_ PSN_GUARDED_BY(mu_);
+  std::uint64_t budget_bytes_ PSN_GUARDED_BY(mu_) = kDefaultBudgetBytes;
+  std::uint64_t resident_bytes_ PSN_GUARDED_BY(mu_) = 0;
+  std::uint64_t lru_tick_ PSN_GUARDED_BY(mu_) = 0;
+  std::uint64_t hits_ PSN_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ PSN_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ PSN_GUARDED_BY(mu_) = 0;
   std::atomic<std::uint64_t> graphs_built_{0};
 };
 

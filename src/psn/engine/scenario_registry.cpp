@@ -4,7 +4,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -13,6 +12,7 @@
 #include "psn/synth/metropolis.hpp"
 #include "psn/trace/trace_stats.hpp"
 #include "psn/util/parallel.hpp"
+#include "psn/util/thread_annotations.hpp"
 
 namespace psn::engine {
 
@@ -30,14 +30,18 @@ std::atomic<std::uint64_t> datasets_built{0};
 std::shared_ptr<const core::Dataset> cached_dataset(
     const std::string& name,
     const std::function<core::Dataset()>& build) {
-  static std::mutex mu;
-  static std::map<std::string, std::weak_ptr<const core::Dataset>> cache;
-  std::lock_guard lock(mu);
-  if (const auto it = cache.find(name); it != cache.end())
+  struct DatasetCache {
+    util::Mutex mu;
+    std::map<std::string, std::weak_ptr<const core::Dataset>> entries
+        PSN_GUARDED_BY(mu);
+  };
+  static DatasetCache cache;
+  util::LockGuard lock(cache.mu);
+  if (const auto it = cache.entries.find(name); it != cache.entries.end())
     if (auto dataset = it->second.lock()) return dataset;
   auto dataset = std::make_shared<const core::Dataset>(build());
   datasets_built.fetch_add(1, std::memory_order_relaxed);
-  cache[name] = dataset;
+  cache.entries[name] = dataset;
   return dataset;
 }
 

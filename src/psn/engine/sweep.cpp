@@ -28,10 +28,12 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
   // Run on the caller's pool when one is provided (the psn_serve batching
   // hook); otherwise own a private pool for the duration of the sweep.
   std::optional<ThreadPool> owned_pool;
-  if (options.pool == nullptr)
-    owned_pool.emplace(options.threads == 0 ? ThreadPool::hardware_threads()
-                                            : options.threads);
-  ThreadPool& pool = options.pool != nullptr ? *options.pool : *owned_pool;
+  ThreadPool& pool =
+      options.pool != nullptr
+          ? *options.pool
+          : owned_pool.emplace(options.threads == 0
+                                   ? ThreadPool::hardware_threads()
+                                   : options.threads);
   ErrorSlot errors;
   // One pool-backed executor shared by the sharded graph builds (phase 1)
   // and, when enabled, the simulator's intra-run flood fan-out (phase 2).

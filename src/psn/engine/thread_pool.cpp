@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "psn/util/thread_annotations.hpp"
+
 namespace psn::engine {
 
 namespace {
@@ -19,10 +21,10 @@ struct ForState {
   const std::function<void(std::size_t)>* f = nullptr;  // caller-owned.
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::mutex mu;
-  std::condition_variable cv;
-  std::exception_ptr error;  // first failure, under mu.
-  bool all_done = false;     // under mu; done == num_shards.
+  util::Mutex mu;
+  util::ConditionVariable cv;
+  std::exception_ptr error PSN_GUARDED_BY(mu);  // first failure.
+  bool all_done PSN_GUARDED_BY(mu) = false;     // done == num_shards.
 
   /// Grabs shards until none remain. `f` stays valid while shards
   /// remain: the caller blocks until done == num_shards, and done only
@@ -34,11 +36,11 @@ struct ForState {
       try {
         (*f)(shard);
       } catch (...) {
-        std::lock_guard lock(mu);
+        util::LockGuard lock(mu);
         if (!error) error = std::current_exception();
       }
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_shards) {
-        std::lock_guard lock(mu);
+        util::LockGuard lock(mu);
         all_done = true;
         cv.notify_all();
       }
@@ -69,8 +71,8 @@ util::ParallelFor parallel_for(ThreadPool& pool) {
       pool.submit([state] { state->drain(); });
     state->drain();
     {
-      std::unique_lock lock(state->mu);
-      state->cv.wait(lock, [&] { return state->all_done; });
+      util::LockGuard lock(state->mu);
+      while (!state->all_done) state->cv.wait(lock);
       if (state->error) std::rethrow_exception(state->error);
     }
   };
@@ -85,7 +87,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock lock(mu_);
+    util::LockGuard lock(mu_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -94,23 +96,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::unique_lock lock(mu_);
+    util::LockGuard lock(mu_);
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  util::LockGuard lock(mu_);
+  while (!queue_.empty() || in_flight_ != 0) idle_cv_.wait(lock);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::LockGuard lock(mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -118,7 +120,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::unique_lock lock(mu_);
+      util::LockGuard lock(mu_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
     }

@@ -8,15 +8,14 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "psn/util/parallel.hpp"
+#include "psn/util/thread_annotations.hpp"
 
 namespace psn::engine {
 
@@ -45,13 +44,15 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// Written once by the constructor, joined by the destructor; read-only
+  /// (size()) in between — never touched by worker threads.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  util::Mutex mu_;
+  std::deque<std::function<void()>> queue_ PSN_GUARDED_BY(mu_);
+  util::ConditionVariable work_cv_;
+  util::ConditionVariable idle_cv_;
+  std::size_t in_flight_ PSN_GUARDED_BY(mu_) = 0;
+  bool stopping_ PSN_GUARDED_BY(mu_) = false;
 };
 
 /// Adapts `pool` to the util::ParallelFor contract. The caller thread

@@ -17,6 +17,9 @@ ContactHistoryIndex::ContactHistoryIndex(const graph::SpaceTimeGraph& graph) {
     Step start, end;
   };
   std::vector<Run> runs;
+  // det-waiver(unordered-container): keyed lookup/overwrite only, never
+  // iterated — `runs` (a vector in trace order) carries all ordered
+  // output; hash order cannot reach the CSR this pass feeds.
   std::unordered_map<std::uint64_t, std::uint32_t> open;  // pair -> run idx.
   open.reserve(1024);
   for (const graph::Step s : graph.active_steps()) {

@@ -5,7 +5,6 @@
 #include <cstring>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -66,9 +65,9 @@ int run_stdio_server(SweepService& service, std::istream& in,
                      std::ostream& out) {
   // One writer mutex: responses come from the dispatcher thread while
   // errors are written inline from this one.
-  auto write_mu = std::make_shared<std::mutex>();
+  auto write_mu = std::make_shared<util::Mutex>();
   const auto write_line = [&out, write_mu](const std::string& text) {
-    std::lock_guard<std::mutex> lock(*write_mu);
+    util::LockGuard lock(*write_mu);
     out << text << '\n' << std::flush;
   };
 
@@ -89,9 +88,9 @@ namespace {
 /// on the dispatcher thread). MSG_NOSIGNAL: a client that disconnects
 /// with responses in flight costs an EPIPE, not the process.
 void serve_connection(SweepService& service, int fd) {
-  auto write_mu = std::make_shared<std::mutex>();
+  auto write_mu = std::make_shared<util::Mutex>();
   const auto write_line = [fd, write_mu](const std::string& text) {
-    std::lock_guard<std::mutex> lock(*write_mu);
+    util::LockGuard lock(*write_mu);
     std::string payload = text;
     payload.push_back('\n');
     std::size_t sent = 0;

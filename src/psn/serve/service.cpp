@@ -117,7 +117,7 @@ SweepService::SweepService(ServiceConfig config)
 
 SweepService::~SweepService() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::LockGuard lock(mu_);
     stopping_ = true;
   }
   queue_cv_.notify_all();
@@ -126,7 +126,7 @@ SweepService::~SweepService() {
 
 void SweepService::enqueue(Request request, Callback callback) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::LockGuard lock(mu_);
     if (stopping_)
       throw std::runtime_error("SweepService: enqueue after shutdown");
     Pending pending;
@@ -150,8 +150,8 @@ Json SweepService::execute(Request request) {
 }
 
 void SweepService::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && !dispatching_; });
+  util::LockGuard lock(mu_);
+  while (!queue_.empty() || dispatching_) idle_cv_.wait(lock);
 }
 
 bool SweepService::shutdown_requested() const noexcept {
@@ -162,8 +162,8 @@ void SweepService::dispatch_loop() {
   for (;;) {
     std::vector<Pending> window;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::LockGuard lock(mu_);
+      while (!stopping_ && queue_.empty()) queue_cv_.wait(lock);
       if (queue_.empty()) return;  // stopping with nothing left.
       if (config_.batch_window_seconds > 0 && !stopping_) {
         // The admission window: requests arriving before the deadline
@@ -173,7 +173,9 @@ void SweepService::dispatch_loop() {
             Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                std::chrono::duration<double>(
                                    config_.batch_window_seconds));
-        queue_cv_.wait_until(lock, deadline, [this] { return stopping_; });
+        while (!stopping_ &&
+               queue_cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+        }
       }
       window.assign(std::make_move_iterator(queue_.begin()),
                     std::make_move_iterator(queue_.end()));
@@ -201,14 +203,14 @@ void SweepService::dispatch_loop() {
     for (auto& [key, group] : groups) {
       (void)key;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::LockGuard lock(mu_);
         ++batches_;
       }
       execute_group(group);
     }
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::LockGuard lock(mu_);
       dispatching_ = false;
       if (queue_.empty()) idle_cv_.notify_all();
     }
@@ -389,7 +391,7 @@ void SweepService::respond(Pending& pending, Json payload, bool ok,
 
   bool stats_due = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::LockGuard lock(mu_);
     if (ok) ++responses_ok_; else ++responses_error_;
     if (telemetry.batch_size > 1) ++coalesced_requests_;
     if (pending.request.family == Family::kForwarding ||
@@ -424,7 +426,7 @@ ServiceStats SweepService::stats() const {
   ServiceStats out;
   std::vector<double> window;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::LockGuard lock(mu_);
     out.requests = requests_;
     out.responses_ok = responses_ok_;
     out.responses_error = responses_error_;

@@ -31,13 +31,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -45,6 +43,7 @@
 #include "psn/engine/thread_pool.hpp"
 #include "psn/serve/json.hpp"
 #include "psn/serve/request.hpp"
+#include "psn/util/thread_annotations.hpp"
 
 namespace psn::serve {
 
@@ -139,29 +138,30 @@ class SweepService {
   ServiceConfig config_;
   engine::ThreadPool pool_;
 
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;  ///< dispatcher wakeups.
-  std::condition_variable idle_cv_;   ///< drain()/execute() wakeups.
-  std::deque<Pending> queue_;
-  bool stopping_ = false;
-  bool dispatching_ = false;  ///< a window's groups are executing.
+  mutable util::Mutex mu_;
+  util::ConditionVariable queue_cv_;  ///< dispatcher wakeups.
+  util::ConditionVariable idle_cv_;   ///< drain()/execute() wakeups.
+  std::deque<Pending> queue_ PSN_GUARDED_BY(mu_);
+  bool stopping_ PSN_GUARDED_BY(mu_) = false;
+  /// A window's groups are executing.
+  bool dispatching_ PSN_GUARDED_BY(mu_) = false;
   std::atomic<bool> shutdown_requested_{false};
 
-  // Counters (guarded by mu_).
-  std::uint64_t requests_ = 0;
-  std::uint64_t responses_ok_ = 0;
-  std::uint64_t responses_error_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t coalesced_requests_ = 0;
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t cache_misses_ = 0;
-  std::size_t max_queue_depth_ = 0;
+  // Counters.
+  std::uint64_t requests_ PSN_GUARDED_BY(mu_) = 0;
+  std::uint64_t responses_ok_ PSN_GUARDED_BY(mu_) = 0;
+  std::uint64_t responses_error_ PSN_GUARDED_BY(mu_) = 0;
+  std::uint64_t batches_ PSN_GUARDED_BY(mu_) = 0;
+  std::uint64_t coalesced_requests_ PSN_GUARDED_BY(mu_) = 0;
+  std::uint64_t cache_hits_ PSN_GUARDED_BY(mu_) = 0;
+  std::uint64_t cache_misses_ PSN_GUARDED_BY(mu_) = 0;
+  std::size_t max_queue_depth_ PSN_GUARDED_BY(mu_) = 0;
 
   /// Bounded latency ring: the last kLatencyRing response latencies.
   static constexpr std::size_t kLatencyRing = 1024;
-  std::vector<double> latencies_;  ///< guarded by mu_.
-  std::size_t latency_next_ = 0;
-  std::size_t latency_count_ = 0;
+  std::vector<double> latencies_ PSN_GUARDED_BY(mu_);
+  std::size_t latency_next_ PSN_GUARDED_BY(mu_) = 0;
+  std::size_t latency_count_ PSN_GUARDED_BY(mu_) = 0;
 
   std::thread dispatcher_;  ///< last member: joins before the rest dies.
 };

@@ -1,0 +1,135 @@
+// Clang Thread Safety Analysis: annotation macros and the annotated
+// synchronization wrappers every mutex-protected structure in psn uses.
+//
+// The PSN_* macros expand to Clang's thread-safety attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) when compiling
+// under a Clang that supports them, and to nothing elsewhere (GCC builds
+// see plain std::mutex semantics). With -Wthread-safety (-Werror on the
+// psn library; enabled automatically for Clang by src/CMakeLists.txt) a
+// lock-discipline violation — reading a PSN_GUARDED_BY field without its
+// mutex, calling a PSN_REQUIRES function without holding the capability —
+// is a BUILD BREAK, not a test failure. DESIGN.md §12 maps which locks
+// guard what.
+//
+// Usage rules (enforced across engine/, serve/, util/):
+//  * Every mutex is a util::Mutex; every acquisition is a util::LockGuard
+//    (scoped) — never a bare std::mutex / std::lock_guard, so the
+//    analysis sees every lock event.
+//  * Data a mutex protects is annotated PSN_GUARDED_BY(mu_) where the
+//    mutex is nameable from the field's class. Cross-object guards that
+//    the attribute grammar cannot express (e.g. ScenarioContextCache
+//    entries' retention fields, guarded by the cache-wide mutex) are
+//    enforced one level up: every touch point is a private helper
+//    annotated PSN_REQUIRES(mu_).
+//  * Condition-variable predicates are written as explicit while-loops in
+//    the function that holds the lock, never as lambdas: the analysis
+//    does not propagate held capabilities into lambda bodies, so a
+//    predicate lambda reading guarded state would (correctly) fail the
+//    build.
+//  * util::ConditionVariable::wait releases and reacquires the mutex
+//    internally; the analysis models the capability as continuously held
+//    across the wait. That is the standard modelling for condition
+//    waits: every *observable* access still happens under the lock.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define PSN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PSN_THREAD_ANNOTATION(x)
+#endif
+
+/// A type that is a synchronization capability (a mutex).
+#define PSN_CAPABILITY(x) PSN_THREAD_ANNOTATION(capability(x))
+/// An RAII type that acquires a capability for its lifetime.
+#define PSN_SCOPED_CAPABILITY PSN_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while holding the given mutex.
+#define PSN_GUARDED_BY(x) PSN_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose pointee is guarded by the given mutex.
+#define PSN_PT_GUARDED_BY(x) PSN_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function callable only while holding the listed capabilities.
+#define PSN_REQUIRES(...) \
+  PSN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function that acquires the listed capabilities (held on return).
+#define PSN_ACQUIRE(...) \
+  PSN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function that releases the listed capabilities.
+#define PSN_RELEASE(...) \
+  PSN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function that acquires the capability iff it returns the first
+/// argument; further arguments name the capability (default: this).
+#define PSN_TRY_ACQUIRE(...) \
+  PSN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function that must NOT be called while holding the listed capabilities.
+#define PSN_EXCLUDES(...) PSN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Escape hatch; every use carries a comment proving the access safe.
+#define PSN_NO_THREAD_SAFETY_ANALYSIS \
+  PSN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace psn::util {
+
+/// std::mutex with the capability attribute: lockable by the analysis.
+class PSN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PSN_ACQUIRE() { mu_.lock(); }
+  void unlock() PSN_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() PSN_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class LockGuard;
+  std::mutex mu_;
+};
+
+/// Scoped acquisition of a util::Mutex. Backed by std::unique_lock so
+/// ConditionVariable can wait on it; the capability is held from
+/// construction to destruction (waits release/reacquire internally).
+class PSN_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) PSN_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~LockGuard() PSN_RELEASE() {}  // lock_'s destructor unlocks.
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  friend class ConditionVariable;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable over util::LockGuard. Predicates are written
+/// as while-loops at the call site (see file comment), so only the
+/// plain wait/wait_until forms exist.
+class ConditionVariable {
+ public:
+  ConditionVariable() = default;
+  ConditionVariable(const ConditionVariable&) = delete;
+  ConditionVariable& operator=(const ConditionVariable&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Caller must hold `lock`'s mutex (enforced at the call site by the
+  /// guarded accesses around the wait loop).
+  void wait(LockGuard& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      LockGuard& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace psn::util

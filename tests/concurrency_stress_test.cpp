@@ -1,0 +1,295 @@
+// Concurrency stress suite: the tests whose job is to put every lock in
+// the engine and the serve layer under real contention. They pass as
+// ordinary correctness tests (build-once probes, response counts), but
+// their real audience is the TSan lane (`cmake --preset build-tsan`,
+// .github/workflows/ci.yml `tsan` job): each test is shaped so that a
+// missing acquisition in ScenarioContextCache, ObservationStore, or
+// SweepService turns into a data-race report instead of a silent
+// maybe-flake. The static half of the same discipline is the Clang
+// Thread Safety annotations (util/thread_annotations.hpp, DESIGN.md §12).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "psn/core/dataset.hpp"
+#include "psn/engine/scenario_context.hpp"
+#include "psn/engine/thread_pool.hpp"
+#include "psn/forward/algorithm.hpp"
+#include "psn/forward/algorithm_registry.hpp"
+#include "psn/serve/json.hpp"
+#include "psn/serve/request.hpp"
+#include "psn/serve/service.hpp"
+#include "psn/synth/pairwise_poisson.hpp"
+#include "psn/trace/trace_stats.hpp"
+
+namespace psn {
+namespace {
+
+// Small but contact-dense dataset: enough structure that graph and
+// snapshot builds take real time (widening the race window), small
+// enough that a stress test stays in the sub-second range per build.
+core::Dataset stress_dataset(std::uint64_t seed, const std::string& name) {
+  synth::PairwisePoissonConfig config;
+  config.num_nodes = 24;
+  config.t_max = 2700.0;
+  config.mean_node_rate = 0.08;
+  config.seed = seed;
+  auto generated = synth::generate_pairwise_poisson(config);
+
+  core::Dataset dataset;
+  dataset.name = name;
+  dataset.trace = std::move(generated.trace);
+  dataset.rates = trace::classify_rates(dataset.trace);
+  dataset.message_horizon = 1800.0;
+  dataset.ground_truth_rates = std::move(generated.node_rates);
+  return dataset;
+}
+
+engine::Scenario owned_scenario(std::uint64_t seed, const std::string& name) {
+  engine::Scenario scenario;
+  scenario.name = name;
+  scenario.dataset =
+      std::make_shared<const core::Dataset>(stress_dataset(seed, name));
+  return scenario;
+}
+
+// Satellite of the thread-safety tentpole: N threads race
+// adopt_shared_snapshot on a COLD scenario — every thread holds its own
+// FRESH instance, asks the context's ObservationStore for the shared
+// snapshot, and adopts it. The build-count probe (the atomic wrapped
+// around the build callback) must read exactly 1: the double-checked
+// per-key slot lock in ObservationStore::get_or_build collapses all N
+// builders into one. Under TSan this additionally proves the snapshot
+// publication itself is race-free (the losing threads read the pointer
+// the winner published).
+TEST(ObservationStoreStress, RacingAdoptersObserveExactlyOneBuild) {
+  auto& cache = engine::ScenarioContextCache::instance();
+  const auto scenario = owned_scenario(211, "stress-adopt-cold");
+  const auto context = cache.acquire(scenario);
+  ASSERT_NE(context, nullptr);
+  ASSERT_NE(context->observations, nullptr);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr int kRounds = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    // Per-round key: each round starts from a cold slot again.
+    const std::string round_suffix = "#round" + std::to_string(round);
+    std::atomic<int> builds{0};
+    std::atomic<int> built_flags{0};
+    std::vector<engine::ObservationStore::SnapshotPtr> adopted(kThreads);
+    std::barrier start(kThreads);
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        const auto algorithm = forward::make_algorithm("FRESH");
+        const std::string key =
+            algorithm->shared_snapshot_key() + round_suffix;
+        start.arrive_and_wait();
+        const auto [snapshot, built] =
+            context->observations->get_or_build(key, [&] {
+              builds.fetch_add(1, std::memory_order_relaxed);
+              return algorithm->build_shared_snapshot(
+                  *context->graph, context->dataset->trace);
+            });
+        if (built) built_flags.fetch_add(1, std::memory_order_relaxed);
+        algorithm->adopt_shared_snapshot(snapshot);
+        adopted[t] = snapshot;
+      });
+    }
+    for (auto& thread : threads) thread.join();
+
+    EXPECT_EQ(builds.load(), 1) << "round " << round;
+    EXPECT_EQ(built_flags.load(), 1) << "round " << round;
+    for (std::size_t t = 1; t < kThreads; ++t)
+      EXPECT_EQ(adopted[t], adopted[0])
+          << "thread " << t << " adopted a different snapshot";
+  }
+}
+
+// Distinct keys must NOT serialize on one another: two key families
+// racing concurrently still build exactly once per key. Guards against
+// the "fix" of replacing the per-slot mutex with the store-wide one.
+TEST(ObservationStoreStress, DistinctKeysBuildIndependently) {
+  struct TinySnapshot final : forward::ObservationSnapshot {
+    [[nodiscard]] std::uint64_t bytes() const override { return 8; }
+  };
+  engine::ObservationStore store;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kKeys = 4;
+  std::atomic<int> builds{0};
+  std::barrier start(kThreads);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      const std::string key = "key-" + std::to_string(t % kKeys);
+      (void)store.get_or_build(key, [&] {
+        builds.fetch_add(1, std::memory_order_relaxed);
+        return std::make_shared<const TinySnapshot>();
+      });
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(builds.load(), static_cast<int>(kKeys));
+}
+
+// N threads race ScenarioContextCache::acquire on a cold scenario: the
+// per-entry lock must collapse them into one graph build, and every
+// caller must get the same context instance.
+TEST(ScenarioCacheStress, RacingAcquirersShareOneBuild) {
+  auto& cache = engine::ScenarioContextCache::instance();
+  constexpr std::size_t kThreads = 8;
+  for (int round = 0; round < 4; ++round) {
+    const auto scenario = owned_scenario(
+        301 + static_cast<std::uint64_t>(round),
+        "stress-acquire-" + std::to_string(round));
+    const auto builds_before = cache.graphs_built();
+    std::vector<std::shared_ptr<const engine::ScenarioContext>> got(kThreads);
+    std::barrier start(kThreads);
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        start.arrive_and_wait();
+        got[t] = cache.acquire(scenario);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+
+    EXPECT_EQ(cache.graphs_built(), builds_before + 1) << "round " << round;
+    for (std::size_t t = 1; t < kThreads; ++t)
+      EXPECT_EQ(got[t], got[0]);
+    (void)cache.evict(scenario.name);
+  }
+}
+
+// The TSan centerpiece: concurrent serve traffic against a cache budget
+// far too small to retain anything, so every request window races
+// eviction, rebuild, and snapshot adoption while admin evict/clear/stats
+// requests punch the cache from the side. Functionally this only asserts
+// that every request is answered ok; under TSan it sweeps the whole
+// service + cache + store lock graph under maximum churn.
+TEST(ServeStress, CacheChurnUnderConcurrentRequestsAndAdmin) {
+  auto& cache = engine::ScenarioContextCache::instance();
+  const auto budget_before = cache.stats().budget_bytes;
+
+  {
+    serve::ServiceConfig config;
+    config.threads = 4;
+    config.batch_window_seconds = 0.0005;
+    config.cache_budget_bytes = 4 * 1024;  // nothing fits: retention churns.
+    serve::SweepService service(config);
+
+    constexpr std::size_t kClients = 4;
+    constexpr int kRequestsPerClient = 6;
+    std::atomic<int> ok{0};
+    std::atomic<int> failed{0};
+    std::barrier start(kClients + 1);
+
+    const auto count_response = [&](const serve::Json& response) {
+      const serve::Json& ok_field = response.at("ok");
+      if (ok_field.is_bool() && ok_field.as_bool())
+        ok.fetch_add(1, std::memory_order_relaxed);
+      else
+        failed.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    std::vector<std::thread> clients;
+    clients.reserve(kClients + 1);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        start.arrive_and_wait();
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          serve::Request request;
+          request.id = "c" + std::to_string(c) + "-" + std::to_string(i);
+          request.family = serve::Family::kForwarding;
+          // Two scenarios so eviction always has a victim that the next
+          // request wants back; alternate per client and per iteration.
+          request.forwarding.scenario =
+              ((c + static_cast<std::size_t>(i)) % 2 == 0)
+                  ? "conference_small"
+                  : "random_waypoint";
+          request.forwarding.algorithms = {"Epidemic", "FRESH"};
+          request.forwarding.runs = 1;
+          request.forwarding.master_seed = 7 + static_cast<std::uint64_t>(i);
+          service.enqueue(std::move(request), count_response);
+        }
+      });
+    }
+    // Admin chaos monkey: evict/clear/stats while the sweeps run.
+    clients.emplace_back([&] {
+      start.arrive_and_wait();
+      const serve::AdminCommand commands[] = {serve::AdminCommand::kStats,
+                                              serve::AdminCommand::kEvict,
+                                              serve::AdminCommand::kClear};
+      for (int i = 0; i < 9; ++i) {
+        serve::Request request;
+        request.id = "admin-" + std::to_string(i);
+        request.family = serve::Family::kAdmin;
+        request.admin.command = commands[i % 3];
+        if (request.admin.command == serve::AdminCommand::kEvict)
+          request.admin.scenario = "conference_small";
+        service.enqueue(std::move(request), count_response);
+      }
+    });
+    for (auto& client : clients) client.join();
+    service.drain();
+
+    EXPECT_EQ(ok.load(), static_cast<int>(kClients) * kRequestsPerClient + 9);
+    EXPECT_EQ(failed.load(), 0);
+
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.requests,
+              static_cast<std::uint64_t>(kClients) * kRequestsPerClient + 9);
+    EXPECT_EQ(stats.responses_ok, stats.requests);
+  }
+
+  // The service shrank the process-wide cache; put the budget back so
+  // later suites (and reruns in one process) see the default behavior.
+  cache.set_budget_bytes(budget_before);
+  cache.clear();
+}
+
+// Exceptions crossing the pool: parallel_for must rethrow exactly one of
+// the shard exceptions on the caller with the pool healthy afterwards,
+// round after round, under worker contention.
+TEST(ThreadPoolStress, ParallelForRethrowLeavesPoolHealthy) {
+  engine::ThreadPool pool(4);
+  const util::ParallelFor parallel = engine::parallel_for(pool);
+  for (int round = 0; round < 16; ++round) {
+    std::atomic<int> executed{0};
+    try {
+      parallel(64, [&](std::size_t shard) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (shard % 7 == 3) throw std::runtime_error("shard failure");
+      });
+      FAIL() << "parallel_for swallowed the shard exception";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "shard failure");
+    }
+    // The pool must still execute work after the failed round.
+    std::atomic<int> after{0};
+    parallel(16, [&](std::size_t) {
+      after.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(after.load(), 16) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace psn
